@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it, so a ``pytest benchmarks/ --benchmark-only -s`` run reads side by side
+with the PDF.  Drivers run once per benchmark (pedantic, 1 round): the
+measured quantity is the wall time of regenerating the experiment, and the
+printed artifact is the experiment itself (in virtual time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    return lambda fn: run_once(benchmark, fn)

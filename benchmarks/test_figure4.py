@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 4 (speedup, baseline vs FT, no faults).
+
+Expected shape (paper): near-linear speedup for every benchmark up to 44
+workers; FT sequential overhead within noise everywhere except
+Floyd-Warshall, whose two-version memory costs ~10%.
+"""
+
+from repro.harness.figure4 import figure4, format_figure4
+
+WORKERS = (1, 2, 4, 8, 16, 32, 44)
+
+
+def test_figure4_speedups(once):
+    # "large" instances keep structural parallelism well above 44 so the
+    # curves match the paper's near-linear shape instead of saturating.
+    series = once(lambda: figure4(workers=WORKERS, reps=2, scale="large"))
+    print()
+    print(format_figure4(series))
+
+    by = {(s.app, s.variant): s for s in series}
+    for (app, variant), s in by.items():
+        # Monotone-ish speedup: P=8 beats P=2 for every curve.
+        assert s.speedup(8) > s.speedup(2) > 1.5, (app, variant)
+        # Speedup never exceeds the worker count.
+        for p in WORKERS:
+            assert s.speedup(p) <= p * 1.01, (app, variant, p)
+
+    # FT-vs-baseline sequential overhead: within ~2% everywhere but FW.
+    for app in ("lcs", "sw", "lu", "cholesky"):
+        gap = by[(app, "ft")].sequential_time / by[(app, "baseline")].sequential_time
+        assert gap < 1.02, app
+    fw_gap = by[("fw", "ft")].sequential_time / by[("fw", "baseline")].sequential_time
+    assert 1.05 < fw_gap < 1.15

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 6 (after-notify recovery overheads).
+
+Expected shape (paper): overheads grow with the loss amount (512-scaled <
+2% < 5%), mostly below ~2.5% for the 2% scenario and ~6.5% for the 5%
+scenario, with benchmark-dependent spread driven by cascade behaviour.
+"""
+
+from repro.harness.table2 import after_notify_study, format_figure6
+
+from test_table2 import study  # share the (cached) Table II runs
+
+
+def test_figure6_overheads(once):
+    cells = once(study)
+    print()
+    print(format_figure6(cells))
+
+    frac = {(c.app, c.amount): c for c in cells if c.amount.endswith("%")}
+    for app in {a for a, _ in frac}:
+        two, five = frac[(app, "2%")], frac[(app, "5%")]
+        assert five.overhead.mean > two.overhead.mean, app
+        assert five.overhead.mean < 15.0, app
+
+    fixed = [c for c in cells if not c.amount.endswith("%")]
+    for c in fixed:
+        assert c.overhead.mean < 5.0, (c.app, c.task_type)

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 7 (recovery overhead vs worker count).
+
+Expected shape (paper): (a) a small constant loss stays cheap at every P;
+(b) a 5% loss costs its share sequentially and *grows* with P, because
+recovery chains are serial and steal no benefit from idle workers --
+"the biggest scalability challenge for any task graph execution scheme".
+Magnitudes at high P exceed the paper's (our scaled instances have far
+less parallel slack than 100k-task graphs; see EXPERIMENTS.md).
+"""
+
+from repro.analysis.stats import summarize
+from repro.harness.figure7 import figure7, format_figure7
+
+WORKERS = (1, 8, 16, 32, 44)
+
+
+def test_figure7a_constant_loss(once):
+    series = once(lambda: figure7(paper_loss=512, workers=WORKERS, reps=3))
+    print()
+    print(format_figure7(series, "Figure 7(a): 512-task-scaled loss, after compute, v=rand"))
+    for s in series:
+        assert s.overhead[1].mean < 1.5, s.app  # tiny at P=1
+
+
+def test_figure7b_five_percent_loss(once):
+    series = once(lambda: figure7(paper_loss=None, fraction=0.05, workers=WORKERS, reps=3))
+    print()
+    print(format_figure7(series, "Figure 7(b): 5% loss, after compute, v=rand"))
+    for s in series:
+        # Sequential overhead reflects the lost work fraction.
+        assert s.overhead[1].mean < 9.0, s.app
+        # The paper's headline trend: overhead grows as P grows.
+        assert s.overhead[44].mean > s.overhead[1].mean, s.app

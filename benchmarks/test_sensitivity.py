@@ -1,0 +1,69 @@
+"""Ablation: sensitivity of the headline results to the cost model.
+
+The virtual-time substitution (DESIGN.md §2) hinges on scheduler-overhead
+constants being small relative to task compute costs, as on the paper's
+testbed (tasks are 128x128 tile kernels).  This bench stress-tests that
+assumption: scale *all* scheduler overheads by 1x / 10x / 50x and check
+the two headline claims survive --
+
+* FT-vs-baseline overhead without faults stays small (Figure 4's claim),
+* recovery overhead stays proportional to lost work (Figure 5's claim).
+
+If either broke at 10x, the reproduction's shapes would be artifacts of
+the chosen constants.
+"""
+
+from repro.apps import make_app
+from repro.faults import FaultInjector, VersionIndex, plan_faults
+from repro.core import FTScheduler, NabbitScheduler
+from repro.harness.report import render_table
+from repro.runtime import CostModel, SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+def makespan(app, ft, cm, plan=None, workers=8, seed=0):
+    store = app.make_store(ft)
+    trace = ExecutionTrace()
+    hooks = FaultInjector(plan, app, store, trace) if plan else None
+    if ft:
+        sched = FTScheduler(app, SimulatedRuntime(workers, cm, seed), store=store,
+                            cost_model=cm, hooks=hooks, trace=trace)
+    else:
+        sched = NabbitScheduler(app, SimulatedRuntime(workers, cm, seed), store=store,
+                                cost_model=cm, trace=trace)
+    return sched.run().makespan
+
+
+def test_cost_model_sensitivity(once):
+    def run():
+        rows = []
+        app = make_app("lu", light=True)
+        index = VersionIndex(app)
+        for factor in (1.0, 10.0, 50.0):
+            cm = CostModel().scaled(factor)
+            base = makespan(app, False, cm)
+            ft = makespan(app, True, cm)
+            recs = []
+            for r in range(3):
+                plan = plan_faults(app, phase="after_compute", task_type="v=rand",
+                                   fraction=0.05, seed=r, index=index)
+                ftr = makespan(app, True, cm, seed=r)
+                faulty = makespan(app, True, cm, plan=plan, seed=r)
+                recs.append(100.0 * (faulty - ftr) / ftr)
+            rows.append((
+                f"{factor:.0f}x",
+                f"{100.0 * (ft - base) / base:+.2f}",
+                f"{sum(recs) / len(recs):+.2f}",
+            ))
+        return rows
+
+    rows = once(run)
+    print()
+    print(render_table(
+        ["overhead scale", "FT vs baseline %", "5%-loss recovery %"],
+        rows,
+        title="Sensitivity: headline overheads vs scheduler-cost constants (LU, P=8)",
+    ))
+    for factor, ft_gap, rec in rows:
+        assert abs(float(ft_gap)) < 3.0, factor   # Figure 4 claim robust
+        assert 2.0 < float(rec) < 15.0, factor    # proportional-ish, never runaway

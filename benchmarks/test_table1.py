@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table I (task-graph structure at paper scale).
+
+Pure graph analytics -- the one experiment that runs at the paper's exact
+instance sizes.  Expected: LCS, LU, Cholesky match the paper's T/E/S
+exactly; FW matches after removing our explicit collection sink; SW's
+decomposition is a documented substitution (see EXPERIMENTS.md).
+"""
+
+from repro.harness.table1 import PAPER_TABLE1, format_table1, table1
+
+
+def test_table1_paper_scale(once):
+    rows = once(lambda: table1(("lcs", "lu", "cholesky", "fw"), scale="paper"))
+    print()
+    print(format_table1(rows))
+    by_app = {r.app: r for r in rows}
+    # Exact reproduction where the decomposition is reconstructible:
+    for name in ("lcs", "lu", "cholesky", "fw"):
+        r = by_app[name]
+        assert r.tasks == r.paper_tasks, name
+        assert r.edges == r.paper_edges, name
+    assert by_app["lcs"].s_edges == PAPER_TABLE1["lcs"][4]
+    assert by_app["lu"].s_nodes == PAPER_TABLE1["lu"][4]
+    assert by_app["cholesky"].s_nodes == PAPER_TABLE1["cholesky"][4]
+
+
+def test_table1_sw_substitution(once):
+    rows = once(lambda: table1(("sw",), scale="paper"))
+    print()
+    print(format_table1(rows))
+    (r,) = rows
+    # Same wavefront family, documented substitute decomposition.
+    assert r.tasks == r.n // r.block * (r.n // r.block)
+    assert "not reconstructible" in r.note

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table II (after-notify re-execution statistics).
+
+Expected shape (paper): actual re-execution counts deviate from the
+implied sizing -- v=last faults on version-chained benchmarks (LU,
+Cholesky, SW) can cascade with large variance, while LCS (at most three
+uses per block, single assignment) stays flat across task types, and
+two-version FW is damped below its implied chains.
+"""
+
+from repro.harness.table2 import after_notify_study, format_table2
+
+_CELLS_CACHE: list = []
+
+
+def study():
+    if not _CELLS_CACHE:
+        _CELLS_CACHE.extend(after_notify_study(reps=6))
+    return _CELLS_CACHE
+
+
+def test_table2_reexecution_stats(once):
+    cells = once(study)
+    print()
+    print(format_table2(cells))
+    fixed = {(c.app, c.task_type): c for c in cells if not c.amount.endswith("%")}
+
+    # LCS: flat across task types (single assignment).
+    lcs = [fixed[("lcs", t)].reexecutions.mean for t in ("v=0", "v=last", "v=rand")]
+    assert max(lcs) - min(lcs) <= max(lcs) * 0.35
+
+    # FW: two-version retention keeps v=last actuals below implied chains.
+    fw_last = fixed[("fw", "v=last")]
+    assert fw_last.reexecutions.mean < fw_last.implied
+
+    # Version-chained apps show spread (nonzero std somewhere) for v=rand.
+    assert any(
+        fixed[(app, "v=rand")].reexecutions.std > 0
+        for app in ("lu", "cholesky", "sw", "fw")
+    )

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Bring your own application: a custom task graph with versioned blocks.
+
+Implements a small iterative stencil (Jacobi smoothing on a 1-D array,
+blocked into chunks) directly against the ``TaskGraphSpec`` interface --
+the same interface the five built-in benchmarks use -- demonstrating:
+
+* versioned data blocks with a bounded-memory ``KeepK`` policy,
+* write-after-read anti-dependences that make buffer reuse safe,
+* pinned (resilient) input blocks,
+* recovery through reused buffers when a late fault cascades.
+
+Run:  python examples/custom_task_graph.py
+"""
+
+import numpy as np
+
+from repro import BlockRef, FTScheduler, SimulatedRuntime, TaskSpecBase, validate_spec
+from repro.faults import FaultInjector, FaultPlan
+from repro.memory import BlockStore, KeepK
+from repro.runtime.tracing import ExecutionTrace
+
+CHUNKS = 8       # blocks per iteration
+SIZE = 64        # elements per block
+STEPS = 6        # Jacobi iterations
+
+
+class JacobiSpec(TaskSpecBase):
+    """Task (t, c): produce version t+1 of chunk c from step-t data.
+
+    Chunk ``c`` at step ``t+1`` needs chunks ``c-1, c, c+1`` at step
+    ``t``.  Memory-safety note: each chunk buffer retains *two* resident
+    versions (``KeepK(2)``), so writing version t+1 evicts version t-1 --
+    and every reader of version t-1 (the step-(t-1) neighbourhood tasks)
+    is already a direct predecessor, so no extra write-after-read edges
+    are needed.  With a single resident version the required anti-edges
+    would connect same-step neighbours in both directions -- a cycle --
+    which is exactly why iterative stencils need (at least) double
+    buffering, mirroring the paper's two-version Floyd-Warshall.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = data
+
+    # -- structure -----------------------------------------------------------
+
+    def sink_key(self):
+        return "done"
+
+    def _neighbors(self, c):
+        return [x for x in (c - 1, c, c + 1) if 0 <= x < CHUNKS]
+
+    def predecessors(self, key):
+        if key == "done":
+            return tuple((STEPS - 1, c) for c in range(CHUNKS))
+        t, c = key
+        if t == 0:
+            return ()
+        return tuple((t - 1, x) for x in self._neighbors(c))
+
+    def successors(self, key):
+        if key == "done":
+            return ()
+        t, c = key
+        if t + 1 < STEPS:
+            return tuple((t + 1, x) for x in self._neighbors(c))
+        return ("done",)
+
+    # -- data footprint ---------------------------------------------------------
+
+    def inputs(self, key):
+        if key == "done":
+            return tuple(BlockRef(("u", c), STEPS) for c in range(CHUNKS))
+        t, c = key
+        return tuple(BlockRef(("u", x), t) for x in self._neighbors(c))
+
+    def outputs(self, key):
+        if key == "done":
+            return (BlockRef(("result",), 0),)
+        t, c = key
+        return (BlockRef(("u", c), t + 1),)
+
+    def producer(self, ref):
+        if ref.block == ("result",):
+            return "done"
+        (_, c) = ref.block
+        return None if ref.version == 0 else (ref.version - 1, c)
+
+    def cost(self, key):
+        return 10.0 if key == "done" else float(SIZE) * 3
+
+    # -- computation ---------------------------------------------------------------
+
+    def compute(self, key, ctx):
+        if key == "done":
+            total = sum(float(ctx.read(r).sum()) for r in self.inputs(key))
+            ctx.write(BlockRef(("result",), 0), total)
+            return
+        t, c = key
+        chunks = {x: ctx.read(BlockRef(("u", x), t)) for x in self._neighbors(c)}
+        lo = chunks[c - 1][-1] if c - 1 in chunks else chunks[c][0]
+        hi = chunks[c + 1][0] if c + 1 in chunks else chunks[c][-1]
+        padded = np.concatenate(([lo], chunks[c], [hi]))
+        smoothed = 0.25 * padded[:-2] + 0.5 * padded[1:-1] + 0.25 * padded[2:]
+        ctx.write(BlockRef(("u", c), t + 1), smoothed)
+
+
+def reference(data: np.ndarray) -> float:
+    u = data.copy()
+    for _ in range(STEPS):
+        padded = np.concatenate(([u[0]], u, [u[-1]]))
+        u = 0.25 * padded[:-2] + 0.5 * padded[1:-1] + 0.25 * padded[2:]
+    return float(u.sum())
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    data = rng.uniform(-1, 1, CHUNKS * SIZE)
+    spec = JacobiSpec(data)
+    n_tasks = validate_spec(spec)
+    print(f"Jacobi stencil: {n_tasks} tasks, {STEPS} steps x {CHUNKS} chunks")
+
+    def fresh_store():
+        store = BlockStore(KeepK(2))  # two resident versions per chunk
+        for c in range(CHUNKS):
+            store.pin(BlockRef(("u", c), 0), data[c * SIZE:(c + 1) * SIZE].copy())
+        return store
+
+    want = reference(data)
+
+    # Fault-free run.
+    store = fresh_store()
+    res = FTScheduler(spec, SimulatedRuntime(workers=4, seed=1), store=store).run()
+    got = store.read(BlockRef(("result",), 0))
+    print(f"fault-free : result={got:.6f}  (reference {want:.6f})  "
+          f"makespan={res.makespan:.0f}")
+    assert abs(got - want) < 1e-9
+
+    # A late fault on a middle-version chunk: detection happens after the
+    # buffer ring has moved on, so recovery replays part of the chain.
+    store = fresh_store()
+    trace = ExecutionTrace()
+    plan = FaultPlan.single((STEPS // 2, CHUNKS // 2), "after_notify")
+    injector = FaultInjector(plan, spec, store, trace)
+    res = FTScheduler(spec, SimulatedRuntime(workers=4, seed=1),
+                      store=store, hooks=injector, trace=trace).run()
+    got = store.read(BlockRef(("result",), 0))
+    print(f"with fault : result={got:.6f}  recoveries={trace.total_recoveries}  "
+          f"re-executed={trace.reexecutions}  makespan={res.makespan:.0f}")
+    assert abs(got - want) < 1e-9
+    print("recovered through the reused buffers; result unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fault-injection study on a real benchmark: tiled Cholesky.
+
+Reproduces the paper's Section VI.B methodology on one application:
+sweep the fault phase (before compute / after compute / after notify) and
+the victim task type (v=0 / v=rand / v=last), inject, and report
+
+* recovery overhead (percent increase over the fault-free FT run),
+* actually re-executed tasks vs the sizing model's implied count,
+* recovery-path event counts (recoveries, resets, rebuilt notify entries),
+
+then verify every run's factor against ``numpy.linalg.cholesky``.
+
+Run:  python examples/fault_injection_study.py [--n 128] [--block 16]
+"""
+
+import argparse
+
+from repro.apps import AppConfig, make_app
+from repro.core import FTScheduler
+from repro.faults import FaultInjector, VersionIndex, plan_faults
+from repro.harness.report import render_table
+from repro.runtime import SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+PHASES = ("before_compute", "after_compute", "after_notify")
+TYPES = ("v=0", "v=rand", "v=last")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--n", type=int, default=128, help="matrix size")
+    ap.add_argument("--block", type=int, default=16, help="tile size")
+    ap.add_argument("--victims", type=int, default=4, help="faults per scenario")
+    ap.add_argument("--workers", type=int, default=8)
+    args = ap.parse_args()
+
+    app = make_app("cholesky", AppConfig(n=args.n, block=args.block))
+    index = VersionIndex(app)
+    print(f"benchmark: {app.describe()}, {len(index.tasks)} tasks")
+    print(f"victim pools: {index.type_counts()}")
+
+    # Fault-free reference run (and the overhead baseline).
+    store0 = app.make_store(True)
+    base = FTScheduler(app, SimulatedRuntime(workers=args.workers, seed=0),
+                       store=store0).run()
+    app.verify(store0)
+    print(f"fault-free: makespan={base.makespan:.0f} (result verified)\n")
+
+    rows = []
+    for phase in PHASES:
+        for task_type in TYPES:
+            plan = plan_faults(app, phase=phase, task_type=task_type,
+                               count=args.victims, seed=7, index=index)
+            store = app.make_store(True)
+            trace = ExecutionTrace()
+            injector = FaultInjector(plan, app, store, trace)
+            res = FTScheduler(
+                app, SimulatedRuntime(workers=args.workers, seed=0),
+                store=store, hooks=injector, trace=trace,
+            ).run()
+            app.verify(store)  # Theorem 1, every time
+            rows.append((
+                phase,
+                task_type,
+                len(plan),
+                plan.implied_reexecutions,
+                res.trace.reexecutions,
+                res.trace.total_recoveries,
+                res.trace.resets,
+                res.trace.notify_reinits,
+                f"{100.0 * (res.makespan - base.makespan) / base.makespan:+.2f}",
+            ))
+
+    print(render_table(
+        ["phase", "type", "victims", "implied", "re-executed",
+         "recoveries", "resets", "reinits", "overhead %"],
+        rows,
+        title=f"Cholesky {args.n}x{args.n}/{args.block}: fault sweep "
+              "(every run verified against numpy)",
+    ))
+    print("\nReadings: before_compute loses no work; after_compute re-runs "
+          "victims; after_notify cascades through reused tiles.")
+
+
+if __name__ == "__main__":
+    main()

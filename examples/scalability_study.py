@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Scalability study: speedups, FT overhead, and the serial-recovery wall.
+
+Three views on one benchmark (default: LU):
+
+1. Figure 4 style -- speedup of baseline vs fault-tolerant scheduling as
+   workers grow, with the Section V bound evaluated alongside;
+2. Figure 7 style -- recovery overhead vs worker count for a 5% loss,
+   showing the paper's headline trend (serial recovery chains hurt more
+   as the fault-free makespan shrinks);
+3. work-stealing internals -- steals and utilization per worker count.
+
+Run:  python examples/scalability_study.py [--app lu] [--reps 3]
+"""
+
+import argparse
+
+from repro.analysis import bound_report, summarize
+from repro.apps import make_app
+from repro.faults import FaultInjector, VersionIndex, plan_faults
+from repro.core import FTScheduler, NabbitScheduler
+from repro.harness.report import render_table
+from repro.runtime import SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+WORKERS = (1, 2, 4, 8, 16, 32, 44)
+
+
+def run(app, ft, workers, seed, plan=None):
+    store = app.make_store(ft)
+    trace = ExecutionTrace()
+    hooks = None
+    if plan is not None:
+        hooks = FaultInjector(plan, app, store, trace)
+    cls = FTScheduler if ft else NabbitScheduler
+    kwargs = {"store": store, "trace": trace}
+    if ft:
+        kwargs["hooks"] = hooks
+    sched = cls(app, SimulatedRuntime(workers=workers, seed=seed), **kwargs)
+    return sched.run()
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--app", default="lu", help="benchmark name")
+    ap.add_argument("--reps", type=int, default=3)
+    args = ap.parse_args()
+
+    app = make_app(args.app, light=True)
+    print(f"benchmark: {app.describe()}\n")
+
+    # -- 1. Speedup + theory bound -------------------------------------------------
+    rows = []
+    seq = {}
+    for ft in (False, True):
+        seq[ft] = run(app, ft, 1, 0).makespan
+    rep1 = bound_report(app, workers=1)
+    for p in WORKERS:
+        base = summarize([run(app, False, p, s).makespan for s in range(args.reps)])
+        ftm = summarize([run(app, True, p, s).makespan for s in range(args.reps)])
+        bound = bound_report(app, workers=p)
+        rows.append((
+            p,
+            f"{seq[False] / base.mean:.2f}",
+            f"{seq[True] / ftm.mean:.2f}",
+            f"{100.0 * (ftm.mean - base.mean) / base.mean:+.2f}",
+            f"{bound.completion_bound / rep1.completion_bound:.3f}",
+        ))
+    print(render_table(
+        ["P", "speedup (baseline)", "speedup (FT)", "FT gap %", "Thm2 bound (rel P=1)"],
+        rows, title="Figure 4 view: speedup and the Theorem 2 bound"))
+
+    # -- 2. Recovery overhead vs P ----------------------------------------------------
+    index = VersionIndex(app)
+    rows = []
+    for p in (1, 8, 16, 32, 44):
+        overheads = []
+        for s in range(args.reps):
+            base = run(app, True, p, s).makespan
+            plan = plan_faults(app, phase="after_compute", task_type="v=rand",
+                               fraction=0.05, seed=s, index=index)
+            faulty = run(app, True, p, s, plan=plan).makespan
+            overheads.append(100.0 * (faulty - base) / base)
+        o = summarize(overheads)
+        rows.append((p, f"{o.mean:.2f} ± {o.std:.2f}"))
+    print()
+    print(render_table(["P", "recovery overhead % (5% loss)"], rows,
+                       title="Figure 7 view: the serial-recovery wall"))
+
+    # -- 3. Work-stealing internals -------------------------------------------------------
+    rows = []
+    for p in WORKERS:
+        res = run(app, True, p, 1)
+        rows.append((p, res.run.steals, res.run.failed_steals,
+                     f"{res.run.utilization:.2%}"))
+    print()
+    print(render_table(["P", "steals", "failed probes", "utilization"], rows,
+                       title="Work-stealing internals (FT scheduler)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro: fault-tolerant dynamic task graph scheduling.
+
+A from-scratch reproduction of Kurt, Krishnamoorthy, Agrawal & Agrawal,
+"Fault-Tolerant Dynamic Task Graph Scheduling" (SC 2014): a NABBIT-style
+work-stealing scheduler for dynamic task graphs, augmented with selective
+and localized recovery from detected soft faults.
+
+Quick start::
+
+    from repro import FTScheduler, SimulatedRuntime, grid_graph
+
+    spec = grid_graph(16, 16)
+    result = FTScheduler(spec, SimulatedRuntime(workers=8, seed=0)).run()
+    print(f"makespan={result.makespan:.0f}  computes={result.trace.total_computes}")
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.exceptions import (
+    DataCorruptionError,
+    FaultError,
+    OverwrittenError,
+    ReproError,
+    SchedulerError,
+    TaskCorruptionError,
+)
+from repro.graph import (
+    BlockRef,
+    ExplicitTaskGraph,
+    GraphStats,
+    TaskGraphSpec,
+    TaskSpecBase,
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    graph_stats,
+    grid_graph,
+    random_dag,
+    validate_spec,
+)
+from repro.memory import BlockStore, KeepK, Reuse, SingleAssignment, TwoVersion
+from repro.runtime import (
+    CostModel,
+    InlineRuntime,
+    RunResult,
+    SimulatedRuntime,
+    ThreadedRuntime,
+)
+from repro.core import (
+    FTScheduler,
+    NabbitScheduler,
+    SchedulerResult,
+    TaskStatus,
+    run_scheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "SchedulerError",
+    "FaultError",
+    "TaskCorruptionError",
+    "DataCorruptionError",
+    "OverwrittenError",
+    # graph
+    "BlockRef",
+    "TaskGraphSpec",
+    "TaskSpecBase",
+    "ExplicitTaskGraph",
+    "GraphStats",
+    "graph_stats",
+    "validate_spec",
+    "chain_graph",
+    "diamond_graph",
+    "fork_join_graph",
+    "grid_graph",
+    "random_dag",
+    # memory
+    "BlockStore",
+    "SingleAssignment",
+    "Reuse",
+    "TwoVersion",
+    "KeepK",
+    # runtime
+    "CostModel",
+    "InlineRuntime",
+    "SimulatedRuntime",
+    "ThreadedRuntime",
+    "RunResult",
+    # schedulers
+    "FTScheduler",
+    "NabbitScheduler",
+    "SchedulerResult",
+    "TaskStatus",
+    "run_scheduler",
+    "__version__",
+]

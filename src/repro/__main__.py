@@ -1,0 +1,101 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands:
+
+* ``selftest`` -- end-to-end sanity pass: run every benchmark at tiny
+  scale with real kernels on all three runtimes, inject one fault per
+  lifetime phase, and verify every result numerically.  Exit code 0 means
+  the install works.
+* ``harness`` -- forwards to ``python -m repro.harness`` (all tables and
+  figures); accepts the same flags.
+* ``about`` -- what this package reproduces and where to look next.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def _selftest() -> int:
+    from repro.apps import APP_NAMES, make_app
+    from repro.core import FTScheduler, NabbitScheduler
+    from repro.faults import FaultInjector, plan_faults
+    from repro.runtime import InlineRuntime, SimulatedRuntime, ThreadedRuntime
+    from repro.runtime.tracing import ExecutionTrace
+
+    failures = 0
+    t0 = time.time()
+    for name in APP_NAMES:
+        app = make_app(name, scale="tiny")
+        checks: list[tuple[str, bool]] = []
+        try:
+            store = app.make_store(False)
+            NabbitScheduler(app, InlineRuntime(), store=store).run()
+            app.verify(store)
+            checks.append(("baseline/inline", True))
+
+            store = app.make_store(True)
+            FTScheduler(app, SimulatedRuntime(workers=4, seed=1), store=store).run()
+            app.verify(store)
+            checks.append(("ft/simulated", True))
+
+            store = app.make_store(True)
+            FTScheduler(app, ThreadedRuntime(workers=4, seed=1), store=store).run()
+            app.verify(store)
+            checks.append(("ft/threaded", True))
+
+            for phase in ("before_compute", "after_compute", "after_notify"):
+                store = app.make_store(True)
+                trace = ExecutionTrace()
+                plan = plan_faults(app, phase=phase, task_type="v=rand", count=2, seed=3)
+                injector = FaultInjector(plan, app, store, trace)
+                FTScheduler(
+                    app, SimulatedRuntime(workers=4, seed=2),
+                    store=store, hooks=injector, trace=trace,
+                ).run()
+                app.verify(store)
+                checks.append((f"recover/{phase}", True))
+        except Exception as exc:  # report and continue with the next app
+            checks.append((f"FAILED: {type(exc).__name__}: {exc}", False))
+            failures += 1
+        status = "ok" if all(ok for _, ok in checks) else "FAIL"
+        detail = ", ".join(label for label, _ in checks)
+        print(f"  {name:9s} [{status}]  {detail}")
+    print(f"selftest {'passed' if not failures else 'FAILED'} in {time.time() - t0:.1f}s")
+    return 1 if failures else 0
+
+
+def _about() -> int:
+    print(__doc__)
+    print(
+        "This package reproduces Kurt, Krishnamoorthy, Agrawal & Agrawal,\n"
+        '"Fault-Tolerant Dynamic Task Graph Scheduling" (SC 2014).\n\n'
+        "Start with README.md; the per-experiment record is EXPERIMENTS.md;\n"
+        "the algorithm walkthrough is docs/ALGORITHM.md; run\n"
+        "`python -m repro selftest` to validate the install and\n"
+        "`python -m repro.harness` to regenerate every table and figure."
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "selftest":
+        return _selftest()
+    if cmd == "harness":
+        from repro.harness.__main__ import main as harness_main
+
+        return harness_main(rest)
+    if cmd == "about":
+        return _about()
+    print(f"unknown command {cmd!r}; expected selftest | harness | about")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

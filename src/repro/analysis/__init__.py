@@ -1,0 +1,15 @@
+"""Theory and measurement analysis: Section V bounds, summary statistics."""
+
+from repro.analysis.bounds import BoundReport, bound_report, nabbit_bound
+from repro.analysis.stats import Summary, geometric_mean, percent_overhead, speedup, summarize
+
+__all__ = [
+    "BoundReport",
+    "bound_report",
+    "nabbit_bound",
+    "Summary",
+    "summarize",
+    "percent_overhead",
+    "speedup",
+    "geometric_mean",
+]

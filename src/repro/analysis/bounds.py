@@ -1,0 +1,112 @@
+"""Section V theory: a-posteriori work/span/completion-time bounds.
+
+Given an execution's per-task counts ``N`` (from the trace) these
+functions evaluate the quantities of Lemmas 4 and 6 and Theorem 2:
+
+.. math::
+
+   T_1 &= \\sum_{A} N(A)\\,(W(com(A)) + |out(A)|) \\\\
+   T_\\infty &= \\max_{p} \\sum_{X \\in p} N(X)\\,S(com(X)) \\\\
+   W(E_N) &= T_1 + \\mathcal{N}\\,|E|\\,\\min\\{d_{in}, P\\} \\\\
+   S(E_N) &\\le O(T_\\infty + \\mathcal{N} M d_{out} + \\mathcal{N} M \\min\\{d_{in}, P\\}) \\\\
+   T_P &= O(T_1/P + T_\\infty + \\lg(P/\\epsilon) + \\mathcal{N} M d + \\mathcal{N} L(D)),
+   \\quad L(D) = (|E|/P + M) \\min\\{d, P\\}
+
+with :math:`\\mathcal{N} = \\max_A N(A)` and ``M`` the maximum path length
+in *nodes*.  The bounds are upper bounds up to constant factors; the
+harness checks *measured makespan <= bound* and *bound tightness ratios*,
+and the no-fault case reduces to the original NABBIT bound (N = 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.graph.analysis import graph_stats, work_and_span
+from repro.graph.taskspec import Key, TaskGraphSpec
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """All Section V quantities for one execution."""
+
+    t1: float
+    t_inf: float
+    work_bound: float
+    span_bound: float
+    completion_bound: float
+    max_executions: int
+    max_degree: int
+    max_path_nodes: int
+    edges: int
+    workers: int
+
+    @property
+    def average_parallelism(self) -> float:
+        return self.t1 / self.t_inf if self.t_inf else float("inf")
+
+    def check(self, makespan: float, slack: float = 1.0) -> bool:
+        """True iff ``makespan <= slack * completion_bound`` -- with
+        ``slack`` absorbing the bound's hidden constant (>= 1)."""
+        return makespan <= slack * self.completion_bound
+
+
+def bound_report(
+    spec: TaskGraphSpec,
+    executions: Mapping[Key, int] | None = None,
+    workers: int = 1,
+    epsilon: float = 0.01,
+) -> BoundReport:
+    """Evaluate the Theorem 2 completion-time bound for an execution.
+
+    ``executions`` is the trace's N map (missing keys default to 1);
+    ``epsilon`` is the failure probability in the ``lg(P/eps)`` term.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    stats = graph_stats(spec)
+    t1, t_inf = work_and_span(spec, executions)
+    n_max = max((int(v) for v in (executions or {}).values()), default=1)
+    n_max = max(n_max, 1)
+    m = stats.critical_path + 1  # path length in nodes
+    d = stats.max_degree
+    d_in = stats.max_in_degree
+    d_out = stats.max_out_degree
+    p = workers
+    work_bound = t1 + n_max * stats.edges * min(d_in, p)
+    span_bound = t_inf + n_max * m * d_out + n_max * m * min(d_in, p)
+    l_d = (stats.edges / p + m) * min(d, p)
+    completion = (
+        t1 / p
+        + t_inf
+        + math.log2(max(p / epsilon, 2.0))
+        + n_max * m * d
+        + n_max * l_d
+    )
+    return BoundReport(
+        t1=t1,
+        t_inf=t_inf,
+        work_bound=work_bound,
+        span_bound=span_bound,
+        completion_bound=completion,
+        max_executions=n_max,
+        max_degree=d,
+        max_path_nodes=m,
+        edges=stats.edges,
+        workers=p,
+    )
+
+
+def nabbit_bound(spec: TaskGraphSpec, workers: int, epsilon: float = 0.01) -> float:
+    """The original no-fault NABBIT bound
+    ``O(T1/P + T_inf * min(P, d))`` plus the scheduler's lg term --
+    what Theorem 2 must reduce to when every N(A) = 1."""
+    stats = graph_stats(spec)
+    t1, t_inf = work_and_span(spec, None)
+    return (
+        t1 / workers
+        + t_inf * min(workers, stats.max_degree)
+        + math.log2(max(workers / epsilon, 2.0))
+    )

@@ -1,0 +1,57 @@
+"""Small summary-statistics helpers used by the experiment harness.
+
+The paper reports arithmetic means over 10 runs with standard deviations
+as error bars (Section VI); Table II additionally reports min/max.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / min / max / standard deviation of one measurement series."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f} (min {self.minimum:.2f}, max {self.maximum:.2f}, n={self.n})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Arithmetic mean and population standard deviation (paper style)."""
+    xs = [float(v) for v in values]
+    if not xs:
+        raise ValueError("empty measurement series")
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / n
+    return Summary(mean=mean, minimum=min(xs), maximum=max(xs), std=math.sqrt(var), n=n)
+
+
+def percent_overhead(measured: float, baseline: float) -> float:
+    """Relative slowdown in percent (can be negative, as in Fig. 5a)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (measured - baseline) / baseline
+
+
+def speedup(t1: float, tp: float) -> float:
+    """Classic speedup T(1) / T(P)."""
+    if tp <= 0:
+        raise ValueError("parallel time must be positive")
+    return t1 / tp
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    xs = [float(v) for v in values]
+    if not xs or any(x <= 0 for x in xs):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))

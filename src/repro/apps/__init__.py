@@ -1,0 +1,60 @@
+"""The paper's five benchmark applications as task-graph specs.
+
+=============  ==========================================  =================
+Benchmark      Structure                                   Memory policy
+=============  ==========================================  =================
+LCS            2-D wavefront, single assignment            single-assignment
+Smith-         2-D wavefront, two-row rotating buffers     reuse
+Waterman
+Floyd-         3-phase blocked APSP, in-place blocks,      reuse (baseline) /
+Warshall       WAR anti-dependence edges                   two-version (FT)
+LU             right-looking tiles, unpivoted              reuse
+Cholesky       right-looking tiles, lower                  reuse
+=============  ==========================================  =================
+
+``make_app(name, scale=...)`` instantiates any of them at test (``tiny``),
+experiment (``default``) or Table I (``paper``) scale.
+"""
+
+from repro.apps.base import AppConfig, Application, ordered_preds
+from repro.apps.cholesky import CholeskyApp, random_spd_matrix
+from repro.apps.floyd_warshall import FloydWarshallApp, fw_reference, random_distance_matrix
+from repro.apps.lcs import LCSApp, lcs_reference, random_sequences
+from repro.apps.lu import LUApp, random_dd_matrix
+from repro.apps.registry import (
+    APP_CLASSES,
+    APP_NAMES,
+    DEFAULT_CONFIGS,
+    LARGE_CONFIGS,
+    PAPER_CONFIGS,
+    TINY_CONFIGS,
+    make_app,
+    scaled_loss,
+)
+from repro.apps.smith_waterman import SmithWatermanApp, sw_reference
+
+__all__ = [
+    "AppConfig",
+    "Application",
+    "ordered_preds",
+    "LCSApp",
+    "SmithWatermanApp",
+    "FloydWarshallApp",
+    "LUApp",
+    "CholeskyApp",
+    "lcs_reference",
+    "sw_reference",
+    "fw_reference",
+    "random_sequences",
+    "random_distance_matrix",
+    "random_dd_matrix",
+    "random_spd_matrix",
+    "APP_CLASSES",
+    "APP_NAMES",
+    "DEFAULT_CONFIGS",
+    "LARGE_CONFIGS",
+    "PAPER_CONFIGS",
+    "TINY_CONFIGS",
+    "make_app",
+    "scaled_loss",
+]

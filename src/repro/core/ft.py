@@ -1,0 +1,439 @@
+"""The fault-tolerant dynamic task-graph scheduler (Section IV).
+
+This implements the *shaded* algorithm of Figures 2 and 3 on top of the
+same frame structure as :class:`~repro.core.nabbit.NabbitScheduler`:
+
+* every access to a task record or data block sits inside a
+  ``try/except FaultError`` whose handler routes recovery to the failing
+  task (Guarantee 5's "identify which task's fault resulted in the
+  failure");
+* life numbers are threaded through every frame and recovery is
+  deduplicated per (key, life) through the
+  :class:`~repro.core.recovery_table.RecoveryTable` (Guarantee 1);
+* join-counter decrements are gated by the per-predecessor bit vector
+  (Guarantee 3);
+* a recovering task rebuilds its notify array by scanning successors
+  (REINITNOTIFYENTRY -- Guarantee 4) and then re-executes as if newly
+  created (RECOVERTASK -> INITANDCOMPUTE -- Guarantee 2);
+* faults observed while computing reset the consumer (RESETNODE) and
+  re-traverse its predecessors (Guarantee 5);
+* recovery routines are themselves guarded, so failures during recovery
+  replace the incarnation and start over (Guarantee 6).
+
+Routine mapping (paper -> method):
+
+====================  =============================
+INITANDCOMPUTE        :meth:`FTScheduler._init_and_compute`
+TRYINITCOMPUTE        :meth:`FTScheduler._try_init_compute`
+NOTIFYONCE            :meth:`FTScheduler._notify_once`
+COMPUTEANDNOTIFY      :meth:`FTScheduler._compute_and_notify` +
+                      :meth:`FTScheduler._publish_and_notify`
+NOTIFYSUCCESSOR       :meth:`FTScheduler._notify_successor`
+RECOVERTASKONCE       :meth:`FTScheduler._recover_task_once`
+ISRECOVERING          :meth:`RecoveryTable.check_and_claim` (negated)
+RECOVERTASK           :meth:`FTScheduler._recover_task`
+REINITNOTIFYENTRY     :meth:`FTScheduler._reinit_notify_entry`
+RESETNODE             :meth:`FTScheduler._reset_node`
+====================  =============================
+
+The paper's ``B.overwritten`` test in TRYINITCOMPUTE is realized as an
+availability check of exactly the block versions the consumer needs from
+that predecessor (:meth:`FTScheduler._ensure_outputs_available`), covering
+both eviction under memory reuse and data corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable
+
+from repro.core.hooks import NULL_HOOKS, SchedulerHooks
+from repro.core.records import TaskRecord
+from repro.core.recovery_table import RecoveryTable
+from repro.core.result import SchedulerResult
+from repro.core.status import TaskStatus
+from repro.core.taskmap import TaskMap
+from repro.exceptions import (
+    DataCorruptionError,
+    FaultError,
+    OverwrittenError,
+    SchedulerError,
+    TaskCorruptionError,
+)
+from repro.graph.taskspec import BlockRef, TaskGraphSpec
+from repro.memory.blockstore import BlockStore
+from repro.memory.context import StoreComputeContext
+from repro.runtime.api import Runtime
+from repro.runtime.costmodel import CostModel
+from repro.runtime.frames import Frame
+from repro.runtime.tracing import ExecutionTrace
+
+Key = Hashable
+
+
+class FTScheduler:
+    """Work-stealing task-graph scheduler with selective, localized
+    recovery from detected soft faults."""
+
+    name = "ft"
+
+    def __init__(
+        self,
+        spec: TaskGraphSpec,
+        runtime: Runtime,
+        store: BlockStore | None = None,
+        cost_model: CostModel | None = None,
+        hooks: SchedulerHooks | None = None,
+        trace: ExecutionTrace | None = None,
+        strict_context: bool = True,
+        max_recoveries: int = 1_000_000,
+        record_events: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.runtime = runtime
+        self.store = store if store is not None else BlockStore()
+        self.cost_model = cost_model or CostModel()
+        self.hooks = hooks if hooks is not None else NULL_HOOKS
+        self.trace = trace or ExecutionTrace()
+        self.strict_context = strict_context
+        self.max_recoveries = max_recoveries
+        self.record_events = record_events
+        self.events: list[tuple] = []
+        """Recovery-path event log (only when ``record_events``): tuples
+        like ``("fault_observed", key, life, exc_type)``,
+        ``("recovery", key, new_life)``, ``("reset", key, life)``,
+        ``("reinit", key, successor)``, ``("stale_frame", key, life)`` --
+        the post-mortem narrative of how a faulty run unfolded."""
+        self._events_lock = threading.Lock()
+        self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
+        self.recovery_table = RecoveryTable()
+        self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
+
+    def _event(self, *payload) -> None:
+        if self.record_events:
+            with self._events_lock:
+                self.events.append(payload)
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(self) -> SchedulerResult:
+        """Execute the graph to completion (recovering any faults) and
+        return the result bundle."""
+        skey = self.spec.sink_key()
+        sink, life, inserted = self.map.insert_if_absent(skey)
+        if not inserted:
+            raise SchedulerError("scheduler instances are single-use; create a new one")
+        root = Frame(lambda: self._init_and_compute(sink, skey, life), label=f"init:{skey!r}")
+        run = self.runtime.execute(root)
+        final, _ = self.map.get(skey)
+        if final is None or final.status is not TaskStatus.COMPLETED:
+            raise SchedulerError(
+                f"execution quiesced but sink {skey!r} is "
+                f"{final.status.name if final else 'missing'} -- hung task graph"
+            )
+        return SchedulerResult(run=run, trace=self.trace, store=self.store, scheduler=self.name)
+
+    # -- Figure 2 routines (with shaded additions) ---------------------------------------
+
+    def _init_and_compute(self, A: TaskRecord, key: Key, life: int) -> None:
+        """INITANDCOMPUTE: explore predecessors, then self-notify.
+
+        The *before compute* injection point sits after the traversal is
+        issued: the task now waits for notifications (Section VI.B).
+        """
+        if self._stale(A, key, life):
+            return
+        self.runtime.charge(self.cost_model.ft_init_cost)
+        for pkey in self.spec.predecessors(key):
+            self.runtime.spawn(
+                lambda pk=pkey: self._try_init_compute(A, key, life, pk),
+                label=f"try:{key!r}<-{pkey!r}",
+            )
+        self.hooks.on_task_waiting(A)
+        self._notify_once(A, key, key, life)
+
+    def _try_init_compute(self, A: TaskRecord, key: Key, life: int, pkey: Key) -> None:
+        """TRYINITCOMPUTE: visit predecessor ``pkey``; register for
+        notification, notify immediately, or detect its failure."""
+        if self._stale(A, key, life):
+            return
+        B, blife, inserted = self.map.insert_if_absent(pkey)
+        if inserted:
+            self.runtime.spawn(
+                lambda: self._init_and_compute(B, pkey, blife),
+                label=f"init:{pkey!r}",
+            )
+        finished = True
+        try:
+            # Stale-traversal gate: if A's notification bit for pkey is
+            # already clear, A was notified through a notify array (e.g.
+            # one registered by a previous incarnation before recovery) and
+            # has no outstanding need for B's outputs.  Re-examining B here
+            # would misread a *legal* post-consumption overwrite of its
+            # outputs as a failure and trigger a spurious recovery cascade.
+            ind = self.spec.pred_index(key, pkey)
+            with A.lock:
+                waiting = bool(A.bit_vector & (1 << ind))
+            if not waiting:
+                self.trace.bump("stale_notifications")
+                return
+            B.check()
+            self.runtime.charge(self.cost_model.lock_cost)
+            with B.lock:
+                if B.status < TaskStatus.COMPUTED:
+                    # B must notify A once computed.
+                    B.notify_array.append(key)
+                    finished = False
+            if finished:
+                # The paper's "if (B.overwritten) throw": B has computed,
+                # but are the versions A needs still resident and clean?
+                self._ensure_outputs_available(key, pkey)
+        except FaultError:
+            self.trace.bump("faults_observed")
+            finished = False
+            self._recover_task_once(pkey, blife)
+        if finished:
+            self._notify_once(A, key, pkey, life)
+
+    def _notify_once(self, A: TaskRecord, key: Key, pkey: Key, life: int) -> None:
+        """NOTIFYONCE: decrement the join counter only if ``pkey``'s bit in
+        the notification bit vector was still set (Guarantee 3)."""
+        try:
+            A.check()
+            ind = self.spec.pred_index(key, pkey)
+            self.runtime.charge(self.cost_model.atomic_cost + self.cost_model.ft_notify_cost)
+            with A.lock:
+                success = A.try_unset_bit(ind)
+                if success:
+                    A.join -= 1
+                    val = A.join
+            if success:
+                self.trace.bump("notifications")
+                if val < 0:
+                    raise SchedulerError(f"join underflow on {key!r} via {pkey!r}")
+                if val == 0:
+                    self._compute_and_notify(A, key, life)
+            else:
+                self.trace.bump("stale_notifications")
+        except FaultError:
+            self.trace.bump("faults_observed")
+            self._recover_task_once(key, life)
+
+    def _compute_and_notify(self, A: TaskRecord, key: Key, life: int) -> None:
+        """COMPUTEANDNOTIFY, first half: run the user COMPUTE function.
+
+        The *after compute* injection point fires between COMPUTE's return
+        and the status publication, and is observed immediately by the
+        computing thread (the Figure 1 narrative: "task B fails right
+        after its computation, and the failure is detected by the thread
+        operating on task B").
+        """
+        try:
+            A.check()
+            self.trace.count_compute(key)
+            self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
+            ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
+            self.spec.compute(key, ctx)
+            self.hooks.on_after_compute(A)
+            A.check()
+            self.runtime.spawn(
+                lambda: self._publish_and_notify(A, key, life),
+                label=f"publish:{key!r}",
+            )
+        except FaultError as exc:
+            self.trace.count_compute_failure(key)
+            self.trace.bump("faults_observed")
+            self._handle_compute_fault(A, key, life, exc)
+
+    def _publish_and_notify(self, A: TaskRecord, key: Key, life: int) -> None:
+        """COMPUTEANDNOTIFY, second half: publish Computed, drain the
+        notify array to stability, mark Completed.
+
+        The *after notify* injection point fires once the task has
+        finished notifying -- such a fault is only ever observed by a
+        later reader of the task or its data, and may never be (the paper:
+        "a failed task whose successors already have been computed is not
+        recovered")."""
+        cm = self.cost_model
+        try:
+            A.check()
+            self.runtime.charge(cm.atomic_cost)
+            with A.lock:
+                A.status = TaskStatus.COMPUTED
+            notified = 0
+            while True:
+                with A.lock:
+                    batch = A.notify_array[notified:]
+                for skey in batch:
+                    self.runtime.spawn(
+                        lambda sk=skey: self._notify_successor(key, sk),
+                        label=f"notify:{key!r}->{skey!r}",
+                    )
+                notified += len(batch)
+                self.runtime.charge(cm.lock_cost)
+                with A.lock:
+                    if len(A.notify_array) == notified:
+                        A.status = TaskStatus.COMPLETED
+                        break
+            self.hooks.on_after_notify(A)
+        except FaultError:
+            self.trace.bump("faults_observed")
+            self._recover_task_once(key, life)
+
+    def _notify_successor(self, key: Key, skey: Key) -> None:
+        """NOTIFYSUCCESSOR: forward a completion notification to the
+        successor's *current* incarnation."""
+        S, slife = self.map.get(skey)
+        if S is None:
+            raise SchedulerError(f"notify target {skey!r} vanished from the task map")
+        self._notify_once(S, skey, key, slife)
+
+    # -- Figure 3 recovery routines -------------------------------------------------------
+
+    def _recover_task_once(self, key: Key, life: int) -> None:
+        """RECOVERTASKONCE: recover ``(key, life)`` unless some thread
+        already owns that incarnation's recovery (Guarantee 1)."""
+        self.runtime.charge(self.cost_model.recovery_table_cost)
+        if self.recovery_table.check_and_claim(key, life):
+            self._recover_task(key)
+        else:
+            self.trace.bump("recovery_skips")
+            self._event("recovery_skipped", key, life)
+
+    def _recover_task(self, key: Key) -> None:
+        """RECOVERTASK: install a new incarnation, rebuild its notify array
+        from its successors' bit vectors, and re-execute it as if newly
+        created.  Failures during recovery retry with the next incarnation
+        (Guarantee 6)."""
+        while True:
+            T, life = self.map.replace(key)
+            T.recovery = True
+            self.trace.count_recovery(key)
+            self._event("recovery", key, life)
+            if self.trace.total_recoveries > self.max_recoveries:
+                raise SchedulerError(
+                    f"recovery budget exceeded ({self.max_recoveries}); "
+                    "livelocked recovery cascade"
+                )
+            try:
+                for skey in self.spec.successors(key):
+                    self.trace.bump("reinit_scans")
+                    S, slife = self.map.get(skey)
+                    if S is None:
+                        # Successor not yet expanded; when it is created it
+                        # will traverse this (fresh) incarnation normally.
+                        continue
+                    self._reinit_notify_entry(T, key, S, skey, slife)
+                self.runtime.spawn(
+                    lambda: self._init_and_compute(T, key, life),
+                    label=f"recover:{key!r}#{life}",
+                )
+                return
+            except FaultError:
+                self.trace.bump("faults_observed")
+                if not self.recovery_table.check_and_claim(key, life):
+                    # Another thread owns the newer incarnation's recovery.
+                    self.trace.bump("recovery_skips")
+                    return
+                # else: we own it; loop and retry with a fresh incarnation.
+
+    def _reinit_notify_entry(
+        self, T: TaskRecord, key: Key, S: TaskRecord, skey: Key, slife: int
+    ) -> None:
+        """REINITNOTIFYENTRY: re-enqueue successor ``skey`` if it is still
+        waiting on a notification from ``key`` (Guarantee 4)."""
+        self.runtime.charge(self.cost_model.reinit_scan_cost)
+        try:
+            S.check()
+            # Ignore Computed and Completed successors.
+            if S.status is not TaskStatus.VISITED:
+                return
+            ind = self.spec.pred_index(skey, key)
+            with S.lock:
+                waiting = bool(S.bit_vector & (1 << ind))
+            if waiting:
+                with T.lock:
+                    T.notify_array.append(skey)
+                self.trace.bump("notify_reinits")
+                self._event("reinit", key, skey)
+        except FaultError as exc:
+            if isinstance(exc, TaskCorruptionError) and exc.key == skey:
+                self.trace.bump("faults_observed")
+                self._recover_task_once(skey, slife)
+            else:
+                raise
+
+    def _reset_node(self, A: TaskRecord, key: Key, life: int) -> None:
+        """RESETNODE: a fault in one of A's *inputs* was observed while A
+        computed; re-arm A's join counter and bit vector and replay its
+        predecessor traversal, which will find and recover the failed
+        producer (Guarantee 5)."""
+        try:
+            A.check()
+            self.runtime.charge(self.cost_model.lock_cost)
+            with A.lock:
+                A.reset_for_reuse()
+            self.trace.bump("resets")
+            self._event("reset", key, life)
+            self._init_and_compute(A, key, life)
+        except FaultError:
+            self.trace.bump("faults_observed")
+            self._recover_task_once(key, life)
+
+    # -- fault routing helpers --------------------------------------------------------------
+
+    def _stale(self, A: TaskRecord, key: Key, life: int) -> bool:
+        """True iff this frame belongs to a replaced (dead) incarnation.
+
+        This is the purpose of threading life numbers through the call
+        stack (Guarantee 1's machinery): frames spawned for an incarnation
+        that recovery has since replaced must not act -- in particular
+        they must not re-examine predecessor outputs that the *live*
+        incarnation already consumed and legally overwrote, which would
+        cascade into spurious recoveries.  The live incarnation re-runs
+        the whole traversal itself (Guarantee 2), so dropping stale frames
+        loses nothing.
+        """
+        current, cur_life = self.map.get(key)
+        if current is A and cur_life == life:
+            return False
+        self.trace.bump("stale_frames")
+        self._event("stale_frame", key, life)
+        return True
+
+    def _handle_compute_fault(self, A: TaskRecord, key: Key, life: int, exc: FaultError) -> None:
+        """The COMPUTEANDNOTIFY catch block: recover A if the fault is A's
+        own; otherwise reset A so the replayed traversal repairs the
+        failed input's producer."""
+        source = self._fault_source(exc)
+        self._event("compute_fault", key, life, type(exc).__name__, source)
+        if source == key or source is None:
+            self._recover_task_once(key, life)
+        else:
+            self._reset_node(A, key, life)
+
+    def _fault_source(self, exc: FaultError) -> Key | None:
+        """Identify the task whose failure caused ``exc``."""
+        if isinstance(exc, TaskCorruptionError):
+            return exc.key
+        if isinstance(exc, (DataCorruptionError, OverwrittenError)):
+            if exc.producer is not None:
+                return exc.producer
+            return self.spec.producer(BlockRef(exc.block, exc.version))
+        return None
+
+    def _ensure_outputs_available(self, consumer: Key, pkey: Key) -> None:
+        """Raise if any block version ``consumer`` needs from predecessor
+        ``pkey`` is corrupted or no longer resident."""
+        for raw in self.spec.inputs(consumer):
+            ref = BlockRef(*raw)
+            if self.spec.producer(ref) != pkey:
+                continue
+            status = self.store.status_of(ref)
+            if status == "ok":
+                continue
+            if status == "corrupted":
+                raise DataCorruptionError(ref.block, ref.version, producer=pkey)
+            raise OverwrittenError(
+                ref.block, ref.version, self.store.newest_resident(ref.block), producer=pkey
+            )

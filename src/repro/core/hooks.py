@@ -1,0 +1,52 @@
+"""Scheduler lifecycle hooks -- the seam where faults are injected.
+
+The paper injects faults by a-priori selecting tasks and the point in
+their lifetime where the fault fires; "when a fault is injected, a flag is
+set to mark the fault, which is then observed by a thread accessing that
+task" (Section VI.B).  The scheduler therefore exposes the three lifetime
+points of the paper's taxonomy and calls the bound hook object at each;
+:mod:`repro.faults` provides the real injector, and the default
+:class:`NullHooks` makes fault-free runs zero-cost.
+
+Hooks only *mark* corruption (record flags, block-store flags); detection
+happens later at access sites, exactly like the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.records import TaskRecord
+
+
+class SchedulerHooks(Protocol):
+    """Callbacks at the three fault-injection points of Section VI.B."""
+
+    def on_task_waiting(self, record: TaskRecord) -> None:
+        """*before compute*: the task finished traversing its predecessors
+        and is waiting to be scheduled."""
+        ...
+
+    def on_after_compute(self, record: TaskRecord) -> None:
+        """*after compute*: COMPUTE returned; successors not yet notified."""
+        ...
+
+    def on_after_notify(self, record: TaskRecord) -> None:
+        """*after notify*: every enqueued successor has been notified."""
+        ...
+
+
+class NullHooks:
+    """No-fault default: every hook is a no-op."""
+
+    def on_task_waiting(self, record: TaskRecord) -> None:
+        return None
+
+    def on_after_compute(self, record: TaskRecord) -> None:
+        return None
+
+    def on_after_notify(self, record: TaskRecord) -> None:
+        return None
+
+
+NULL_HOOKS = NullHooks()

@@ -1,0 +1,169 @@
+"""The baseline NABBIT dynamic task-graph scheduler (Section III).
+
+This is the *non-shaded* algorithm of Figure 2: work-stealing execution of
+a dynamic task graph with join counters and notify arrays, and **no**
+fault-tolerance machinery -- no life numbers, no bit vectors, no recovery
+table, no try/catch.  It is the paper's ``baseline`` configuration in
+Figure 4 and the overhead reference for everything else.
+
+Routine mapping (paper -> method):
+
+====================  =============================
+INITANDCOMPUTE        :meth:`NabbitScheduler._init_and_compute`
+TRYINITCOMPUTE        :meth:`NabbitScheduler._try_init_compute`
+NOTIFYONCE            :meth:`NabbitScheduler._notify_once`
+COMPUTEANDNOTIFY      :meth:`NabbitScheduler._compute_and_notify` +
+                      :meth:`NabbitScheduler._publish_and_notify`
+NOTIFYSUCCESSOR       :meth:`NabbitScheduler._notify_successor`
+====================  =============================
+
+COMPUTEANDNOTIFY is split at the point between ``COMPUTE(A)`` and
+``A.status = Computed``: the publication half runs as a separately spawned
+frame.  On a real machine the split is a no-op (the continuation usually
+runs immediately on the same worker); under the virtual-time simulator it
+guarantees that a task's completion becomes *visible* only after its
+compute cost has elapsed, so successor start times respect dependences.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.records import TaskRecord
+from repro.core.result import SchedulerResult
+from repro.core.status import TaskStatus
+from repro.core.taskmap import TaskMap
+from repro.exceptions import SchedulerError
+from repro.graph.taskspec import TaskGraphSpec
+from repro.memory.blockstore import BlockStore
+from repro.memory.context import StoreComputeContext
+from repro.runtime.api import Runtime
+from repro.runtime.costmodel import CostModel
+from repro.runtime.frames import Frame
+from repro.runtime.tracing import ExecutionTrace
+
+Key = Hashable
+
+
+class NabbitScheduler:
+    """Fault-oblivious work-stealing task-graph scheduler."""
+
+    name = "nabbit"
+
+    def __init__(
+        self,
+        spec: TaskGraphSpec,
+        runtime: Runtime,
+        store: BlockStore | None = None,
+        cost_model: CostModel | None = None,
+        trace: ExecutionTrace | None = None,
+        strict_context: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.runtime = runtime
+        self.store = store if store is not None else BlockStore()
+        self.cost_model = cost_model or CostModel()
+        self.trace = trace or ExecutionTrace()
+        self.strict_context = strict_context
+        self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
+        self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(self) -> SchedulerResult:
+        """Execute the graph to completion and return the result bundle."""
+        skey = self.spec.sink_key()
+        sink, _, inserted = self.map.insert_if_absent(skey)
+        if not inserted:
+            raise SchedulerError("scheduler instances are single-use; create a new one")
+        root = Frame(lambda: self._init_and_compute(sink, skey), label=f"init:{skey!r}")
+        run = self.runtime.execute(root)
+        final, _ = self.map.get(skey)
+        if final is None or final.status is not TaskStatus.COMPLETED:
+            raise SchedulerError(
+                f"execution quiesced but sink {skey!r} is "
+                f"{final.status.name if final else 'missing'} -- hung task graph"
+            )
+        return SchedulerResult(run=run, trace=self.trace, store=self.store, scheduler=self.name)
+
+    # -- scheduler routines (Figure 2, non-shaded) --------------------------------------
+
+    def _init_and_compute(self, A: TaskRecord, key: Key) -> None:
+        """INITANDCOMPUTE: explore predecessors, then self-notify."""
+        for pkey in self.spec.predecessors(key):
+            self.runtime.spawn(
+                lambda pk=pkey: self._try_init_compute(A, key, pk),
+                label=f"try:{key!r}<-{pkey!r}",
+            )
+        self._notify_once(A, key, key)
+
+    def _try_init_compute(self, A: TaskRecord, key: Key, pkey: Key) -> None:
+        """TRYINITCOMPUTE: create/visit predecessor ``pkey``; register for
+        notification or notify immediately."""
+        B, _, inserted = self.map.insert_if_absent(pkey)
+        if inserted:
+            self.runtime.spawn(
+                lambda: self._init_and_compute(B, pkey),
+                label=f"init:{pkey!r}",
+            )
+        self.runtime.charge(self.cost_model.lock_cost)
+        finished = True
+        with B.lock:
+            if B.status < TaskStatus.COMPUTED:
+                B.notify_array.append(key)
+                finished = False
+        if finished:
+            self._notify_once(A, key, pkey)
+
+    def _notify_once(self, A: TaskRecord, key: Key, pkey: Key) -> None:
+        """NOTIFYONCE (baseline): unconditionally decrement the join counter."""
+        self.runtime.charge(self.cost_model.atomic_cost)
+        with A.lock:
+            A.join -= 1
+            val = A.join
+        self.trace.bump("notifications")
+        if val < 0:
+            raise SchedulerError(f"join counter underflow on {key!r} (notified by {pkey!r})")
+        if val == 0:
+            self._compute_and_notify(A, key)
+
+    def _compute_and_notify(self, A: TaskRecord, key: Key) -> None:
+        """COMPUTEANDNOTIFY, first half: run the user COMPUTE function."""
+        self.trace.count_compute(key)
+        self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
+        ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
+        self.spec.compute(key, ctx)
+        self.runtime.spawn(
+            lambda: self._publish_and_notify(A, key),
+            label=f"publish:{key!r}",
+        )
+
+    def _publish_and_notify(self, A: TaskRecord, key: Key) -> None:
+        """COMPUTEANDNOTIFY, second half: publish Computed status and drain
+        the notify array until it is stable, then mark Completed."""
+        cm = self.cost_model
+        self.runtime.charge(cm.atomic_cost)
+        with A.lock:
+            A.status = TaskStatus.COMPUTED
+        notified = 0
+        while True:
+            with A.lock:
+                batch = A.notify_array[notified:]
+            for skey in batch:
+                self.runtime.spawn(
+                    lambda sk=skey: self._notify_successor(key, sk),
+                    label=f"notify:{key!r}->{skey!r}",
+                )
+            notified += len(batch)
+            self.runtime.charge(cm.lock_cost)
+            with A.lock:
+                if len(A.notify_array) == notified:
+                    A.status = TaskStatus.COMPLETED
+                    return
+
+    def _notify_successor(self, key: Key, skey: Key) -> None:
+        """NOTIFYSUCCESSOR: forward a completion notification."""
+        S, _ = self.map.get(skey)
+        if S is None:
+            raise SchedulerError(f"notify target {skey!r} vanished from the task map")
+        self._notify_once(S, skey, key)

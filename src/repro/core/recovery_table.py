@@ -1,0 +1,56 @@
+"""The recovery table R of Guarantee 1: each failure recovered at most once.
+
+``R`` maps a task key to the most recent life number whose failure has an
+owner performing recovery.  Observers of a failed incarnation race through
+:meth:`RecoveryTable.check_and_claim`; exactly one wins:
+
+* no record yet -> insert ``life``; caller recovers (paper's
+  INSERTRECORD path);
+* record equals ``life - 1`` -> advance it (the paper's CAS
+  ``life-1 -> life``); caller recovers this *new* incarnation's failure;
+* anything else -> some thread already owns recovery of this (or a newer)
+  incarnation; caller stands down.
+
+The paper expresses this as a lock-free insert + compare-and-swap on a
+concurrent hash map; one mutex per table gives the same linearized
+semantics on CPython.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable
+
+
+class RecoveryTable:
+    """Tracks which (key, life) failures have a recovery owner."""
+
+    def __init__(self) -> None:
+        self._table: dict[Hashable, int] = {}
+        self._lock = threading.Lock()
+        self.claims = 0
+        self.rejections = 0
+
+    def check_and_claim(self, key: Hashable, life: int) -> bool:
+        """Return True iff the caller must perform recovery of ``(key, life)``.
+
+        This is the negation of the paper's ISRECOVERING: ISRECOVERING
+        returns *false* to the single thread that should recover.
+        """
+        with self._lock:
+            current = self._table.get(key)
+            if current is None or current == life - 1:
+                self._table[key] = life
+                self.claims += 1
+                return True
+            self.rejections += 1
+            return False
+
+    def recovering_life(self, key: Hashable) -> int | None:
+        """Most recent life whose recovery has been claimed (None if never)."""
+        with self._lock:
+            return self._table.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._table)

@@ -1,0 +1,36 @@
+"""Scheduler run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.blockstore import BlockStore
+from repro.runtime.api import RunResult
+from repro.runtime.tracing import ExecutionTrace
+
+
+@dataclass
+class SchedulerResult:
+    """Everything one task-graph execution produced.
+
+    ``makespan`` is virtual time on the simulated runtime, wall-clock
+    seconds on the threaded runtime, and accumulated charge on the inline
+    runtime -- always compare runs executed on the same runtime kind.
+    """
+
+    run: RunResult
+    trace: ExecutionTrace
+    store: BlockStore
+    scheduler: str
+    """"nabbit" (baseline) or "ft" (fault-tolerant)."""
+
+    @property
+    def makespan(self) -> float:
+        return self.run.makespan
+
+    def overhead_vs(self, baseline: "SchedulerResult") -> float:
+        """Relative slowdown vs ``baseline`` in percent (the paper's
+        recovery-overhead metric)."""
+        if baseline.makespan <= 0:
+            raise ValueError("baseline makespan must be positive")
+        return 100.0 * (self.makespan - baseline.makespan) / baseline.makespan

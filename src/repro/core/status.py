@@ -1,0 +1,21 @@
+"""Task lifecycle states (Section III).
+
+A task record moves monotonically through::
+
+    VISITED ---> COMPUTED ---> COMPLETED
+    (inserted)   (COMPUTE ran) (all enqueued successors notified)
+
+Recovery never rewinds a record's status; instead the record is *replaced*
+by a fresh ``VISITED`` incarnation (Guarantee 2), so status comparisons
+such as ``status < COMPUTED`` stay valid on every incarnation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TaskStatus(enum.IntEnum):
+    VISITED = 0
+    COMPUTED = 1
+    COMPLETED = 2

@@ -1,0 +1,81 @@
+"""Concurrent task map: key -> current :class:`TaskRecord` incarnation.
+
+The paper stores task *pointers* in a concurrent hash map keyed by int64
+task keys; recovery replaces the pointer with a new incarnation and bumps
+the key's *life number* (Guarantee 1).  Life numbers are tracked per key
+in the map itself so they survive record replacement.
+
+The map also remembers, per key, the number of predecessors -- records
+must be created fully initialized (join counter, bit vector) because other
+threads may operate on a record the instant it becomes visible.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable
+
+from repro.core.records import TaskRecord
+
+
+class TaskMap:
+    """Thread-safe mapping of task keys to their live incarnation."""
+
+    def __init__(self, n_preds_of: Callable[[Hashable], int]) -> None:
+        self._n_preds_of = n_preds_of
+        self._records: dict[Hashable, TaskRecord] = {}
+        self._lock = threading.Lock()
+        self._inserts = 0
+        self._replacements = 0
+
+    def insert_if_absent(self, key: Hashable) -> tuple[TaskRecord, int, bool]:
+        """INSERTTASKIFABSENT + GETTASK: returns ``(record, life, inserted)``.
+
+        Exactly one caller per key observes ``inserted=True`` and becomes
+        responsible for spawning the task's INITANDCOMPUTE.
+        """
+        with self._lock:
+            rec = self._records.get(key)
+            if rec is not None:
+                return rec, rec.life, False
+            rec = TaskRecord(key, self._n_preds_of(key), life=1)
+            self._records[key] = rec
+            self._inserts += 1
+            return rec, 1, True
+
+    def get(self, key: Hashable) -> tuple[TaskRecord | None, int]:
+        """GETTASK: current incarnation and its life (``(None, 0)`` if absent)."""
+        with self._lock:
+            rec = self._records.get(key)
+            if rec is None:
+                return None, 0
+            return rec, rec.life
+
+    def replace(self, key: Hashable) -> tuple[TaskRecord, int]:
+        """REPLACETASK: install a fresh incarnation with the next life number.
+
+        The key must already be present -- only failed (hence previously
+        inserted) tasks are ever replaced.
+        """
+        with self._lock:
+            old = self._records[key]
+            rec = TaskRecord(key, self._n_preds_of(key), life=old.life + 1)
+            self._records[key] = rec
+            self._replacements += 1
+            return rec, rec.life
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._records
+
+    @property
+    def inserts(self) -> int:
+        return self._inserts
+
+    @property
+    def replacements(self) -> int:
+        return self._replacements

@@ -1,0 +1,82 @@
+"""Exception hierarchy for detected soft faults and scheduler errors.
+
+The paper's fault model (Section II) assumes errors are *detected* -- by
+ECC, symptom detectors, or application assertions -- and that "once an
+error is detected, all subsequent accesses to that object will observe the
+error".  We model detection as exceptions raised at the access point:
+
+* :class:`TaskCorruptionError` -- a task descriptor is corrupted; raised by
+  any scheduler access to the task record.
+* :class:`DataCorruptionError` -- a data block version is corrupted; raised
+  when a compute body reads it.
+* :class:`OverwrittenError` -- the requested block version has been
+  physically overwritten by a later version under memory reuse; the
+  producer must be re-executed to regenerate it (Section IV, final
+  paragraphs).
+
+All three carry enough identity (key / block reference / producer) for the
+catch sites in the fault-tolerant scheduler to route recovery to the right
+task, mirroring the "identify which task's fault resulted in the failure"
+step of Guarantee 5.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchedulerError(ReproError):
+    """Internal scheduler invariant violation (a bug, not a simulated fault)."""
+
+
+class FaultError(ReproError):
+    """Base class for *detected soft faults* observed during execution."""
+
+
+class TaskCorruptionError(FaultError):
+    """The descriptor of task ``key`` (incarnation ``life``) is corrupted."""
+
+    def __init__(self, key: Hashable, life: int) -> None:
+        super().__init__(f"task descriptor corrupted: key={key!r} life={life}")
+        self.key = key
+        self.life = life
+
+
+class DataCorruptionError(FaultError):
+    """A stored data block version is corrupted.
+
+    ``producer`` is the key of the task whose (re-)execution regenerates
+    the block, when the store can name it; the scheduler falls back to the
+    spec's producer map otherwise.
+    """
+
+    def __init__(self, block: Hashable, version: int, producer: Any = None) -> None:
+        super().__init__(
+            f"data block corrupted: block={block!r} version={version} producer={producer!r}"
+        )
+        self.block = block
+        self.version = version
+        self.producer = producer
+
+
+class OverwrittenError(FaultError):
+    """A required block version was overwritten by a later version.
+
+    Raised under memory reuse when recovery (or a raced successor) asks for
+    a version that is no longer resident.  ``resident`` is the version the
+    buffer currently holds (or ``None`` if the block was never written).
+    """
+
+    def __init__(self, block: Hashable, version: int, resident: int | None, producer: Any = None) -> None:
+        super().__init__(
+            f"block version overwritten: block={block!r} wanted v{version}, "
+            f"resident={'v%d' % resident if resident is not None else 'nothing'}"
+        )
+        self.block = block
+        self.version = version
+        self.resident = resident
+        self.producer = producer

@@ -1,0 +1,56 @@
+"""Fault injection: the paper's Section VI.B methodology as a library.
+
+Workflow::
+
+    from repro.faults import VersionIndex, plan_faults, FaultInjector
+
+    index = VersionIndex(spec)
+    plan = plan_faults(spec, phase="after_compute", task_type="v=rand",
+                       count=512, seed=7, index=index)
+    store = BlockStore(Reuse())
+    trace = ExecutionTrace()
+    injector = FaultInjector(plan, spec, store, trace)
+    result = FTScheduler(spec, runtime, store=store, hooks=injector,
+                         trace=trace).run()
+    print(result.trace.reexecutions, "vs implied", plan.implied_reexecutions)
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultEvent,
+    FaultPhase,
+    FaultPlan,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.faults.planner import plan_faults, plan_recursive_faults, resolve_target
+from repro.faults.random_injector import RandomInjector
+from repro.faults.selectors import (
+    TASK_TYPES,
+    V0,
+    VLAST,
+    VRAND,
+    VersionIndex,
+    normalize_task_type,
+    sample_victims,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPhase",
+    "FaultPlan",
+    "FaultInjector",
+    "RandomInjector",
+    "plan_to_dict",
+    "plan_from_dict",
+    "plan_faults",
+    "plan_recursive_faults",
+    "resolve_target",
+    "VersionIndex",
+    "normalize_task_type",
+    "sample_victims",
+    "TASK_TYPES",
+    "V0",
+    "VLAST",
+    "VRAND",
+]

@@ -1,0 +1,95 @@
+"""Run-time fault injector: fires planned faults at scheduler hook points.
+
+Mirrors the paper's methodology exactly: "to simulate faults, we a priori
+identify the tasks that would fail and the point in their lifetimes where
+they would fail.  When a fault is injected, a flag is set to mark the
+fault, which is then observed by a thread accessing that task."
+
+The injector implements :class:`repro.core.hooks.SchedulerHooks`.  At each
+lifecycle hook it checks whether a planned event matches ``(key, phase,
+life)`` and, if so, sets the record's corruption flag and (for post-
+compute phases) marks the task's output block versions corrupted in the
+store.  Each event fires at most once.
+
+Thread-safe; usable on the threaded runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable
+
+from repro.core.records import TaskRecord
+from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
+from repro.graph.taskspec import BlockRef, TaskGraphSpec
+from repro.memory.blockstore import BlockStore
+from repro.runtime.tracing import ExecutionTrace
+
+
+class FaultInjector:
+    """SchedulerHooks implementation driven by a :class:`FaultPlan`."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        spec: TaskGraphSpec,
+        store: BlockStore,
+        trace: ExecutionTrace | None = None,
+    ) -> None:
+        self.plan = plan
+        self.spec = spec
+        self.store = store
+        self.trace = trace
+        self._lock = threading.Lock()
+        # (key, phase) -> list of pending events ordered by life.
+        self._pending: dict[tuple[Hashable, FaultPhase], list[FaultEvent]] = {}
+        for event in plan:
+            self._pending.setdefault((event.key, event.phase), []).append(event)
+        for events in self._pending.values():
+            events.sort(key=lambda e: e.life)
+        self.fired: list[FaultEvent] = []
+
+    # -- hook dispatch -----------------------------------------------------------------
+
+    def on_task_waiting(self, record: TaskRecord) -> None:
+        self._maybe_fire(record, FaultPhase.BEFORE_COMPUTE)
+
+    def on_after_compute(self, record: TaskRecord) -> None:
+        self._maybe_fire(record, FaultPhase.AFTER_COMPUTE)
+
+    def on_after_notify(self, record: TaskRecord) -> None:
+        self._maybe_fire(record, FaultPhase.AFTER_NOTIFY)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _maybe_fire(self, record: TaskRecord, phase: FaultPhase) -> None:
+        slot = (record.key, phase)
+        with self._lock:
+            events = self._pending.get(slot)
+            if not events or events[0].life != record.life:
+                return
+            event = events.pop(0)
+            if not events:
+                del self._pending[slot]
+            self.fired.append(event)
+        if event.corrupt_descriptor:
+            record.corrupted = True
+        if event.corrupt_outputs:
+            for raw in self.spec.outputs(record.key):
+                self.store.mark_corrupted(BlockRef(*raw))
+        if self.trace is not None:
+            self.trace.bump("faults_injected")
+
+    # -- verification -----------------------------------------------------------------------
+
+    @property
+    def unfired(self) -> list[FaultEvent]:
+        """Planned events that never fired (e.g. after-notify faults whose
+        task was never revisited cannot *observe* anything, but fire they
+        must -- an unfired event means the lifecycle point was not reached,
+        which for life=1 plans indicates a planner/scheduler mismatch)."""
+        with self._lock:
+            return [e for events in self._pending.values() for e in events]
+
+    def all_fired(self) -> bool:
+        return not self.unfired

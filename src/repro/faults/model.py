@@ -1,0 +1,144 @@
+"""Fault model: phases, events, and plans (Section VI.B).
+
+The paper injects faults *a priori*: before the run, a set of victim
+tasks is chosen together with the point in each task's lifetime where the
+fault will fire.  A fault affects both the task descriptor and the data
+blocks the task has computed.  At run time the injector merely sets
+corruption flags; detection happens at the next access.
+
+Three lifetime phases (the paper's taxonomy):
+
+* ``BEFORE_COMPUTE`` -- the task has traversed its predecessors and is
+  waiting for notifications; no compute work has been done, so recovery
+  loses nothing.
+* ``AFTER_COMPUTE`` -- COMPUTE finished but successors are not yet
+  notified; the computed work is lost and must be redone.
+* ``AFTER_NOTIFY`` -- the task has notified all enqueued successors; the
+  fault is observed only if some later consumer touches the task or its
+  data, and may cascade through overwritten block versions.
+
+``implied_reexecutions`` is the paper's sizing model: a failure on a task
+producing version ``v`` of a block "implies" re-execution of the
+producers of versions ``0..v`` of that block (``v + 1`` tasks); a
+before-compute failure implies only the victim's own (first) execution.
+Table II exists precisely because *actual* re-execution counts deviate
+from this model at after-notify time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+
+class FaultPhase(enum.Enum):
+    BEFORE_COMPUTE = "before_compute"
+    AFTER_COMPUTE = "after_compute"
+    AFTER_NOTIFY = "after_notify"
+
+    @classmethod
+    def from_name(cls, name: "str | FaultPhase") -> "FaultPhase":
+        if isinstance(name, FaultPhase):
+            return name
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown fault phase {name!r}; expected one of "
+                f"{[p.value for p in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault: task ``key`` fails at ``phase`` during incarnation
+    ``life`` (1 = the original execution, >1 targets recovery itself --
+    the Guarantee 6 scenario)."""
+
+    key: Hashable
+    phase: FaultPhase
+    life: int = 1
+    corrupt_descriptor: bool = True
+    corrupt_outputs: bool = True
+    """Whether the fault also corrupts the task's computed data blocks
+    (meaningless for BEFORE_COMPUTE, where nothing was computed)."""
+
+    def __post_init__(self) -> None:
+        if self.life < 1:
+            raise ValueError("life numbers start at 1")
+        if not (self.corrupt_descriptor or self.corrupt_outputs):
+            raise ValueError("a fault must corrupt something")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault events plus its sizing metadata."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+    implied_reexecutions: int = 0
+    """Paper-model total re-executions this plan is sized to cause."""
+
+    task_type: str = "v=rand"
+    """Victim classification used to build the plan (v=0 / v=rand / v=last)."""
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def keys(self) -> Sequence[Hashable]:
+        return [e.key for e in self.events]
+
+    @staticmethod
+    def single(key: Hashable, phase: "str | FaultPhase", life: int = 1) -> "FaultPlan":
+        """Convenience: a plan with one fault."""
+        return FaultPlan(
+            events=[FaultEvent(key, FaultPhase.from_name(phase), life)],
+            implied_reexecutions=1,
+        )
+
+
+# -- plan (de)serialization ----------------------------------------------------
+
+
+def plan_to_dict(plan: "FaultPlan") -> dict:
+    """JSON-safe form of a plan (keys via the graph-io encoding)."""
+    from repro.graph.io import _encode_key
+
+    return {
+        "task_type": plan.task_type,
+        "implied_reexecutions": plan.implied_reexecutions,
+        "events": [
+            {
+                "key": _encode_key(e.key),
+                "phase": e.phase.value,
+                "life": e.life,
+                "corrupt_descriptor": e.corrupt_descriptor,
+                "corrupt_outputs": e.corrupt_outputs,
+            }
+            for e in plan.events
+        ],
+    }
+
+
+def plan_from_dict(data: dict) -> "FaultPlan":
+    """Inverse of :func:`plan_to_dict`."""
+    from repro.graph.io import _decode_key
+
+    events = [
+        FaultEvent(
+            key=_decode_key(e["key"]),
+            phase=FaultPhase.from_name(e["phase"]),
+            life=int(e.get("life", 1)),
+            corrupt_descriptor=bool(e.get("corrupt_descriptor", True)),
+            corrupt_outputs=bool(e.get("corrupt_outputs", True)),
+        )
+        for e in data["events"]
+    ]
+    return FaultPlan(
+        events=events,
+        implied_reexecutions=int(data.get("implied_reexecutions", len(events))),
+        task_type=data.get("task_type", "v=rand"),
+    )

@@ -1,0 +1,106 @@
+"""Fault planning: turn an experiment description into a concrete plan.
+
+The harness asks for faults in the paper's terms -- "inject failures on
+v=rand tasks at after-compute time so that 512 tasks (or 2% / 5% of the
+graph) get re-executed" -- and this module picks the victim set.
+
+Victims are sampled uniformly from the requested type pool until the
+paper's implied-re-execution model reaches the target.  The implied count,
+not the victim count, is what the paper holds constant across task types:
+a v=last plan needs far fewer victims than a v=0 plan for the same
+target, because each v=last failure implies a whole version chain.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
+from repro.faults.selectors import VersionIndex, normalize_task_type, sample_victims
+from repro.graph.taskspec import TaskGraphSpec
+
+
+def resolve_target(index: VersionIndex, count: int | None = None, fraction: float | None = None) -> int:
+    """Target implied re-executions: an absolute count or a fraction of
+    the total task count (the paper's "2%"/"5%" scenarios)."""
+    if (count is None) == (fraction is None):
+        raise ValueError("specify exactly one of count= or fraction=")
+    if count is not None:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return int(count)
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError("fraction must be in (0, 1]")
+    return max(1, round(fraction * len(index.tasks)))
+
+
+def plan_faults(
+    spec: TaskGraphSpec,
+    phase: str | FaultPhase,
+    task_type: str = "v=rand",
+    count: int | None = None,
+    fraction: float | None = None,
+    seed: int = 0,
+    index: VersionIndex | None = None,
+    policy_keep: int | None | str = "auto",
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` for one injection scenario.
+
+    Parameters mirror the paper's experiment grid: ``phase`` is the
+    lifetime point, ``task_type`` the version classification
+    (v=0 / v=rand / v=last), and ``count``/``fraction`` the intended
+    amount of re-executed work.  ``policy_keep`` feeds the sizing model
+    (see :meth:`VersionIndex.implied_reexecutions`); ``"auto"`` reads the
+    spec's fault-tolerant memory policy when it has one.  The plan's
+    ``implied_reexecutions`` records the achieved total (>= target; the
+    last victim may overshoot).
+    """
+    phase = FaultPhase.from_name(phase)
+    task_type = normalize_task_type(task_type)
+    index = index or VersionIndex(spec)
+    rng = random.Random(seed)
+    target = resolve_target(index, count=count, fraction=fraction)
+    if policy_keep == "auto":
+        policy = getattr(spec, "ft_policy", None)
+        policy_keep = policy.keep if policy is not None else None
+    # Before-compute faults lose no computed work; sources never wait, so
+    # they are excluded from that pool.
+    lost_work = phase is not FaultPhase.BEFORE_COMPUTE
+    pool = index.pool(task_type, exclude_sink=True,
+                      exclude_sources=phase is FaultPhase.BEFORE_COMPUTE)
+    if not pool:
+        raise ValueError(f"no {task_type} victims available for phase {phase.value}")
+    victims = sample_victims(pool, rng)
+    events: list[FaultEvent] = []
+    implied = 0
+    for key in victims:
+        if implied >= target:
+            break
+        events.append(
+            FaultEvent(
+                key,
+                phase,
+                corrupt_outputs=lost_work,
+            )
+        )
+        implied += index.implied_reexecutions(key, phase, policy_keep)
+    if implied < target:
+        raise ValueError(
+            f"pool exhausted: {task_type}/{phase.value} can imply at most "
+            f"{implied} re-executions, target was {target}"
+        )
+    return FaultPlan(events=events, implied_reexecutions=implied, task_type=task_type)
+
+
+def plan_recursive_faults(
+    spec: TaskGraphSpec,
+    key: Hashable,
+    phase: str | FaultPhase = "after_compute",
+    depth: int = 3,
+) -> FaultPlan:
+    """Guarantee 6 stressor: the same task fails at every incarnation
+    ``1..depth``, so recovery itself keeps failing and must restart."""
+    phase = FaultPhase.from_name(phase)
+    events = [FaultEvent(key, phase, life=life) for life in range(1, depth + 1)]
+    return FaultPlan(events=events, implied_reexecutions=depth, task_type="recursive")

@@ -1,0 +1,201 @@
+"""Victim-task classification by data-block version (Section VI.B).
+
+The paper distinguishes faults by the *version* of the data block the
+victim produces:
+
+* ``v=0`` -- the task produces the **first** version of its block; its
+  failure implies at most one re-execution;
+* ``v=last`` -- the task produces the **last** version; under memory
+  reuse its recovery can cascade through the producers of every earlier
+  version of the block;
+* ``v=rand`` -- a task producing a uniformly random version.
+
+:class:`VersionIndex` materializes the block/version structure of a spec
+once (primary output per task, last version per block) and answers the
+classification queries the fault planner needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Sequence
+
+from repro.graph.analysis import collect_tasks
+from repro.graph.taskspec import BlockRef, TaskGraphSpec
+
+TaskType = str
+
+V0: TaskType = "v=0"
+VLAST: TaskType = "v=last"
+VRAND: TaskType = "v=rand"
+TASK_TYPES: tuple[TaskType, ...] = (V0, VLAST, VRAND)
+
+
+def normalize_task_type(name: str) -> TaskType:
+    key = name.strip().lower().replace(" ", "")
+    aliases = {
+        "v=0": V0,
+        "v0": V0,
+        "first": V0,
+        "v=last": VLAST,
+        "vlast": VLAST,
+        "last": VLAST,
+        "v=rand": VRAND,
+        "vrand": VRAND,
+        "rand": VRAND,
+        "random": VRAND,
+    }
+    if key not in aliases:
+        raise ValueError(f"unknown task type {name!r}; expected one of {TASK_TYPES}")
+    return aliases[key]
+
+
+class VersionIndex:
+    """Block/version structure of one task graph, built in a single pass."""
+
+    def __init__(self, spec: TaskGraphSpec) -> None:
+        self.spec = spec
+        self._primary: dict[Hashable, BlockRef] = {}
+        self._last_version: dict[Hashable, int] = {}
+        self._first_version: dict[Hashable, int] = {}
+        self._n_preds: dict[Hashable, int] = {}
+        tasks = collect_tasks(spec)
+        self.sink = spec.sink_key()
+        self.tasks: tuple[Hashable, ...] = tuple(tasks)
+        for key in tasks:
+            outs = tuple(spec.outputs(key))
+            if not outs:
+                raise ValueError(f"task {key!r} declares no outputs")
+            primary = BlockRef(*outs[0])
+            self._primary[key] = primary
+            for raw in outs:
+                ref = BlockRef(*raw)
+                if ref.version > self._last_version.get(ref.block, -1):
+                    self._last_version[ref.block] = ref.version
+                # First *task-produced* version: pre-seeded (pinned) input
+                # versions below it are resilient and never re-executed.
+                if ref.version < self._first_version.get(ref.block, 1 << 62):
+                    self._first_version[ref.block] = ref.version
+            self._n_preds[key] = len(tuple(spec.predecessors(key)))
+
+    # -- queries -------------------------------------------------------------------
+
+    def primary_output(self, key: Hashable) -> BlockRef:
+        """The first declared output: the block/version the paper's
+        classification keys on."""
+        return self._primary[key]
+
+    def version_of(self, key: Hashable) -> int:
+        return self._primary[key].version
+
+    def last_version(self, block: Hashable) -> int:
+        return self._last_version[block]
+
+    def first_version(self, block: Hashable) -> int:
+        """Lowest *task-produced* version of ``block`` (versions below it
+        are pre-seeded resilient inputs)."""
+        return self._first_version[block]
+
+    def is_v0(self, key: Hashable) -> bool:
+        ref = self._primary[key]
+        return ref.version == self._first_version[ref.block]
+
+    def is_vlast(self, key: Hashable) -> bool:
+        ref = self._primary[key]
+        return ref.version == self._last_version[ref.block]
+
+    def n_preds(self, key: Hashable) -> int:
+        return self._n_preds[key]
+
+    def self_chained(self, key: Hashable) -> bool:
+        """True iff the task consumes the previous version of its own
+        primary output block (LU/Cholesky/FW-style in-place updates).
+
+        Such a task destroys its own input by writing: under a
+        single-buffer (``keep=1``) policy, even an *immediately detected*
+        failure must replay the block's whole version chain to restore
+        the input.
+        """
+        ref = self._primary[key]
+        prev = BlockRef(ref.block, ref.version - 1)
+        return any(BlockRef(*raw) == prev for raw in self.spec.inputs(key))
+
+    def chain_length(self, key: Hashable) -> int:
+        """Task-produced version chain ending at this task's primary
+        output: ``v - first + 1`` ("all of the tasks that produce the
+        previous versions of a particular data block")."""
+        ref = self._primary[key]
+        return ref.version - self._first_version[ref.block] + 1
+
+    def implied_reexecutions(
+        self,
+        key: Hashable,
+        phase: "FaultPhase | str",
+        policy_keep: int | None = None,
+    ) -> int:
+        """Sizing model for one victim, per phase and memory policy.
+
+        * ``before_compute`` -- no computed work lost: 1 (the victim's
+          processing restarts).
+        * ``after_compute`` -- detection is immediate; the victim re-runs.
+          If it overwrote its own input (``self_chained``) and the policy
+          retains a single version, restoring that input replays the whole
+          version chain.
+        * ``after_notify`` -- detection is delayed until a later consumer;
+          the chain model applies whenever reuse can evict needed versions
+          (any bounded ``keep``).
+        """
+        from repro.faults.model import FaultPhase  # local: avoid cycle
+
+        phase = FaultPhase.from_name(phase)
+        if phase is FaultPhase.BEFORE_COMPUTE:
+            return 1
+        if policy_keep is None:  # single assignment: nothing is ever evicted
+            return 1
+        if phase is FaultPhase.AFTER_COMPUTE:
+            if policy_keep == 1 and self.self_chained(key):
+                return self.chain_length(key)
+            return 1
+        return self.chain_length(key)
+
+    # -- victim pools ----------------------------------------------------------------
+
+    def pool(
+        self,
+        task_type: TaskType,
+        exclude_sink: bool = True,
+        exclude_sources: bool = False,
+    ) -> list[Hashable]:
+        """All tasks matching ``task_type`` (deterministic order)."""
+        task_type = normalize_task_type(task_type)
+        out = []
+        for key in self.tasks:
+            if exclude_sink and key == self.sink:
+                continue
+            if exclude_sources and self._n_preds[key] == 0:
+                continue
+            if task_type == V0 and not self.is_v0(key):
+                continue
+            if task_type == VLAST and not self.is_vlast(key):
+                continue
+            out.append(key)
+        return out
+
+    def type_counts(self) -> dict[TaskType, int]:
+        """Population sizes of the three pools (the paper notes v=0 and
+        v=last pools are below 5% of tasks for most benchmarks)."""
+        return {t: len(self.pool(t)) for t in TASK_TYPES}
+
+
+def sample_victims(
+    pool: Sequence[Hashable],
+    rng: random.Random,
+    count: int | None = None,
+) -> list[Hashable]:
+    """Uniform sample without replacement (whole shuffled pool if count is
+    None or exceeds the pool)."""
+    items = list(pool)
+    rng.shuffle(items)
+    if count is None or count >= len(items):
+        return items
+    return items[:count]

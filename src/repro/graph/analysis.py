@@ -1,0 +1,215 @@
+"""Graph analytics: Table I structure counts and work/span accounting.
+
+``graph_stats`` computes, for any spec, the quantities reported in the
+paper's Table I -- total number of tasks ``T``, total number of dependence
+edges ``E``, and critical path length ``S`` (edge count of the longest
+root-to-sink path) -- plus degree statistics used by the Theorem 2 bound.
+
+``work_and_span`` computes the Section V quantities
+
+.. math::
+
+   T_1 = \\sum_A N(A)\\,(W(\\mathrm{com}(A)) + |out(A)|), \\qquad
+   T_\\infty = \\max_{p \\in paths} \\sum_{X \\in p} N(X)\\,S(\\mathrm{com}(X))
+
+where ``N`` is the per-task execution count (all ones for fault-free runs)
+and per-task work/span default to the spec's virtual ``cost``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.graph.taskspec import Key, TaskGraphSpec
+
+
+def collect_tasks(spec: TaskGraphSpec) -> list[Key]:
+    """All tasks reachable backward from the sink, in BFS discovery order."""
+    sink = spec.sink_key()
+    seen = {sink}
+    order = [sink]
+    frontier = deque([sink])
+    while frontier:
+        key = frontier.popleft()
+        for p in spec.predecessors(key):
+            if p not in seen:
+                seen.add(p)
+                order.append(p)
+                frontier.append(p)
+    return order
+
+
+def topological_order(spec: TaskGraphSpec) -> list[Key]:
+    """Tasks in an order where every predecessor precedes its consumers."""
+    tasks = collect_tasks(spec)
+    indeg = {k: len(tuple(spec.predecessors(k))) for k in tasks}
+    task_set = set(tasks)
+    ready = deque(k for k in tasks if indeg[k] == 0)
+    out: list[Key] = []
+    while ready:
+        k = ready.popleft()
+        out.append(k)
+        for s in spec.successors(k):
+            if s in task_set:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    ready.append(s)
+    if len(out) != len(tasks):
+        raise ValueError("graph is cyclic; run validate_spec for details")
+    return out
+
+
+def critical_path_length(
+    spec: TaskGraphSpec,
+    weight: Callable[[Key], float] | None = None,
+) -> float:
+    """Longest path through the graph.
+
+    With ``weight=None`` this is the Table I quantity ``S``: the number of
+    *edges* on the longest path (each task counted as unit length, minus
+    one).  With a weight function it returns the weighted longest path
+    (sum of task weights along the heaviest chain), i.e. the span.
+    """
+    order = topological_order(spec)
+    task_set = set(order)
+    if weight is None:
+        dist = {k: 0.0 for k in order}
+        for k in order:
+            for s in spec.successors(k):
+                if s in task_set and dist[k] + 1 > dist[s]:
+                    dist[s] = dist[k] + 1
+        return max(dist.values())
+    dist = {k: float(weight(k)) for k in order}
+    for k in order:
+        for s in spec.successors(k):
+            if s in task_set:
+                cand = dist[k] + float(weight(s))
+                if cand > dist[s]:
+                    dist[s] = cand
+    return max(dist.values())
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structure summary of a task graph (Table I row + degree info)."""
+
+    tasks: int
+    edges: int
+    critical_path: int
+    """Edge count of the longest path (paper's ``S``)."""
+    max_in_degree: int
+    max_out_degree: int
+    sources: int
+    total_cost: float
+    span_cost: float
+
+    @property
+    def max_degree(self) -> int:
+        """The paper's ``d``: max over tasks of in-degree + out-degree."""
+        return self.max_in_degree + self.max_out_degree
+
+    @property
+    def average_parallelism(self) -> float:
+        """``T1 / T_inf`` in virtual cost units."""
+        return self.total_cost / self.span_cost if self.span_cost else float("inf")
+
+
+def graph_stats(spec: TaskGraphSpec) -> GraphStats:
+    """Compute :class:`GraphStats` for the reachable-from-sink subgraph.
+
+    Single pass over the adjacency: each task's predecessor list is
+    evaluated exactly once (app specs may compute lists on the fly, so at
+    Table I scale -- hundreds of thousands of tasks -- repeated evaluation
+    dominates; this formulation keeps the bench tractable).
+    """
+    # Backward walk from the sink, materializing predecessor lists once.
+    sink = spec.sink_key()
+    preds_of: dict[Key, tuple[Key, ...]] = {}
+    frontier = deque([sink])
+    seen = {sink}
+    while frontier:
+        k = frontier.popleft()
+        ps = tuple(spec.predecessors(k))
+        preds_of[k] = ps
+        for p in ps:
+            if p not in seen:
+                seen.add(p)
+                frontier.append(p)
+    # Kahn sweep over the materialized adjacency, accumulating everything.
+    consumers: dict[Key, list[Key]] = {k: [] for k in preds_of}
+    indeg: dict[Key, int] = {}
+    out_deg: dict[Key, int] = {k: 0 for k in preds_of}
+    for k, ps in preds_of.items():
+        indeg[k] = len(ps)
+        for p in ps:
+            consumers[p].append(k)
+            out_deg[p] += 1
+    edges = sum(indeg.values())
+    max_in = max(indeg.values(), default=0)
+    max_out = max(out_deg.values(), default=0)
+    total_cost = 0.0
+    sources = 0
+    dist: dict[Key, int] = {}
+    cdist: dict[Key, float] = {}
+    ready = deque(k for k, d in indeg.items() if d == 0)
+    remaining = dict(indeg)
+    processed = 0
+    while ready:
+        k = ready.popleft()
+        processed += 1
+        c = float(spec.cost(k))
+        total_cost += c
+        ps = preds_of[k]
+        if not ps:
+            sources += 1
+            dist[k] = 0
+            cdist[k] = c
+        else:
+            dist[k] = max(dist[p] for p in ps) + 1
+            cdist[k] = max(cdist[p] for p in ps) + c
+        for s in consumers[k]:
+            remaining[s] -= 1
+            if remaining[s] == 0:
+                ready.append(s)
+    if processed != len(preds_of):
+        raise ValueError("graph is cyclic; run validate_spec for details")
+    return GraphStats(
+        tasks=len(preds_of),
+        edges=edges,
+        critical_path=max(dist.values()),
+        max_in_degree=max_in,
+        max_out_degree=max_out,
+        sources=sources,
+        total_cost=total_cost,
+        span_cost=max(cdist.values()),
+    )
+
+
+def work_and_span(
+    spec: TaskGraphSpec,
+    executions: Mapping[Key, int] | None = None,
+) -> tuple[float, float]:
+    """Section V's ``(T1, T_inf)`` for an execution with counts ``N``.
+
+    ``executions`` maps task key -> N(A); missing keys default to 1 (the
+    fault-free case).  ``T1`` charges each execution its compute cost plus
+    ``|out(A)|`` notification work; ``T_inf`` is the heaviest path where
+    each task on the path contributes ``N(X) * cost(X)`` (re-executions of
+    one task are serial -- they cannot overlap with themselves).
+    """
+    n = executions or {}
+    order = topological_order(spec)
+    task_set = set(order)
+    t1 = 0.0
+    dist: dict[Key, float] = {}
+    for k in order:
+        count = int(n.get(k, 1))
+        succs = [s for s in spec.successors(k) if s in task_set]
+        c = float(spec.cost(k))
+        t1 += count * (c + len(succs))
+        here = count * c
+        preds = [p for p in spec.predecessors(k) if p in task_set]
+        dist[k] = here + (max(dist[p] for p in preds) if preds else 0.0)
+    return t1, max(dist.values())

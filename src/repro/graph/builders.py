@@ -1,0 +1,103 @@
+"""Synthetic task-graph builders for tests, examples, and property suites.
+
+These produce :class:`~repro.graph.explicit.ExplicitTaskGraph` instances
+with the deterministic tuple-building default compute body, so any two
+correct executions yield identical block contents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.graph.explicit import ExplicitTaskGraph
+
+
+def chain_graph(n: int, **kwargs: Any) -> ExplicitTaskGraph:
+    """A linear chain ``0 -> 1 -> ... -> n-1`` (critical path = work)."""
+    if n < 1:
+        raise ValueError("chain needs at least one task")
+    if n == 1:
+        return ExplicitTaskGraph([], sink=0, vertices=[0], **kwargs)
+    return ExplicitTaskGraph([(i, i + 1) for i in range(n - 1)], **kwargs)
+
+
+def diamond_graph(width: int = 2, **kwargs: Any) -> ExplicitTaskGraph:
+    """The paper's Figure 1 shape: one source fanning out to ``width``
+    middle tasks that all feed one sink."""
+    if width < 1:
+        raise ValueError("diamond needs width >= 1")
+    edges = [("src", ("mid", i)) for i in range(width)]
+    edges += [(("mid", i), "sink") for i in range(width)]
+    return ExplicitTaskGraph(edges, **kwargs)
+
+
+def fork_join_graph(levels: int, fanout: int, **kwargs: Any) -> ExplicitTaskGraph:
+    """Alternating fork/join stages: ``levels`` forks of ``fanout`` tasks,
+    each followed by a join task."""
+    if levels < 1 or fanout < 1:
+        raise ValueError("levels and fanout must be >= 1")
+    edges: list[tuple[Any, Any]] = []
+    prev_join = ("join", -1)
+    for lvl in range(levels):
+        for f in range(fanout):
+            edges.append((prev_join, ("work", lvl, f)))
+            edges.append((("work", lvl, f), ("join", lvl)))
+        prev_join = ("join", lvl)
+    return ExplicitTaskGraph(edges, **kwargs)
+
+
+def grid_graph(rows: int, cols: int, diagonal: bool = True, **kwargs: Any) -> ExplicitTaskGraph:
+    """2-D wavefront grid (the LCS/SW dependence shape).
+
+    Task ``(i, j)`` depends on its up/left (and optionally up-left)
+    neighbours; ``(rows-1, cols-1)`` is the sink.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows, cols >= 1")
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if i > 0:
+                edges.append(((i - 1, j), (i, j)))
+            if j > 0:
+                edges.append(((i, j - 1), (i, j)))
+            if diagonal and i > 0 and j > 0:
+                edges.append(((i - 1, j - 1), (i, j)))
+    if rows == cols == 1:
+        return ExplicitTaskGraph([], sink=(0, 0), vertices=[(0, 0)], **kwargs)
+    return ExplicitTaskGraph(edges, sink=(rows - 1, cols - 1), **kwargs)
+
+
+def random_dag(
+    n: int,
+    edge_prob: float = 0.2,
+    seed: int | None = None,
+    max_in_degree: int | None = None,
+    **kwargs: Any,
+) -> ExplicitTaskGraph:
+    """A random layered DAG over ``n`` tasks with a virtual sink.
+
+    Vertices are ``0..n-1`` in topological order; each ordered pair
+    ``(i, j)``, ``i < j``, becomes an edge with probability ``edge_prob``
+    (subject to ``max_in_degree``).  Every natural sink is attached to a
+    fresh virtual sink so the spec satisfies the unique-sink assumption.
+    """
+    if n < 1:
+        raise ValueError("need at least one task")
+    rng = random.Random(seed)
+    edges: list[tuple[Any, Any]] = []
+    indeg = [0] * n
+    outdeg = [0] * n
+    for j in range(1, n):
+        for i in range(j):
+            if max_in_degree is not None and indeg[j] >= max_in_degree:
+                break
+            if rng.random() < edge_prob:
+                edges.append((i, j))
+                indeg[j] += 1
+                outdeg[i] += 1
+    # Attach every natural sink (including isolated vertices) to one sink.
+    sink = "__sink__"
+    edges.extend((i, sink) for i in range(n) if outdeg[i] == 0)
+    return ExplicitTaskGraph(edges, sink=sink, **kwargs)

@@ -1,0 +1,158 @@
+"""Explicit (fully materialized) task graphs.
+
+While the scheduler only needs the lazy :class:`~repro.graph.taskspec.
+TaskGraphSpec` interface, tests, examples, and the random-graph property
+suite want to build graphs from concrete edge lists, adjacency dicts, or
+:mod:`networkx` DAGs.  :class:`ExplicitTaskGraph` materializes predecessor
+and successor lists once and serves them in deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.graph.taskspec import BlockRef, ComputeContext, Key, TaskSpecBase
+
+
+def _default_compute(key: Key, ctx: ComputeContext) -> None:
+    """Default task body: concatenate predecessor outputs under this key.
+
+    This makes results *schedule-sensitive only through the graph*, so any
+    two correct executions (with or without faults, any worker count) must
+    produce identical block contents -- handy as a correctness oracle.
+    """
+    parts = [ctx.read(ref) for ref in ctx.spec.inputs(key)]  # type: ignore[attr-defined]
+    ctx.write(BlockRef(key, 0), (key, tuple(parts)))
+
+
+class ExplicitTaskGraph(TaskSpecBase):
+    """A task graph given by explicit dependence edges.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(producer, consumer)`` pairs.
+    sink:
+        Sink key.  If omitted, the unique vertex with no outgoing edges is
+        used; a ``ValueError`` is raised when it is not unique (the paper
+        assumes a unique sink; wrap multi-sink graphs with
+        :meth:`with_virtual_sink`).
+    compute:
+        Optional task body ``f(key, ctx)``.  Defaults to a deterministic
+        tuple-building body usable as a correctness oracle.
+    cost:
+        Optional ``f(key) -> float`` virtual cost (default 1.0 per task).
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Key, Key]],
+        sink: Key | None = None,
+        vertices: Iterable[Key] | None = None,
+        compute: Callable[[Key, ComputeContext], None] | None = None,
+        cost: Callable[[Key], float] | None = None,
+    ) -> None:
+        preds: dict[Key, list[Key]] = {}
+        succs: dict[Key, list[Key]] = {}
+        for v in vertices or ():
+            preds.setdefault(v, [])
+            succs.setdefault(v, [])
+        for src, dst in edges:
+            if src == dst:
+                raise ValueError(f"self-loop on {src!r}")
+            preds.setdefault(src, [])
+            succs.setdefault(src, [])
+            preds.setdefault(dst, [])
+            succs.setdefault(dst, [])
+            if src in preds[dst]:
+                raise ValueError(f"duplicate edge {src!r} -> {dst!r}")
+            preds[dst].append(src)
+            succs[src].append(dst)
+        if not preds:
+            raise ValueError("graph has no vertices")
+        self._preds = {k: tuple(v) for k, v in preds.items()}
+        self._succs = {k: tuple(v) for k, v in succs.items()}
+        if sink is None:
+            sinks = [k for k, out in self._succs.items() if not out]
+            if len(sinks) != 1:
+                raise ValueError(
+                    f"expected a unique sink, found {len(sinks)}; pass sink= "
+                    "explicitly or use ExplicitTaskGraph.with_virtual_sink"
+                )
+            sink = sinks[0]
+        elif sink not in self._preds:
+            raise ValueError(f"sink {sink!r} is not a vertex")
+        self._sink = sink
+        self._compute = compute or _default_compute
+        self._cost = cost
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_predecessor_map(
+        cls,
+        preds: Mapping[Key, Sequence[Key]],
+        sink: Key | None = None,
+        **kwargs: Any,
+    ) -> "ExplicitTaskGraph":
+        """Build from a ``consumer -> [producers]`` mapping."""
+        edges = [(p, k) for k, ps in preds.items() for p in ps]
+        return cls(edges, sink=sink, vertices=preds.keys(), **kwargs)
+
+    @classmethod
+    def from_networkx(cls, graph: Any, sink: Key | None = None, **kwargs: Any) -> "ExplicitTaskGraph":
+        """Build from a :class:`networkx.DiGraph` (edges point producer->consumer)."""
+        return cls(list(graph.edges()), sink=sink, vertices=list(graph.nodes()), **kwargs)
+
+    @classmethod
+    def with_virtual_sink(
+        cls,
+        edges: Iterable[tuple[Key, Key]],
+        sink_key: Key = "__sink__",
+        **kwargs: Any,
+    ) -> "ExplicitTaskGraph":
+        """Attach a fresh sink depending on all natural sinks (paper Sec V.A)."""
+        edges = list(edges)
+        succs: dict[Key, int] = {}
+        verts: set[Key] = set()
+        for src, dst in edges:
+            succs[src] = succs.get(src, 0) + 1
+            verts.add(src)
+            verts.add(dst)
+        natural = sorted((v for v in verts if succs.get(v, 0) == 0), key=repr)
+        if sink_key in verts:
+            raise ValueError(f"sink key {sink_key!r} already used by a vertex")
+        edges.extend((v, sink_key) for v in natural)
+        return cls(edges, sink=sink_key, **kwargs)
+
+    # -- TaskGraphSpec surface -------------------------------------------------
+
+    def sink_key(self) -> Key:
+        return self._sink
+
+    def predecessors(self, key: Key) -> Sequence[Key]:
+        return self._preds[key]
+
+    def successors(self, key: Key) -> Sequence[Key]:
+        return self._succs[key]
+
+    def compute(self, key: Key, ctx: ComputeContext) -> None:
+        self._compute(key, ctx)
+
+    def cost(self, key: Key) -> float:
+        return 1.0 if self._cost is None else float(self._cost(key))
+
+    def producer(self, ref: BlockRef) -> Key:
+        # Single-assignment: block id is the producing task's key.
+        return ref.block
+
+    # -- misc -------------------------------------------------------------------
+
+    def vertices(self) -> tuple[Key, ...]:
+        return tuple(self._preds)
+
+    def __len__(self) -> int:
+        return len(self._preds)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._preds

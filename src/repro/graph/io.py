@@ -1,0 +1,88 @@
+"""Task-graph (de)serialization: JSON descriptors for explicit graphs.
+
+Lets users ship graph *structure* between tools (trace capture, external
+generators, test fixtures) without Python code.  Only structure and
+costs travel -- compute bodies are code and must be re-attached on load
+(the deterministic tuple-building default is used otherwise).
+
+Key encoding: JSON has no tuples, so tuple keys round-trip through
+``{"t": [...]}`` wrappers (recursively); strings and integers pass
+through unchanged.  Other key types are rejected at save time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.graph.analysis import collect_tasks
+from repro.graph.explicit import ExplicitTaskGraph
+from repro.graph.taskspec import ComputeContext, Key, TaskGraphSpec
+
+FORMAT_VERSION = 1
+
+
+def _encode_key(key: Key) -> Any:
+    if isinstance(key, bool) or key is None:
+        raise TypeError(f"unsupported key type for serialization: {key!r}")
+    if isinstance(key, (str, int)):
+        return key
+    if isinstance(key, tuple):
+        return {"t": [_encode_key(k) for k in key]}
+    raise TypeError(f"unsupported key type for serialization: {type(key).__name__}")
+
+
+def _decode_key(data: Any) -> Key:
+    if isinstance(data, dict):
+        return tuple(_decode_key(k) for k in data["t"])
+    return data
+
+
+def spec_to_dict(spec: TaskGraphSpec) -> dict:
+    """Materialize the reachable-from-sink structure as a JSON-safe dict."""
+    tasks = collect_tasks(spec)
+    return {
+        "format": FORMAT_VERSION,
+        "sink": _encode_key(spec.sink_key()),
+        "tasks": [
+            {
+                "key": _encode_key(k),
+                "preds": [_encode_key(p) for p in spec.predecessors(k)],
+                "cost": float(spec.cost(k)),
+            }
+            for k in tasks
+        ],
+    }
+
+
+def spec_from_dict(
+    data: dict,
+    compute: Callable[[Key, ComputeContext], None] | None = None,
+) -> ExplicitTaskGraph:
+    """Rebuild an :class:`ExplicitTaskGraph` from :func:`spec_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format: {data.get('format')!r}")
+    sink = _decode_key(data["sink"])
+    preds: dict[Key, list[Key]] = {}
+    costs: dict[Key, float] = {}
+    for entry in data["tasks"]:
+        key = _decode_key(entry["key"])
+        preds[key] = [_decode_key(p) for p in entry["preds"]]
+        costs[key] = float(entry.get("cost", 1.0))
+    return ExplicitTaskGraph.from_predecessor_map(
+        preds, sink=sink, compute=compute, cost=lambda k: costs[k]
+    )
+
+
+def save_graph(spec: TaskGraphSpec, path: str | Path) -> None:
+    """Write ``spec``'s structure to a JSON file."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=1))
+
+
+def load_graph(
+    path: str | Path,
+    compute: Callable[[Key, ComputeContext], None] | None = None,
+) -> ExplicitTaskGraph:
+    """Read a graph structure written by :func:`save_graph`."""
+    return spec_from_dict(json.loads(Path(path).read_text()), compute=compute)

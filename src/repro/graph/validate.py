@@ -1,0 +1,103 @@
+"""Structural validation of task-graph specifications.
+
+The fault-tolerant scheduler's guarantees rest on structural assumptions
+stated in the paper: the graph is acyclic, the sink transitively depends on
+every task, and the ``predecessors``/``successors`` functions are mutually
+consistent (``p in preds(k)`` iff ``k in succs(p)``).  ``validate_spec``
+checks all of these on the reachable-from-sink subgraph and reports the
+first violation with enough context to debug an application spec.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.graph.taskspec import Key, TaskGraphSpec
+
+
+class GraphValidationError(ValueError):
+    """Raised when a spec violates a structural assumption of the scheduler."""
+
+
+def _check_unique(label: str, key: Key, items: Sequence[Key]) -> None:
+    if len(set(items)) != len(items):
+        raise GraphValidationError(f"duplicate entries in {label} list of {key!r}: {items!r}")
+
+
+def validate_spec(spec: TaskGraphSpec, max_tasks: int | None = None) -> int:
+    """Validate ``spec`` and return the number of reachable tasks.
+
+    Checks, on the subgraph reachable backward from the sink:
+
+    * predecessor and successor lists contain no duplicates;
+    * predecessor/successor mutual consistency;
+    * acyclicity (via Kahn's algorithm on the materialized subgraph);
+    * the sink has no successors and every reachable task reaches the sink
+      (guaranteed by construction of the backward walk, but cross-checked
+      through the successor function);
+    * per-task virtual cost is positive and finite.
+
+    ``max_tasks`` bounds the walk so validation of accidentally-huge or
+    unexpectedly cyclic key spaces fails fast instead of hanging.
+    """
+    sink = spec.sink_key()
+    if tuple(spec.successors(sink)):
+        raise GraphValidationError(f"sink {sink!r} has successors {tuple(spec.successors(sink))!r}")
+
+    preds_of: dict[Key, tuple[Key, ...]] = {}
+    frontier: deque[Key] = deque([sink])
+    seen = {sink}
+    while frontier:
+        key = frontier.popleft()
+        if max_tasks is not None and len(preds_of) >= max_tasks:
+            raise GraphValidationError(
+                f"graph exceeds max_tasks={max_tasks} reachable tasks; "
+                "possible unbounded predecessor recursion"
+            )
+        preds = tuple(spec.predecessors(key))
+        succs = tuple(spec.successors(key))
+        _check_unique("predecessor", key, preds)
+        _check_unique("successor", key, succs)
+        if key in preds:
+            raise GraphValidationError(f"{key!r} lists itself as a predecessor")
+        for p in preds:
+            if key not in tuple(spec.successors(p)):
+                raise GraphValidationError(
+                    f"inconsistent adjacency: {p!r} in preds({key!r}) but "
+                    f"{key!r} not in succs({p!r})"
+                )
+        for s in succs:
+            if key not in tuple(spec.predecessors(s)):
+                raise GraphValidationError(
+                    f"inconsistent adjacency: {s!r} in succs({key!r}) but "
+                    f"{key!r} not in preds({s!r})"
+                )
+        c = spec.cost(key)
+        if not (c > 0) or c != c or c == float("inf"):
+            raise GraphValidationError(f"cost({key!r}) = {c!r} is not positive and finite")
+        preds_of[key] = preds
+        for p in preds:
+            if p not in seen:
+                seen.add(p)
+                frontier.append(p)
+
+    # Acyclicity via Kahn's algorithm restricted to the reachable subgraph.
+    indeg = {k: len(ps) for k, ps in preds_of.items()}
+    consumers: dict[Key, list[Key]] = {k: [] for k in preds_of}
+    for k, ps in preds_of.items():
+        for p in ps:
+            consumers[p].append(k)
+    ready = deque(k for k, d in indeg.items() if d == 0)
+    done = 0
+    while ready:
+        k = ready.popleft()
+        done += 1
+        for c2 in consumers[k]:
+            indeg[c2] -= 1
+            if indeg[c2] == 0:
+                ready.append(c2)
+    if done != len(preds_of):
+        cyclic = sorted((k for k, d in indeg.items() if d > 0), key=repr)[:8]
+        raise GraphValidationError(f"cycle detected among tasks (sample): {cyclic!r}")
+    return len(preds_of)

@@ -1,0 +1,54 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+==========  ==============================================  ==================
+Experiment  Driver                                          Formatter
+==========  ==============================================  ==================
+Table I     :func:`repro.harness.table1.table1`             ``format_table1``
+Figure 4    :func:`repro.harness.figure4.figure4`           ``format_figure4``
+Figure 5a   :func:`repro.harness.figure5.figure5a`          ``format_figure5``
+Figure 5b   :func:`repro.harness.figure5.figure5b`          ``format_figure5``
+Table II    :func:`repro.harness.table2.after_notify_study` ``format_table2``
+Figure 6    (same runs as Table II)                         ``format_figure6``
+Figure 7    :func:`repro.harness.figure7.figure7`           ``format_figure7``
+==========  ==============================================  ==================
+
+``python -m repro.harness`` regenerates everything in sequence.
+"""
+
+from repro.harness.experiment import ExecutionOutcome, execute, makespans
+from repro.harness.figure4 import SpeedupSeries, figure4, format_figure4
+from repro.harness.figure5 import OverheadCell, figure5a, figure5b, format_figure5
+from repro.harness.figure7 import ScalabilitySeries, figure7, format_figure7
+from repro.harness.report import pm, render_table
+from repro.harness.table1 import Table1Row, format_table1, table1
+from repro.harness.table2 import (
+    AfterNotifyCell,
+    after_notify_study,
+    format_figure6,
+    format_table2,
+)
+
+__all__ = [
+    "execute",
+    "makespans",
+    "ExecutionOutcome",
+    "table1",
+    "format_table1",
+    "Table1Row",
+    "figure4",
+    "format_figure4",
+    "SpeedupSeries",
+    "figure5a",
+    "figure5b",
+    "format_figure5",
+    "OverheadCell",
+    "after_notify_study",
+    "format_table2",
+    "format_figure6",
+    "AfterNotifyCell",
+    "figure7",
+    "format_figure7",
+    "ScalabilitySeries",
+    "render_table",
+    "pm",
+]

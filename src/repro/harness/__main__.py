@@ -1,0 +1,128 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage::
+
+    python -m repro.harness                 # everything, default settings
+    python -m repro.harness --quick         # fewer reps, smaller sweeps
+    python -m repro.harness --only fig4     # one experiment
+    python -m repro.harness --apps lcs,lu   # subset of benchmarks
+
+Table I runs at paper scale (structure analytics only); the execution
+experiments run at the scaled default instances in virtual time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.figure4 import figure4, format_figure4
+from repro.harness.figure5 import figure5a, figure5b, format_figure5
+from repro.harness.figure7 import figure7, format_figure7
+from repro.harness.table1 import format_table1, table1
+from repro.harness.table2 import after_notify_study, format_figure6, format_table2
+
+EXPERIMENTS = ("table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro.harness", description=__doc__)
+    ap.add_argument("--only", choices=EXPERIMENTS, action="append", default=None,
+                    help="run only the given experiment(s)")
+    ap.add_argument("--apps", type=str, default=None,
+                    help="comma-separated benchmark subset (default: all five)")
+    ap.add_argument("--reps", type=int, default=None, help="repetitions per point")
+    ap.add_argument("--quick", action="store_true", help="small sweeps for a fast pass")
+    ap.add_argument("--plot", action="store_true", help="render ASCII charts after each table")
+    ap.add_argument("--scale", choices=("tiny", "default", "large"), default="default",
+                    help="instance scale for the execution experiments")
+    ap.add_argument("--json", type=str, default=None, metavar="PATH",
+                    help="write all collected results to a JSON file")
+    args = ap.parse_args(argv)
+
+    apps = tuple(args.apps.split(",")) if args.apps else None
+    reps = args.reps or (2 if args.quick else 5)
+    fig4_reps = args.reps or (2 if args.quick else 3)
+    workers4 = (1, 2, 8, 44) if args.quick else (1, 2, 4, 8, 16, 32, 44)
+    workers7 = (1, 8, 44) if args.quick else (1, 8, 16, 32, 44)
+    wanted = set(args.only or EXPERIMENTS)
+    collected: dict = {}
+
+    def run(label: str, fn):
+        t0 = time.time()
+        print(f"\n>>> {label} ...", flush=True)
+        out = fn()
+        print(out)
+        print(f"<<< {label} done in {time.time() - t0:.1f}s", flush=True)
+
+    if "table1" in wanted:
+        t1_scale = "default" if args.quick else "paper"
+
+        def _t1():
+            rows = table1(apps, scale=t1_scale)
+            collected["table1"] = rows
+            return format_table1(rows)
+        run("Table I", _t1)
+    if "fig4" in wanted:
+        def _fig4():
+            series = figure4(apps, workers=workers4, reps=fig4_reps, scale=args.scale)
+            collected["figure4"] = series
+            out = format_figure4(series)
+            if args.plot:
+                from repro.harness.plot import figure4_chart
+
+                out += "\n\n" + figure4_chart(series)
+            return out
+        run("Figure 4", _fig4)
+    if "fig5a" in wanted:
+        def _f5a():
+            cells = figure5a(apps, reps=reps, scale=args.scale)
+            collected["figure5a"] = cells
+            return format_figure5(cells, "Figure 5(a): overhead, 512-task loss, before/after compute")
+        run("Figure 5(a)", _f5a)
+    if "fig5b" in wanted:
+        def _f5b():
+            cells = figure5b(apps, reps=reps, scale=args.scale)
+            collected["figure5b"] = cells
+            return format_figure5(cells, "Figure 5(b): overhead, 2%/5% loss, before/after compute")
+        run("Figure 5(b)", _f5b)
+    if wanted & {"table2", "fig6"}:
+        cells = after_notify_study(apps, reps=reps, scale=args.scale)
+        collected["after_notify_study"] = cells
+        if "table2" in wanted:
+            print()
+            print(format_table2(cells))
+        if "fig6" in wanted:
+            print()
+            print(format_figure6(cells))
+    def _fig7(label, **kw):
+        def inner():
+            series = figure7(apps, workers=workers7, reps=fig4_reps, scale=args.scale, **kw)
+            collected[label.split(":")[0].replace(" ", "").lower()] = series
+            out = format_figure7(series, label)
+            if args.plot:
+                from repro.harness.plot import figure7_chart
+
+                out += "\n\n" + figure7_chart(series, label)
+            return out
+        return inner
+
+    if "fig7a" in wanted:
+        run("Figure 7(a)", _fig7(
+            "Figure 7(a): overhead vs P, 512-task loss, after compute, v=rand",
+            paper_loss=512))
+    if "fig7b" in wanted:
+        run("Figure 7(b)", _fig7(
+            "Figure 7(b): overhead vs P, 5% loss, after compute, v=rand",
+            paper_loss=None, fraction=0.05))
+    if args.json:
+        from repro.harness.export import write_results
+
+        write_results(collected, args.json)
+        print(f"\nresults written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Experiment execution: one place that wires app + scheduler + faults.
+
+Every figure/table driver reduces to calls of :func:`execute` -- run one
+benchmark once on the simulated runtime with a given scheduler variant,
+worker count, steal seed, and optional fault plan -- and aggregation over
+repetition seeds.  The paper takes 10 runs per point; drivers default to
+fewer but expose ``reps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.base import Application
+from repro.core.ft import FTScheduler
+from repro.core.nabbit import NabbitScheduler
+from repro.core.result import SchedulerResult
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultPlan
+from repro.runtime.costmodel import CostModel
+from repro.runtime.simulator import SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+@dataclass
+class ExecutionOutcome:
+    """One simulated run plus its fault bookkeeping."""
+
+    result: SchedulerResult
+    injector: FaultInjector | None = None
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    @property
+    def reexecutions(self) -> int:
+        return self.result.trace.reexecutions
+
+
+def execute(
+    app: Application,
+    fault_tolerant: bool = True,
+    workers: int = 1,
+    steal_seed: int = 0,
+    plan: FaultPlan | None = None,
+    cost_model: CostModel | None = None,
+    verify: bool = False,
+) -> ExecutionOutcome:
+    """Run ``app`` once on the discrete-event runtime."""
+    if plan is not None and not fault_tolerant:
+        raise ValueError("fault injection requires the fault-tolerant scheduler")
+    store = app.make_store(fault_tolerant)
+    runtime = SimulatedRuntime(workers=workers, cost_model=cost_model, seed=steal_seed)
+    trace = ExecutionTrace()
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, app, store, trace)
+    if fault_tolerant:
+        sched: FTScheduler | NabbitScheduler = FTScheduler(
+            app, runtime, store=store, cost_model=cost_model, hooks=injector, trace=trace
+        )
+    else:
+        sched = NabbitScheduler(app, runtime, store=store, cost_model=cost_model, trace=trace)
+    result = sched.run()
+    if verify:
+        app.verify(store)
+    return ExecutionOutcome(result=result, injector=injector)
+
+
+def makespans(
+    app: Application,
+    reps: int,
+    fault_tolerant: bool = True,
+    workers: int = 1,
+    cost_model: CostModel | None = None,
+    base_seed: int = 0,
+) -> list[float]:
+    """Fault-free makespans over ``reps`` steal seeds.
+
+    At ``workers == 1`` the simulation is deterministic (no steals), so a
+    single run suffices and is reused for every rep.
+    """
+    if workers == 1:
+        m = execute(app, fault_tolerant, 1, base_seed, cost_model=cost_model).makespan
+        return [m] * reps
+    return [
+        execute(app, fault_tolerant, workers, base_seed + r, cost_model=cost_model).makespan
+        for r in range(reps)
+    ]
+
+
+def seeds(reps: int, base: int = 0) -> Sequence[int]:
+    return range(base, base + reps)

@@ -1,0 +1,46 @@
+"""JSON export of experiment results.
+
+Every driver returns dataclasses; this module flattens them into
+JSON-safe dictionaries so downstream tooling (plotting, regression
+tracking across versions) can consume a harness run without re-parsing
+tables.  ``python -m repro.harness --json out.json`` collects everything
+it ran into one document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.stats import Summary
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, Summary):
+        return {
+            "mean": value.mean,
+            "min": value.minimum,
+            "max": value.maximum,
+            "std": value.std,
+            "n": value.n,
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonify(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def results_to_dict(results: dict[str, Any]) -> dict[str, Any]:
+    """Flatten ``{experiment_name: driver_output}`` into JSON-safe data."""
+    return {name: _jsonify(payload) for name, payload in results.items()}
+
+
+def write_results(results: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(results_to_dict(results), indent=1))

@@ -1,0 +1,88 @@
+"""Figure 4: speedup of baseline vs fault-tolerant versions, no faults.
+
+For each benchmark and worker count P in {1, 2, 4, 8, 16, 32, 44}, runs
+both scheduler variants on the simulated runtime and reports speedup
+relative to the variant's own one-worker time (matching the paper, which
+plots each version against its own sequential time and reports the
+sequential times in the caption).
+
+Expected shape (paper): near-linear speedup for all five benchmarks; the
+FT curve indistinguishable from baseline except Floyd-Warshall, whose
+two-version memory costs ~10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import Summary, summarize
+from repro.apps.registry import APP_NAMES, make_app
+from repro.harness.experiment import makespans
+from repro.harness.report import pm, render_table
+from repro.runtime.costmodel import CostModel
+
+DEFAULT_WORKERS = (1, 2, 4, 8, 16, 32, 44)
+
+#: Larger-than-default instances so structural parallelism does not
+#: saturate before 44 workers (the paper's instances have parallelism in
+#: the hundreds).
+FIGURE4_SCALE = "default"
+
+
+@dataclass
+class SpeedupSeries:
+    """One curve of Figure 4: one app, one scheduler variant."""
+
+    app: str
+    variant: str  # "baseline" | "ft"
+    workers: tuple[int, ...]
+    times: dict[int, Summary] = field(default_factory=dict)
+
+    @property
+    def sequential_time(self) -> float:
+        return self.times[1].mean
+
+    def speedup(self, p: int) -> float:
+        return self.sequential_time / self.times[p].mean
+
+
+def figure4(
+    apps: tuple[str, ...] | None = None,
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    reps: int = 3,
+    scale: str = FIGURE4_SCALE,
+    cost_model: CostModel | None = None,
+) -> list[SpeedupSeries]:
+    """Run the Figure 4 sweep and return one series per (app, variant)."""
+    series: list[SpeedupSeries] = []
+    for name in apps or APP_NAMES:
+        for variant, ft in (("baseline", False), ("ft", True)):
+            app = make_app(name, scale=scale, light=True)
+            s = SpeedupSeries(app=name, variant=variant, workers=tuple(workers))
+            for p in workers:
+                s.times[p] = summarize(
+                    makespans(app, reps=reps, fault_tolerant=ft, workers=p, cost_model=cost_model)
+                )
+            series.append(s)
+    return series
+
+
+def format_figure4(series: list[SpeedupSeries]) -> str:
+    headers = ["app", "variant", "T(1)"] + [f"S(P={p})" for p in series[0].workers if p != 1]
+    rows = []
+    for s in series:
+        row = [s.app, s.variant, f"{s.sequential_time:.0f}"]
+        row += [f"{s.speedup(p):.2f}" for p in s.workers if p != 1]
+        rows.append(row)
+    out = [render_table(headers, rows, title="Figure 4: speedup vs workers (no faults)")]
+    # The caption's companion: FT-over-baseline sequential overhead.
+    over = []
+    byapp: dict[str, dict[str, SpeedupSeries]] = {}
+    for s in series:
+        byapp.setdefault(s.app, {})[s.variant] = s
+    for name, pair in byapp.items():
+        if "baseline" in pair and "ft" in pair:
+            b, f = pair["baseline"].sequential_time, pair["ft"].sequential_time
+            over.append((name, f"{100.0 * (f - b) / b:+.1f}%"))
+    out.append(render_table(["app", "FT sequential overhead"], over))
+    return "\n\n".join(out)

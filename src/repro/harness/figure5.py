@@ -1,0 +1,152 @@
+"""Figure 5: recovery overhead for before/after-compute faults.
+
+(a) failures sized to re-execute ~512 tasks (scaled proportionally to the
+instance, see ``scaled_loss``), for all combinations of injection time
+{before_compute, after_compute} x task type {v=0, v=rand, v=last};
+
+(b) failures sized to 2% and 5% of the total task count, v=rand only.
+
+As in the paper, overhead is the percentage increase in execution time
+over the fault-tolerant version without faults, measured sequentially
+(P = 1); error bars come from the fault-placement seed.
+
+Expected shape: before-compute ~0 everywhere; after-compute <= ~1% for
+the 512-task scenario and <= ~3.6% / ~8.2% for 2% / 5% loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import Summary, percent_overhead, summarize
+from repro.apps.registry import APP_NAMES, make_app, scaled_loss
+from repro.faults.model import FaultPhase
+from repro.faults.planner import plan_faults
+from repro.faults.selectors import TASK_TYPES, VersionIndex
+from repro.harness.experiment import execute
+from repro.harness.report import pm, render_table
+from repro.runtime.costmodel import CostModel
+
+PHASES = (FaultPhase.BEFORE_COMPUTE, FaultPhase.AFTER_COMPUTE)
+
+
+@dataclass
+class OverheadCell:
+    """One bar of Figure 5: app x phase x task type x amount."""
+
+    app: str
+    phase: str
+    task_type: str
+    amount: str
+    overhead: Summary
+    reexecutions: Summary
+    implied: float
+
+
+def _study(
+    apps: tuple[str, ...] | None,
+    scenarios: list[tuple[str, dict]],
+    phases: tuple[FaultPhase, ...],
+    reps: int,
+    workers: int,
+    scale: str,
+    cost_model: CostModel | None,
+) -> list[OverheadCell]:
+    cells: list[OverheadCell] = []
+    for name in apps or APP_NAMES:
+        app = make_app(name, scale=scale, light=True)
+        index = VersionIndex(app)
+        base = execute(app, workers=workers, cost_model=cost_model).makespan
+        for amount_desc, amount_kw in scenarios:
+            for phase in phases:
+                task_type = amount_kw.get("task_type", "v=rand")
+                overheads, reexecs, implied = [], [], []
+                for r in range(reps):
+                    plan = plan_faults(
+                        app,
+                        phase=phase,
+                        task_type=task_type,
+                        seed=1000 + r,
+                        index=index,
+                        **{k: v for k, v in amount_kw.items() if k != "task_type"},
+                    )
+                    out = execute(
+                        app, workers=workers, steal_seed=r, plan=plan, cost_model=cost_model
+                    )
+                    overheads.append(percent_overhead(out.makespan, base))
+                    reexecs.append(out.reexecutions)
+                    implied.append(plan.implied_reexecutions)
+                cells.append(
+                    OverheadCell(
+                        app=name,
+                        phase=phase.value,
+                        task_type=task_type,
+                        amount=amount_desc,
+                        overhead=summarize(overheads),
+                        reexecutions=summarize(reexecs),
+                        implied=sum(implied) / len(implied),
+                    )
+                )
+    return cells
+
+
+def figure5a(
+    apps: tuple[str, ...] | None = None,
+    paper_loss: int = 512,
+    reps: int = 5,
+    workers: int = 1,
+    scale: str = "default",
+    cost_model: CostModel | None = None,
+) -> list[OverheadCell]:
+    """512-task-loss scenario over phase x task-type."""
+    from repro.apps.registry import (
+        DEFAULT_CONFIGS, LARGE_CONFIGS, PAPER_CONFIGS, TINY_CONFIGS,
+    )
+
+    configs = {"default": DEFAULT_CONFIGS, "tiny": TINY_CONFIGS,
+               "large": LARGE_CONFIGS, "paper": PAPER_CONFIGS}[scale]
+    cells: list[OverheadCell] = []
+    for name in apps or APP_NAMES:
+        loss = scaled_loss(name, paper_loss, config=configs[name])
+        cells += _study(
+            (name,),
+            [(f"{paper_loss}(scaled:{loss}),{t}", {"count": loss, "task_type": t}) for t in TASK_TYPES],
+            PHASES,
+            reps,
+            workers,
+            scale,
+            cost_model,
+        )
+    return cells
+
+
+def figure5b(
+    apps: tuple[str, ...] | None = None,
+    fractions: tuple[float, ...] = (0.02, 0.05),
+    reps: int = 5,
+    workers: int = 1,
+    scale: str = "default",
+    cost_model: CostModel | None = None,
+) -> list[OverheadCell]:
+    """2% / 5% loss scenario, v=rand."""
+    scenarios = [(f"{f:.0%},v=rand", {"fraction": f, "task_type": "v=rand"}) for f in fractions]
+    return _study(apps, scenarios, PHASES, reps, workers, scale, cost_model)
+
+
+def format_figure5(cells: list[OverheadCell], title: str) -> str:
+    return render_table(
+        ["app", "amount", "type", "phase", "overhead %", "re-executed", "implied"],
+        [
+            (
+                c.app,
+                c.amount,
+                c.task_type,
+                c.phase,
+                pm(c.overhead.mean, c.overhead.std),
+                pm(c.reexecutions.mean, c.reexecutions.std, 1),
+                f"{c.implied:.0f}",
+            )
+            for c in cells
+        ],
+        title=title,
+    )

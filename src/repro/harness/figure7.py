@@ -1,0 +1,90 @@
+"""Figure 7: scalability of recovery -- overhead vs worker count.
+
+After-compute faults on v=rand tasks, at (a) the 512-task-scaled loss and
+(b) 5% loss, swept over P in {1, 8, 16, 32, 44}.  Overhead at each P is
+measured against the fault-free fault-tolerant run *at the same P and the
+same steal seed*, then averaged over repetitions.
+
+Expected shape: (a) flat and small (constant re-execution is absorbed);
+(b) overhead *increases* with P -- recovery chains through version chains
+are serial and cannot use idle workers, so their relative cost grows as
+the fault-free makespan shrinks (the paper's "biggest scalability
+challenge" discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import Summary, percent_overhead, summarize
+from repro.apps.registry import APP_NAMES, make_app, scaled_loss
+from repro.faults.planner import plan_faults
+from repro.faults.selectors import VersionIndex
+from repro.harness.experiment import execute
+from repro.harness.report import pm, render_table
+from repro.runtime.costmodel import CostModel
+
+DEFAULT_WORKERS = (1, 8, 16, 32, 44)
+
+
+@dataclass
+class ScalabilitySeries:
+    app: str
+    amount: str
+    workers: tuple[int, ...]
+    overhead: dict[int, Summary] = field(default_factory=dict)
+
+
+def figure7(
+    apps: tuple[str, ...] | None = None,
+    paper_loss: int | None = 512,
+    fraction: float | None = None,
+    workers: tuple[int, ...] = DEFAULT_WORKERS,
+    reps: int = 3,
+    scale: str = "default",
+    cost_model: CostModel | None = None,
+) -> list[ScalabilitySeries]:
+    """One panel of Figure 7: fixed loss amount, P sweep.
+
+    Pass ``paper_loss=512, fraction=None`` for panel (a) and
+    ``paper_loss=None, fraction=0.05`` for panel (b).
+    """
+    if (paper_loss is None) == (fraction is None):
+        raise ValueError("specify exactly one of paper_loss / fraction")
+    series: list[ScalabilitySeries] = []
+    for name in apps or APP_NAMES:
+        app = make_app(name, scale=scale, light=True)
+        index = VersionIndex(app)
+        if paper_loss is not None:
+            loss = scaled_loss(name, paper_loss, config=app.config)
+            amount_desc = f"{paper_loss} tasks (scaled:{loss})"
+            kw = {"count": loss}
+        else:
+            amount_desc = f"{fraction:.0%} of tasks"
+            kw = {"fraction": fraction}
+        s = ScalabilitySeries(app=name, amount=amount_desc, workers=tuple(workers))
+        for p in workers:
+            overheads = []
+            for r in range(reps):
+                base = execute(app, workers=p, steal_seed=r, cost_model=cost_model).makespan
+                plan = plan_faults(
+                    app, phase="after_compute", task_type="v=rand",
+                    seed=3000 + r, index=index, **kw,
+                )
+                out = execute(app, workers=p, steal_seed=r, plan=plan, cost_model=cost_model)
+                overheads.append(percent_overhead(out.makespan, base))
+            s.overhead[p] = summarize(overheads)
+        series.append(s)
+    return series
+
+
+def format_figure7(series: list[ScalabilitySeries], title: str) -> str:
+    workers = series[0].workers
+    return render_table(
+        ["app", "amount"] + [f"P={p}" for p in workers],
+        [
+            [s.app, s.amount] + [pm(s.overhead[p].mean, s.overhead[p].std) for p in workers]
+            for s in series
+        ],
+        title=title,
+    )

@@ -1,0 +1,178 @@
+"""ASCII chart rendering for the figure drivers.
+
+The paper's evaluation is figures; the harness prints their numeric
+series as tables and, with these helpers, as terminal-friendly charts:
+``line_chart`` for the speedup curves (Figure 4) and P-sweeps (Figure 7),
+``bar_chart`` for the overhead bars (Figures 5 and 6).
+
+Pure string manipulation -- no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = round((value - lo) / (hi - lo) * (width - 1))
+    return min(max(pos, 0), width - 1)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    height: int = 16,
+    width: int = 60,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a label to ``(x, y)`` points.  Each series gets a
+    distinct mark; collisions show the later series' mark.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    xlo, xhi = min(xs), max(xs)
+    ylo, yhi = min(min(ys), 0.0), max(ys)
+    if yhi == ylo:
+        yhi = ylo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (label, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = _scale(x, xlo, xhi, width)
+            row = height - 1 - _scale(y, ylo, yhi, height)
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{yhi:.4g}"
+    bottom_label = f"{ylo:.4g}"
+    label_w = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_w)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_w)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(label_w)
+        else:
+            prefix = " " * label_w
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = f"{' ' * label_w} +{'-' * width}"
+    lines.append(axis)
+    xticks = f"{xlo:.4g}".ljust(width - 8) + f"{xhi:.4g}".rjust(8)
+    lines.append(f"{' ' * label_w}  {xticks}")
+    if x_label:
+        lines.append(f"{' ' * label_w}  {x_label.center(width)}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{' ' * label_w}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; negative values render leftward from zero."""
+    if not values:
+        raise ValueError("nothing to plot")
+    label_w = max(len(str(k)) for k in values)
+    hi = max(max(values.values()), 0.0)
+    lo = min(min(values.values()), 0.0)
+    span = (hi - lo) or 1.0
+    zero_col = round(-lo / span * width)
+    lines = [title] if title else []
+    for label, v in values.items():
+        col = round((v - lo) / span * width)
+        if v >= 0:
+            bar = " " * zero_col + "#" * max(col - zero_col, 1 if v > 0 else 0)
+        else:
+            bar = " " * col + "#" * (zero_col - col)
+        lines.append(f"{str(label).rjust(label_w)} |{bar.ljust(width)}| {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def gantt_chart(
+    timeline: Sequence[tuple[float, float, int, str]],
+    width: int = 72,
+    title: str = "",
+    compute_only: bool = True,
+) -> str:
+    """Worker-occupancy chart from a simulator timeline.
+
+    ``timeline`` is :attr:`SimulatedRuntime.timeline` (``record_timeline=
+    True``): ``(start, end, worker, label)`` per frame.  Busy columns
+    render ``#`` (or ``c`` where the column contains compute frames when
+    ``compute_only``); idle columns stay blank -- making serial recovery
+    chains visible as single-row activity.
+    """
+    if not timeline:
+        raise ValueError("empty timeline; run with record_timeline=True")
+    horizon = max(end for _s, end, _w, _l in timeline)
+    workers = sorted({w for _s, _e, w, _l in timeline})
+    rows = {}
+    for w in workers:
+        busy = [" "] * width
+        for start, end, fw, label in timeline:
+            if fw != w:
+                continue
+            c0 = _scale(start, 0.0, horizon, width)
+            c1 = _scale(end, 0.0, horizon, width)
+            mark = "c" if (compute_only and label.startswith("publish:")) else "#"
+            for c in range(c0, max(c1, c0) + 1):
+                if busy[c] != "c":
+                    busy[c] = mark
+        rows[w] = "".join(busy)
+    lines = [title] if title else []
+    label_w = len(f"w{workers[-1]}")
+    for w in workers:
+        lines.append(f"{('w%d' % w).rjust(label_w)} |{rows[w]}|")
+    lines.append(f"{' ' * label_w} 0{' ' * (width - len(f'{horizon:.4g}') - 1)}{horizon:.4g}")
+    lines.append(f"{' ' * label_w}  ('c' columns contain task completions)")
+    return "\n".join(lines)
+
+
+def figure4_chart(series) -> str:
+    """Figure 4 as an ASCII chart (speedup vs workers, one mark per
+    (app, variant))."""
+    data = {
+        f"{s.app}/{s.variant}": [(float(p), s.speedup(p)) for p in s.workers]
+        for s in series
+    }
+    return line_chart(
+        data,
+        title="Figure 4: speedup vs workers",
+        y_label="speedup",
+        x_label="workers (P)",
+    )
+
+
+def figure7_chart(series, title: str) -> str:
+    """Figure 7 as an ASCII chart (mean overhead % vs workers)."""
+    data = {
+        s.app: [(float(p), s.overhead[p].mean) for p in s.workers]
+        for s in series
+    }
+    return line_chart(data, title=title, y_label="ovh %", x_label="workers (P)")
+
+
+def figure5_chart(cells, title: str) -> str:
+    """Figure 5/6 as grouped bars (mean overhead %)."""
+    values = {
+        f"{c.app} {c.task_type} {getattr(c, 'phase', '')}".strip(): c.overhead.mean
+        for c in cells
+    }
+    return bar_chart(values, title=title, unit="%")

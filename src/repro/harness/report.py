@@ -1,0 +1,51 @@
+"""Plain-text table/series rendering for the experiment drivers.
+
+Each driver returns structured rows; these helpers print them in the same
+layout the paper's tables and figure captions use, so a harness run reads
+side by side with the PDF.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Monospace-aligned table."""
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    srows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _numeric(s: str) -> bool:
+    try:
+        float(s.replace("±", " ").split()[0])
+        return True
+    except (ValueError, IndexError):
+        return False
+
+
+def pm(mean: float, std: float, digits: int = 2) -> str:
+    """``mean ± std`` cell."""
+    return f"{mean:.{digits}f} ± {std:.{digits}f}"

@@ -1,0 +1,94 @@
+"""Table I: benchmark configurations and task-graph structure.
+
+Reports, per benchmark, matrix/sequence size N, block size B, total tasks
+T, total dependences E, and critical path S -- computed by materializing
+the reachable graph and measuring it, exactly as defined in Section VI.
+The paper's values are printed alongside for comparison.
+
+``S`` is reported as path length in *nodes* (the convention that matches
+the paper's LU/Cholesky/FW rows; LCS differs by one -- see
+EXPERIMENTS.md).  For FW, our explicit collection sink adds 1 task and
+B^2 edges over the paper's count; the row also shows the sink-free
+numbers, which match the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import PAPER_CONFIGS, make_app
+from repro.graph.analysis import graph_stats
+from repro.harness.report import render_table
+
+#: The paper's Table I values: name -> (N desc, B desc, T, E, S).
+PAPER_TABLE1 = {
+    "lcs": ("512Kx512K", "2Kx2K", 65536, 195585, 510),
+    "lu": ("10Kx10K", "128x128", 173880, 508760, 238),
+    "cholesky": ("10Kx10K", "128x128", 88560, 255960, 238),
+    "fw": ("5Kx5K", "128x128", 64000, 308880, 120),
+    "sw": ("6Kx6K", "128x128", 132650, 262600, 1475),
+}
+
+
+@dataclass
+class Table1Row:
+    app: str
+    n: int
+    block: int
+    tasks: int
+    edges: int
+    s_nodes: int
+    s_edges: int
+    paper_tasks: int
+    paper_edges: int
+    paper_s: int
+    note: str = ""
+
+
+def table1(apps: tuple[str, ...] | None = None, scale: str = "paper") -> list[Table1Row]:
+    """Measure the Table I structure counts at the requested scale."""
+    rows = []
+    for name in apps or tuple(PAPER_TABLE1):
+        app = make_app(name, scale=scale, light=True)
+        st = graph_stats(app)
+        p_t, p_e, p_s = PAPER_TABLE1[name][2:]
+        note = ""
+        tasks, edges = st.tasks, st.edges
+        if name == "fw":
+            # Exclude our explicit collection sink to compare like for like.
+            B = app.config.blocks
+            note = f"(+1 sink task, +{B * B} sink edges excluded)"
+            tasks -= 1
+            edges -= B * B
+        if name == "sw":
+            note = "(paper's BSP strip decomposition not reconstructible)"
+        rows.append(
+            Table1Row(
+                app=name,
+                n=app.config.n,
+                block=app.config.block,
+                tasks=tasks,
+                edges=edges,
+                s_nodes=st.critical_path + 1,
+                s_edges=st.critical_path,
+                paper_tasks=p_t,
+                paper_edges=p_e,
+                paper_s=p_s,
+                note=note,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    return render_table(
+        ["app", "N", "B", "T", "T(paper)", "E", "E(paper)", "S nodes", "S edges", "S(paper)", "note"],
+        [
+            (
+                r.app, r.n, r.block, r.tasks, r.paper_tasks, r.edges, r.paper_edges,
+                r.s_nodes, r.s_edges, r.paper_s, r.note,
+            )
+            for r in rows
+        ],
+        title="Table I: benchmark task-graph structure",
+    )

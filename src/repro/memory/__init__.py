@@ -1,0 +1,43 @@
+"""Versioned data-block storage with reuse policies and corruption semantics.
+
+Tasks communicate exclusively through *data blocks* (Section II).  A block
+is a logical buffer identified by an application-chosen id; each task
+defines one or more *versions* of blocks.  The paper evaluates three
+physical policies:
+
+* **single assignment** -- every version gets its own buffer and is never
+  overwritten (:class:`SingleAssignment`);
+* **memory reuse** -- one physical buffer per block holds only the most
+  recently written version (:class:`Reuse`); reading an evicted version
+  raises :class:`~repro.exceptions.OverwrittenError`, which the
+  fault-tolerant scheduler converts into re-execution of the producer;
+* **two-version** -- the Floyd-Warshall compromise: the two most recently
+  written versions stay resident, damping cascading re-execution at 2x
+  memory cost (:class:`TwoVersion`).
+
+:class:`BlockStore` implements all three behind one interface and tracks
+occupancy/overwrite/corruption statistics for the ablation benchmarks.
+"""
+
+from repro.memory.allocator import (
+    AllocationPolicy,
+    KeepK,
+    Reuse,
+    SingleAssignment,
+    TwoVersion,
+    policy_from_name,
+)
+from repro.memory.blockstore import BlockStore, StoreStats
+from repro.memory.context import StoreComputeContext
+
+__all__ = [
+    "AllocationPolicy",
+    "SingleAssignment",
+    "Reuse",
+    "TwoVersion",
+    "KeepK",
+    "policy_from_name",
+    "BlockStore",
+    "StoreStats",
+    "StoreComputeContext",
+]

@@ -1,0 +1,91 @@
+"""Buffer allocation / retention policies for versioned data blocks.
+
+A policy answers one question: *after a write, which previously resident
+versions of the block stay readable?*  Retention is by **write recency**,
+not version number: physically, each block owns ``keep`` buffers cycled in
+write order, which is what a reuse implementation does and what recovery
+replay relies on (a recovered old version temporarily evicts a newer one,
+and the forward replay of the chain restores it -- Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AllocationPolicy:
+    """Base retention policy.
+
+    ``keep`` is the number of most-recently-written versions that remain
+    resident per block; ``None`` means unbounded (single assignment).
+    """
+
+    keep: int | None
+
+    def __post_init__(self) -> None:
+        if self.keep is not None and self.keep < 1:
+            raise ValueError(f"keep must be >= 1 or None, got {self.keep}")
+
+    @property
+    def name(self) -> str:
+        if self.keep is None:
+            return "single_assignment"
+        if self.keep == 1:
+            return "reuse"
+        if self.keep == 2:
+            return "two_version"
+        return f"keep{self.keep}"
+
+    @property
+    def is_single_assignment(self) -> bool:
+        return self.keep is None
+
+    def buffers_per_block(self) -> int | None:
+        """Physical buffers a block needs (None = one per version)."""
+        return self.keep
+
+
+def SingleAssignment() -> AllocationPolicy:
+    """Every version persists; no overwrite-induced re-execution is possible."""
+    return AllocationPolicy(keep=None)
+
+
+def Reuse() -> AllocationPolicy:
+    """One buffer per block: only the last written version is resident."""
+    return AllocationPolicy(keep=1)
+
+
+def TwoVersion() -> AllocationPolicy:
+    """Two buffers per block (the paper's Floyd-Warshall configuration)."""
+    return AllocationPolicy(keep=2)
+
+
+def KeepK(k: int) -> AllocationPolicy:
+    """Retain the ``k`` most recently written versions per block."""
+    return AllocationPolicy(keep=k)
+
+
+_NAMED = {
+    "single_assignment": SingleAssignment,
+    "single-assignment": SingleAssignment,
+    "reuse": Reuse,
+    "two_version": TwoVersion,
+    "two-version": TwoVersion,
+}
+
+
+def policy_from_name(name: str) -> AllocationPolicy:
+    """Resolve a policy by name (``keepN`` selects :func:`KeepK`)."""
+    key = name.strip().lower()
+    if key in _NAMED:
+        return _NAMED[key]()
+    if key.startswith("keep"):
+        try:
+            return KeepK(int(key[4:]))
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown allocation policy {name!r}; expected one of "
+        f"{sorted(set(_NAMED))} or 'keepN'"
+    )

@@ -1,0 +1,43 @@
+"""Work-stealing execution runtimes.
+
+The scheduler (``repro.core``) is written against a tiny
+:class:`~repro.runtime.api.ExecutionContext` surface -- ``spawn`` a frame,
+``charge`` virtual cost -- and therefore runs unchanged on three runtimes:
+
+* :class:`~repro.runtime.inline.InlineRuntime` -- serial LIFO stack;
+  the reference executor for unit tests and P=1 measurements.
+* :class:`~repro.runtime.simulator.SimulatedRuntime` -- a deterministic
+  discrete-event simulation of P workers with per-worker deques and
+  randomized stealing, in *virtual time* driven by a
+  :class:`~repro.runtime.costmodel.CostModel`.  This is the substitute for
+  the paper's 48-core Cilk++ testbed (see DESIGN.md): the scheduling
+  protocol is identical, only time is virtual.
+* :class:`~repro.runtime.threadpool.ThreadedRuntime` -- real ``threading``
+  workers with the same deque/steal protocol, used to stress the
+  scheduler's synchronization under genuine interleaving (the GIL rules
+  out speedup fidelity, not race coverage).
+
+Frames follow the Cilk discipline the paper's pseudocode assumes: a frame
+never blocks; ``spawn`` pushes work to the bottom of the spawning worker's
+deque; owners pop bottom (LIFO), thieves steal top (FIFO).
+"""
+
+from repro.runtime.api import ExecutionContext, RunResult, Runtime
+from repro.runtime.costmodel import CostModel
+from repro.runtime.frames import Frame
+from repro.runtime.deque import WorkDeque
+from repro.runtime.inline import InlineRuntime
+from repro.runtime.simulator import SimulatedRuntime
+from repro.runtime.threadpool import ThreadedRuntime
+
+__all__ = [
+    "ExecutionContext",
+    "RunResult",
+    "Runtime",
+    "CostModel",
+    "Frame",
+    "WorkDeque",
+    "InlineRuntime",
+    "SimulatedRuntime",
+    "ThreadedRuntime",
+]

@@ -1,0 +1,67 @@
+"""Runtime interfaces shared by the inline, simulated, and threaded executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.runtime.frames import Frame
+
+
+@runtime_checkable
+class ExecutionContext(Protocol):
+    """What scheduler code may do while running inside a frame."""
+
+    @property
+    def workers(self) -> int:
+        """Number of workers (the paper's P)."""
+        ...
+
+    def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
+        """Push a child frame onto the current worker's deque bottom."""
+        ...
+
+    def charge(self, amount: float) -> None:
+        """Account ``amount`` virtual time to the currently running frame.
+
+        No-op on wall-clock runtimes.
+        """
+        ...
+
+
+@dataclass
+class RunResult:
+    """Outcome of one ``Runtime.execute`` call."""
+
+    makespan: float
+    """Completion time: virtual time of the last frame completion for the
+    simulator, wall-clock seconds for the threaded runtime, accumulated
+    charge for the inline runtime."""
+
+    frames: int = 0
+    steals: int = 0
+    failed_steals: int = 0
+    workers: int = 1
+    busy_time: list[float] = field(default_factory=list)
+    """Per-worker accumulated frame-execution time (virtual runtimes)."""
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each worker spent executing frames."""
+        if not self.busy_time or self.makespan <= 0:
+            return 1.0
+        return sum(self.busy_time) / (self.makespan * len(self.busy_time))
+
+
+class Runtime(Protocol):
+    """A frame executor: drives a root frame and its spawned descendants to
+    quiescence, then reports timing."""
+
+    @property
+    def workers(self) -> int: ...
+
+    def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None: ...
+
+    def charge(self, amount: float) -> None: ...
+
+    def execute(self, root: Frame) -> RunResult: ...

@@ -1,0 +1,103 @@
+"""Virtual-time cost model for the discrete-event runtime.
+
+All values are in abstract time units; application task costs (flop
+counts, see ``repro.apps``) are typically 10^3-10^6 units, so the default
+scheduler-overhead constants keep bookkeeping at or below the ~1% level
+the paper measures for fault-tolerance support outside Floyd-Warshall.
+
+The FT-specific fields model the *only* costs the paper's design adds in
+the absence of faults (Section IV, closing paragraph): the per-notification
+atomic bit-vector maintenance, slightly larger task initialization, and --
+for multi-version memory policies -- degraded compute locality from the
+extra resident version (the source of FW's ~10%/~18% overhead in Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-event virtual costs charged by the simulator and the scheduler."""
+
+    frame_overhead: float = 1.0
+    """Fixed cost of dispatching any frame (deque pop + call)."""
+
+    spawn_cost: float = 0.5
+    """Cost charged to the spawning frame per child pushed."""
+
+    steal_cost: float = 5.0
+    """Latency of a successful steal (CAS on the victim's top pointer)."""
+
+    failed_steal_cost: float = 2.0
+    """Latency of probing an empty victim before the next attempt."""
+
+    lock_cost: float = 0.3
+    """Cost of one uncontended task-lock acquire/release pair."""
+
+    atomic_cost: float = 0.1
+    """Cost of one atomic read-modify-write (join counter, status)."""
+
+    ft_notify_cost: float = 0.15
+    """Extra FT cost per notification: the atomic bit-vector unset that
+    Guarantee 3 adds in front of every join-counter decrement."""
+
+    ft_init_cost: float = 0.5
+    """Extra FT cost per task initialization: allocating/zeroing the
+    notification bit vector and threading the life number."""
+
+    recovery_table_cost: float = 1.0
+    """Cost of one recovery-table probe/insert (ISRECOVERING)."""
+
+    reinit_scan_cost: float = 0.4
+    """Cost per successor scanned while rebuilding a notify array
+    (REINITNOTIFYENTRY)."""
+
+    two_version_compute_factor: float = 1.10
+    """Multiplier on compute cost when the memory policy keeps >= 2
+    versions resident: models the extra cache misses of the doubled
+    working set the paper reports for Floyd-Warshall."""
+
+    def compute_factor(self, keep: int | None) -> float:
+        """Compute-cost multiplier implied by a retention policy."""
+        if keep is not None and keep >= 2:
+            return self.two_version_compute_factor
+        return 1.0
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Uniformly scale all *scheduler* overheads (not compute factors);
+        used by the overhead-sensitivity ablation."""
+        return replace(
+            self,
+            frame_overhead=self.frame_overhead * factor,
+            spawn_cost=self.spawn_cost * factor,
+            steal_cost=self.steal_cost * factor,
+            failed_steal_cost=self.failed_steal_cost * factor,
+            lock_cost=self.lock_cost * factor,
+            atomic_cost=self.atomic_cost * factor,
+            ft_notify_cost=self.ft_notify_cost * factor,
+            ft_init_cost=self.ft_init_cost * factor,
+            recovery_table_cost=self.recovery_table_cost * factor,
+            reinit_scan_cost=self.reinit_scan_cost * factor,
+        )
+
+    def __post_init__(self) -> None:
+        for name in (
+            "frame_overhead",
+            "spawn_cost",
+            "steal_cost",
+            "failed_steal_cost",
+            "lock_cost",
+            "atomic_cost",
+            "ft_notify_cost",
+            "ft_init_cost",
+            "recovery_table_cost",
+            "reinit_scan_cost",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.failed_steal_cost <= 0:
+            raise ValueError("failed_steal_cost must be > 0 (drives idle-time progress)")
+        if self.two_version_compute_factor < 1.0:
+            raise ValueError("two_version_compute_factor must be >= 1.0")

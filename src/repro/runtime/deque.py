@@ -1,0 +1,58 @@
+"""Work-stealing deque.
+
+The classic owner/thief split (Arora-Blumofe-Plaxton [12] in the paper's
+references): the owning worker pushes and pops at the *bottom* (LIFO,
+preserving the depth-first execution order Cilk's bounds rely on), while
+thieves remove from the *top* (FIFO, stealing the shallowest -- and
+typically largest -- piece of the traversal).
+
+CPython cannot express the THE-protocol's memory fences, so this
+implementation guards the underlying :class:`collections.deque` with one
+mutex.  That preserves the semantics (linearizable push/pop/steal with the
+right ends) at a constant-factor cost; the virtual-time simulator charges
+steal latency through the cost model instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class WorkDeque(Generic[T]):
+    """Mutex-guarded double-ended work queue."""
+
+    __slots__ = ("_items", "_lock")
+
+    def __init__(self) -> None:
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+
+    def push_bottom(self, item: T) -> None:
+        """Owner: push a newly spawned frame."""
+        with self._lock:
+            self._items.append(item)
+
+    def pop_bottom(self) -> T | None:
+        """Owner: take the most recently pushed frame (LIFO); None if empty."""
+        with self._lock:
+            if self._items:
+                return self._items.pop()
+            return None
+
+    def steal_top(self) -> T | None:
+        """Thief: take the oldest frame (FIFO); None if empty."""
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,26 @@
+"""Execution frames: the unit of work a runtime schedules.
+
+A frame corresponds to one invocation of a scheduler routine
+(TRYINITCOMPUTE, INITANDCOMPUTE, NOTIFYSUCCESSOR, ...) plus everything it
+calls *without* spawning.  Frames are the paper's Cilk strands between
+spawn points: they run to completion, never block, and communicate only
+through shared task records and the block store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Frame:
+    """A schedulable closure with a base virtual cost and a debug label."""
+
+    __slots__ = ("fn", "base_cost", "label")
+
+    def __init__(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
+        self.fn = fn
+        self.base_cost = float(base_cost)
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Frame({self.label or self.fn!r}, base_cost={self.base_cost})"

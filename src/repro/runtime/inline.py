@@ -1,0 +1,59 @@
+"""Serial reference executor.
+
+Runs frames depth-first from an explicit LIFO stack -- the schedule a
+single Cilk worker produces -- without touching threads or the event loop.
+Virtual charges are still accumulated so ``makespan`` equals total charged
+work, which for one worker coincides with the simulator's result modulo
+steal bookkeeping.  Used by unit tests and as the P=1 oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.runtime.api import RunResult
+from repro.runtime.frames import Frame
+
+
+class InlineRuntime:
+    """Depth-first serial frame executor."""
+
+    def __init__(self) -> None:
+        self._stack: list[Frame] = []
+        self._total = 0.0
+        self._frames = 0
+        self._running = False
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
+        if not self._running:
+            raise RuntimeError("spawn called outside execute()")
+        self._stack.append(Frame(fn, base_cost, label))
+
+    def charge(self, amount: float) -> None:
+        self._total += amount
+
+    def execute(self, root: Frame) -> RunResult:
+        if self._running:
+            raise RuntimeError("InlineRuntime is not reentrant")
+        self._running = True
+        self._total = 0.0
+        self._frames = 0
+        self._stack = [root]
+        try:
+            while self._stack:
+                frame = self._stack.pop()
+                self._frames += 1
+                self._total += frame.base_cost
+                frame.fn()
+        finally:
+            self._running = False
+        return RunResult(
+            makespan=self._total,
+            frames=self._frames,
+            workers=1,
+            busy_time=[self._total],
+        )

@@ -1,0 +1,251 @@
+"""Deterministic discrete-event simulation of randomized work stealing.
+
+This runtime is the reproduction's substitute for the paper's 48-core
+Cilk++ testbed.  It executes frames *for real* (all side effects happen in
+process) but schedules them among ``P`` virtual workers in virtual time:
+
+* each worker owns a deque; spawns are *published* to the bottom of the
+  spawning worker's deque at the spawning frame's completion time; owners
+  pop bottom (LIFO), thieves steal top (FIFO);
+* the worker with the smallest clock acts next, and a thief may only take
+  a frame whose publication time has passed -- so in the virtual timeline
+  no frame ever starts before the frame that spawned it completed.  Since
+  the scheduler publishes a task's ``Computed`` status and successor
+  notifications from a frame spawned *after* the compute frame (see
+  ``repro.core``), data dependences are respected in virtual time;
+* an idle worker probes uniformly random victims.  Runs of failed probes
+  are batched by sampling the attempt count from the matching geometric
+  distribution (capped at the next scheduled event so cross-worker state
+  stays fresh).  A worker with nothing to steal *parks*; each publication
+  wakes up to as many parked workers as frames were published, at the
+  publication time -- modelling thieves that were spinning until work
+  appeared, without simulating every probe.
+
+Costs come from a :class:`~repro.runtime.costmodel.CostModel`; frames
+accumulate additional charges (task compute cost, lock/atomic overheads)
+through :meth:`SimulatedRuntime.charge` while they run.
+
+Determinism: given the same seed, frame set, and charges, the simulation
+is bit-for-bit reproducible -- the property the figure harness relies on
+for error bars driven purely by seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import deque
+from typing import Callable
+
+from repro.runtime.api import RunResult
+from repro.runtime.costmodel import CostModel
+from repro.runtime.frames import Frame
+
+_INF = float("inf")
+
+
+class SimulatedRuntime:
+    """Virtual-time work-stealing executor over ``P`` simulated workers."""
+
+    STEAL_POLICIES = ("random", "round_robin", "richest")
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        record_timeline: bool = False,
+        steal_policy: str = "random",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if steal_policy not in self.STEAL_POLICIES:
+            raise ValueError(
+                f"unknown steal policy {steal_policy!r}; expected one of "
+                f"{self.STEAL_POLICIES}"
+            )
+        self._workers = workers
+        self.cost_model = cost_model or CostModel()
+        self.seed = seed
+        self.record_timeline = record_timeline
+        self.steal_policy = steal_policy
+        """Victim selection: ``random`` (uniform probing -- the ABP
+        protocol NABBIT's bounds assume), ``round_robin`` (deterministic
+        scan from the thief's id), or ``richest`` (an omniscient
+        longest-deque oracle -- an upper-bound comparator, not
+        implementable on real hardware without global state)."""
+        self.timeline: list[tuple[float, float, int, str]] = []
+        self._running = False
+        self._accum = 0.0
+        self._spawn_buffer: list[Frame] = []
+        self._pending = 0
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # -- ExecutionContext surface (valid only while a frame runs) -----------------
+
+    def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
+        if not self._running:
+            raise RuntimeError("spawn called outside execute()")
+        self._spawn_buffer.append(Frame(fn, base_cost, label))
+        self._accum += self.cost_model.spawn_cost
+
+    def charge(self, amount: float) -> None:
+        self._accum += amount
+
+    # -- driver --------------------------------------------------------------------
+
+    def execute(self, root: Frame) -> RunResult:
+        if self._running:
+            raise RuntimeError("SimulatedRuntime is not reentrant")
+        self._running = True
+        try:
+            return self._run(root)
+        finally:
+            self._running = False
+
+    def _run(self, root: Frame) -> RunResult:
+        cm = self.cost_model
+        P = self._workers
+        rng = random.Random(self.seed)
+        # Deques hold (publication_time, Frame); publication times within a
+        # deque are nondecreasing because the owner pushes at successive
+        # frame-completion instants.
+        deques: list[deque[tuple[float, Frame]]] = [deque() for _ in range(P)]
+        deques[0].append((0.0, root))
+        self._pending = 1
+        clocks = [0.0] * P
+        busy = [0.0] * P
+        heap: list[tuple[float, int, int]] = [(0.0, w, w) for w in range(P)]
+        seq = P
+        parked: list[int] = []  # kept sorted for deterministic sampling
+        makespan = 0.0
+        frames = 0
+        steals = 0
+        failed_steals = 0
+        self.timeline = []
+
+        def wake(count: int, at: float) -> None:
+            nonlocal seq
+            for _ in range(min(count, len(parked))):
+                i = rng.randrange(len(parked))
+                pw = parked.pop(i)
+                clocks[pw] = max(clocks[pw], at)
+                heapq.heappush(heap, (clocks[pw], seq, pw))
+                seq += 1
+
+        while self._pending > 0:
+            if not heap:
+                raise AssertionError("pending frames but every worker parked")
+            now, _, w = heapq.heappop(heap)
+            clocks[w] = now
+            frame: Frame | None = None
+            start = now
+            if deques[w]:
+                _, frame = deques[w].pop()  # owner: bottom, LIFO
+            elif P > 1:
+                stealable = []
+                min_future = _INF
+                for v in range(P):
+                    if v == w or not deques[v]:
+                        continue
+                    avail = deques[v][0][0]
+                    if avail <= now:
+                        stealable.append(v)
+                    elif avail < min_future:
+                        min_future = avail
+                if not stealable:
+                    if min_future is _INF:
+                        # Nothing anywhere to run or steal: spin-park until
+                        # the next publication wakes us.
+                        parked.append(w)
+                        parked.sort()
+                        continue
+                    # Work exists but is not yet published for us: spin
+                    # until the earliest publication instant.
+                    clocks[w] = min_future
+                    heapq.heappush(heap, (clocks[w], seq, w))
+                    seq += 1
+                    continue
+                if self.steal_policy == "round_robin":
+                    # Deterministic scan from the thief's id: failed
+                    # probes are the empty deques passed over.
+                    stealable_set = set(stealable)
+                    fails = 0
+                    victim = stealable[0]
+                    for off in range(1, P):
+                        v = (w + off) % P
+                        if v == w:
+                            continue
+                        if v in stealable_set:
+                            victim = v
+                            break
+                        fails += 1
+                    failed_steals += fails
+                    start = now + fails * cm.failed_steal_cost + cm.steal_cost
+                elif self.steal_policy == "richest":
+                    # Omniscient oracle: longest stealable deque, one probe.
+                    victim = max(stealable, key=lambda v: (len(deques[v]), -v))
+                    start = now + cm.steal_cost
+                else:
+                    # Batch the failed probes preceding a successful steal:
+                    # attempts ~ Geometric(p), capped at the next event so
+                    # the snapshot of stealable deques stays fresh.
+                    p = len(stealable) / (P - 1)
+                    if p >= 1.0:
+                        k = 1
+                    else:
+                        u = rng.random()
+                        k = 1 + int(math.log1p(-u) / math.log1p(-p))
+                    horizon = heap[0][0] if heap else _INF
+                    if horizon < _INF:
+                        k_max = max(1, int((horizon - now) / cm.failed_steal_cost) + 1)
+                    else:
+                        k_max = k
+                    if k > k_max:
+                        failed_steals += k_max
+                        clocks[w] = now + k_max * cm.failed_steal_cost
+                        heapq.heappush(heap, (clocks[w], seq, w))
+                        seq += 1
+                        continue
+                    failed_steals += k - 1
+                    start = now + (k - 1) * cm.failed_steal_cost + cm.steal_cost
+                    victim = stealable[rng.randrange(len(stealable))]
+                _, frame = deques[victim].popleft()  # thief: top, FIFO
+                steals += 1
+            else:
+                raise AssertionError("single worker idle with pending frames")
+
+            # Execute the frame; its spawns are published at completion.
+            self._accum = frame.base_cost + cm.frame_overhead
+            self._spawn_buffer = []
+            frame.fn()
+            spawned = self._spawn_buffer
+            self._spawn_buffer = []
+            end = start + self._accum
+            clocks[w] = end
+            busy[w] += self._accum
+            frames += 1
+            self._pending += len(spawned) - 1
+            if end > makespan:
+                makespan = end
+            if self.record_timeline:
+                self.timeline.append((start, end, w, frame.label))
+            for child in spawned:
+                deques[w].append((end, child))
+            heapq.heappush(heap, (end, seq, w))
+            seq += 1
+            if spawned and parked:
+                wake(len(spawned), end)
+
+        return RunResult(
+            makespan=makespan,
+            frames=frames,
+            steals=steals,
+            failed_steals=failed_steals,
+            workers=P,
+            busy_time=busy,
+        )

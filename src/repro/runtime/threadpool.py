@@ -1,0 +1,138 @@
+"""Real-thread work-stealing executor.
+
+Runs the identical scheduler code on genuine :mod:`threading` workers with
+per-worker :class:`~repro.runtime.deque.WorkDeque`\\ s and randomized
+stealing.  The GIL caps achievable speedup (see DESIGN.md), so this
+runtime exists to *stress-test* the fault-tolerant scheduler's
+synchronization -- task locks, atomic join-counter protocol, concurrent
+recovery races -- under true nondeterministic interleavings, not to
+measure scalability.  Virtual ``charge`` calls are ignored; ``makespan``
+is wall-clock seconds.
+
+Exceptions escaping a frame are scheduler bugs (detected faults are caught
+inside the scheduler): the pool shuts down and re-raises the first one.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from repro.runtime.api import RunResult
+from repro.runtime.deque import WorkDeque
+from repro.runtime.frames import Frame
+
+_PARK_SECONDS = 20e-6
+
+
+class ThreadedRuntime:
+    """Work-stealing thread pool executing frames to quiescence."""
+
+    def __init__(self, workers: int = 4, seed: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self._workers = workers
+        self._seed = seed
+        self._local = threading.local()
+        self._deques: list[WorkDeque[Frame]] = []
+        self._outstanding = 0
+        self._count_lock = threading.Lock()
+        self._failure: BaseException | None = None
+        self._failure_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._running = False
+        self._steals = 0
+        self._frames = 0
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # -- ExecutionContext surface ---------------------------------------------------
+
+    def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
+        wid = getattr(self._local, "wid", None)
+        if wid is None:
+            raise RuntimeError("spawn called from outside a worker thread")
+        with self._count_lock:
+            self._outstanding += 1
+        self._deques[wid].push_bottom(Frame(fn, base_cost, label))
+
+    def charge(self, amount: float) -> None:
+        """Virtual cost is meaningless on the wall clock; ignored."""
+
+    # -- driver ----------------------------------------------------------------------
+
+    def execute(self, root: Frame) -> RunResult:
+        if self._running:
+            raise RuntimeError("ThreadedRuntime is not reentrant")
+        self._running = True
+        self._deques = [WorkDeque() for _ in range(self._workers)]
+        self._outstanding = 1
+        self._failure = None
+        self._stop.clear()
+        self._steals = 0
+        self._frames = 0
+        self._deques[0].push_bottom(root)
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(target=self._worker, args=(w,), name=f"repro-worker-{w}", daemon=True)
+            for w in range(self._workers)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            self._running = False
+        if self._failure is not None:
+            raise self._failure
+        return RunResult(
+            makespan=time.perf_counter() - t0,
+            frames=self._frames,
+            steals=self._steals,
+            workers=self._workers,
+        )
+
+    def _worker(self, wid: int) -> None:
+        self._local.wid = wid
+        rng = random.Random(None if self._seed is None else self._seed * 0x9E3779B1 + wid)
+        my = self._deques[wid]
+        local_frames = 0
+        local_steals = 0
+        try:
+            while not self._stop.is_set():
+                frame = my.pop_bottom()
+                if frame is None and self._workers > 1:
+                    victim = rng.randrange(self._workers)
+                    if victim != wid:
+                        frame = self._deques[victim].steal_top()
+                        if frame is not None:
+                            local_steals += 1
+                if frame is None:
+                    with self._count_lock:
+                        if self._outstanding == 0:
+                            break
+                    time.sleep(_PARK_SECONDS)
+                    continue
+                try:
+                    frame.fn()
+                finally:
+                    local_frames += 1
+                    with self._count_lock:
+                        self._outstanding -= 1
+                        done = self._outstanding == 0
+                    if done:
+                        pass  # other workers observe outstanding == 0 and exit
+        except BaseException as exc:  # scheduler bug: fail the whole run
+            with self._failure_lock:
+                if self._failure is None:
+                    self._failure = exc
+            self._stop.set()
+        finally:
+            with self._count_lock:
+                self._frames += local_frames
+                self._steals += local_steals

@@ -1,0 +1,129 @@
+"""Execution tracing: the N(A) accounting the paper's analysis is built on.
+
+Section V's bounds are *a posteriori*: they depend on how many times each
+task actually executed.  :class:`ExecutionTrace` records exactly that --
+per-key compute counts -- plus the recovery-path event counters used by
+the experiment harness (recoveries initiated, duplicate-recovery
+suppressions, node resets, notify-array reconstructions) and by the
+injection-verification step ("we verify the fault injection by ensuring
+that the number of tasks recovered matches the loss of work intended").
+
+Thread-safe: the threaded runtime mutates traces from many workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class ExecutionTrace:
+    """Counters for one task-graph execution."""
+
+    computes: Counter = field(default_factory=Counter)
+    """key -> number of times COMPUTE ran for the task."""
+
+    compute_failures: Counter = field(default_factory=Counter)
+    """key -> COMPUTE invocations that raised a detected fault."""
+
+    recoveries: Counter = field(default_factory=Counter)
+    """key -> recoveries performed (REPLACETASK incarnations beyond the first)."""
+
+    recovery_skips: int = 0
+    """RECOVERTASKONCE calls suppressed because the incarnation was already
+    being recovered (Guarantee 1 at work)."""
+
+    resets: int = 0
+    """RESETNODE invocations (consumer saw a faulty input during compute)."""
+
+    notify_reinits: int = 0
+    """Successors re-enqueued by REINITNOTIFYENTRY during recoveries."""
+
+    reinit_scans: int = 0
+    """Successor records examined while rebuilding notify arrays (the
+    REINITNOTIFYENTRY scan cost: proportional to out-degree)."""
+
+    notifications: int = 0
+    """Join-counter decrements performed (successful bit unsets)."""
+
+    stale_notifications: int = 0
+    """Notifications dropped because the bit was already clear."""
+
+    stale_frames: int = 0
+    """Frames abandoned because their incarnation had been replaced
+    (life-number mismatch against the task map)."""
+
+    faults_observed: int = 0
+    """Detected-fault exceptions caught by scheduler catch blocks."""
+
+    faults_injected: int = 0
+    """Fault events actually fired by the injector."""
+
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # -- mutation (scheduler side) -------------------------------------------------
+
+    def count_compute(self, key: Hashable) -> None:
+        with self._lock:
+            self.computes[key] += 1
+
+    def count_compute_failure(self, key: Hashable) -> None:
+        with self._lock:
+            self.compute_failures[key] += 1
+
+    def count_recovery(self, key: Hashable) -> None:
+        with self._lock:
+            self.recoveries[key] += 1
+
+    def bump(self, field_name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field_name, getattr(self, field_name) + amount)
+
+    # -- analysis (harness side) ---------------------------------------------------
+
+    def executions(self) -> dict[Hashable, int]:
+        """The paper's N: key -> execution count (only keys that computed)."""
+        return dict(self.computes)
+
+    @property
+    def tasks_computed(self) -> int:
+        """Distinct tasks whose COMPUTE ran at least once."""
+        return len(self.computes)
+
+    @property
+    def total_computes(self) -> int:
+        return sum(self.computes.values())
+
+    @property
+    def reexecutions(self) -> int:
+        """Extra COMPUTE invocations beyond one per task -- the paper's
+        "number of re-executed tasks" metric (Table II)."""
+        return self.total_computes - self.tasks_computed
+
+    @property
+    def max_executions(self) -> int:
+        """The paper's script-N: max over tasks of N(A)."""
+        return max(self.computes.values(), default=0)
+
+    @property
+    def total_recoveries(self) -> int:
+        return sum(self.recoveries.values())
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "tasks_computed": self.tasks_computed,
+            "total_computes": self.total_computes,
+            "reexecutions": self.reexecutions,
+            "max_executions": self.max_executions,
+            "recoveries": self.total_recoveries,
+            "recovery_skips": self.recovery_skips,
+            "resets": self.resets,
+            "notify_reinits": self.notify_reinits,
+            "notifications": self.notifications,
+            "stale_notifications": self.stale_notifications,
+            "faults_observed": self.faults_observed,
+            "faults_injected": self.faults_injected,
+        }

@@ -1,0 +1,66 @@
+"""Tests for the Section V work/span/completion-time bounds."""
+
+import pytest
+
+from repro.analysis.bounds import bound_report, nabbit_bound
+from repro.core import run_scheduler
+from repro.graph.builders import chain_graph, diamond_graph, grid_graph
+from repro.runtime import SimulatedRuntime
+
+
+class TestBoundAlgebra:
+    def test_fault_free_chain(self):
+        g = chain_graph(10)
+        rep = bound_report(g, workers=1)
+        assert rep.t1 == 10 + 9  # cost + notification edges
+        assert rep.t_inf == 10.0
+        assert rep.max_executions == 1
+        assert rep.max_path_nodes == 10
+
+    def test_reexecutions_inflate_bound(self):
+        g = chain_graph(10)
+        a = bound_report(g, workers=4)
+        b = bound_report(g, {3: 5}, workers=4)
+        assert b.completion_bound > a.completion_bound
+        assert b.max_executions == 5
+
+    def test_more_workers_lower_work_term(self):
+        g = grid_graph(8, 8)
+        b1 = bound_report(g, workers=1)
+        b16 = bound_report(g, workers=16)
+        assert b16.completion_bound < b1.completion_bound
+
+    def test_average_parallelism(self):
+        g = diamond_graph(width=10)
+        rep = bound_report(g, workers=4)
+        assert rep.average_parallelism > 1.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            bound_report(chain_graph(3), workers=0)
+
+
+class TestBoundVsMeasurement:
+    @pytest.mark.parametrize("workers", [1, 4, 16])
+    def test_measured_makespan_within_bound(self, workers):
+        # The bound is asymptotic (big-O); measured virtual time with the
+        # default cost model must sit within a small constant of it.
+        g = grid_graph(8, 8, cost=lambda k: 50.0)
+        res = run_scheduler(g, runtime=SimulatedRuntime(workers=workers, seed=3))
+        rep = bound_report(g, res.trace.executions(), workers=workers)
+        # Scale the compute terms: spec cost 50 per task.
+        assert res.makespan <= 60.0 * rep.completion_bound
+
+    def test_bound_reduces_to_nabbit_without_faults(self):
+        g = grid_graph(6, 6)
+        rep = bound_report(g, None, workers=8)
+        nb = nabbit_bound(g, workers=8)
+        # Same order of magnitude when N == 1 (the paper's reduction).
+        assert rep.max_executions == 1
+        assert rep.completion_bound <= 50 * nb
+
+    def test_check_helper(self):
+        g = chain_graph(5)
+        rep = bound_report(g, workers=1)
+        assert rep.check(rep.completion_bound * 0.5)
+        assert not rep.check(rep.completion_bound * 2.0)

@@ -1,0 +1,59 @@
+"""Unit tests for summary statistics."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import Summary, geometric_mean, percent_overhead, speedup, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(math.sqrt(2 / 3))
+        assert s.n == 3
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestOverheadAndSpeedup:
+    def test_percent_overhead(self):
+        assert percent_overhead(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_negative_overhead_allowed(self):
+        assert percent_overhead(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            percent_overhead(1.0, 0.0)
+
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_speedup_zero_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,104 @@
+"""Shared per-application spec contract tests, parameterized over all five
+benchmarks (the ``tiny_app`` fixture in conftest.py)."""
+
+import pytest
+
+from repro.core import run_scheduler
+from repro.faults.selectors import VersionIndex
+from repro.graph.analysis import collect_tasks, graph_stats
+from repro.graph.taskspec import BlockRef
+from repro.graph.validate import validate_spec
+from repro.runtime import SimulatedRuntime, ThreadedRuntime
+
+
+class TestSpecContract:
+    def test_structure_valid(self, tiny_app):
+        assert validate_spec(tiny_app) > 0
+
+    def test_every_input_produced_by_a_predecessor_or_pinned(self, tiny_app):
+        """Recovery routing requires producer(input) in preds (or pinned
+        input data): RESETNODE repairs inputs by re-traversing preds."""
+        store = tiny_app.make_store(True)
+        for key in collect_tasks(tiny_app):
+            preds = set(tiny_app.predecessors(key))
+            for raw in tiny_app.inputs(key):
+                ref = BlockRef(*raw)
+                producer = tiny_app.producer(ref)
+                if producer is None:
+                    assert store.is_pinned(ref), f"{key}: unpinned inputless {ref}"
+                else:
+                    assert producer in preds, f"{key}: producer {producer} of {ref} not a pred"
+
+    def test_outputs_produced_by_self(self, tiny_app):
+        for key in collect_tasks(tiny_app):
+            for raw in tiny_app.outputs(key):
+                assert tiny_app.producer(BlockRef(*raw)) == key
+
+    def test_pred_order_deterministic(self, tiny_app):
+        for key in collect_tasks(tiny_app):
+            assert tuple(tiny_app.predecessors(key)) == tuple(tiny_app.predecessors(key))
+
+    def test_costs_positive(self, tiny_app):
+        assert all(tiny_app.cost(k) > 0 for k in collect_tasks(tiny_app))
+
+    def test_version_index_builds(self, tiny_app):
+        idx = VersionIndex(tiny_app)
+        counts = idx.type_counts()
+        assert all(v > 0 for v in counts.values())
+
+
+class TestExecution:
+    def test_inline_run_verifies(self, tiny_app):
+        store = tiny_app.make_store(True)
+        res = run_scheduler(tiny_app, store=store)
+        tiny_app.verify(store)
+        assert res.trace.reexecutions == 0
+
+    @pytest.mark.parametrize("workers", [2, 5])
+    def test_simulated_parallel_verifies(self, tiny_app, workers):
+        store = tiny_app.make_store(True)
+        run_scheduler(
+            tiny_app, runtime=SimulatedRuntime(workers=workers, seed=workers), store=store
+        )
+        tiny_app.verify(store)
+
+    def test_baseline_scheduler_verifies(self, tiny_app):
+        store = tiny_app.make_store(False)
+        run_scheduler(
+            tiny_app,
+            runtime=SimulatedRuntime(workers=3, seed=1),
+            store=store,
+            fault_tolerant=False,
+        )
+        tiny_app.verify(store)
+
+    def test_threaded_runtime_verifies(self, tiny_app):
+        store = tiny_app.make_store(True)
+        run_scheduler(tiny_app, runtime=ThreadedRuntime(workers=4, seed=2), store=store)
+        tiny_app.verify(store)
+
+
+class TestLightMode:
+    def test_light_mode_same_makespan(self, tiny_app):
+        from repro.apps import make_app
+
+        heavy = run_scheduler(
+            tiny_app,
+            runtime=SimulatedRuntime(workers=3, seed=7),
+            store=tiny_app.make_store(True),
+        )
+        light_app = make_app(tiny_app.name, scale="tiny", light=True)
+        light = run_scheduler(
+            light_app,
+            runtime=SimulatedRuntime(workers=3, seed=7),
+            store=light_app.make_store(True),
+        )
+        assert light.makespan == pytest.approx(heavy.makespan)
+        assert light.trace.total_computes == heavy.trace.total_computes
+
+
+class TestDescribe:
+    def test_describe_mentions_shape(self, tiny_app):
+        d = tiny_app.describe()
+        assert tiny_app.name in d
+        assert str(tiny_app.config.block) in d

@@ -1,0 +1,163 @@
+"""Per-application structure and semantics tests beyond the shared contract."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AppConfig, make_app
+from repro.apps.lcs import lcs_reference
+from repro.apps.smith_waterman import sw_reference
+from repro.core import run_scheduler
+from repro.graph.analysis import graph_stats
+from repro.graph.taskspec import BlockRef
+
+
+class TestLCS:
+    def test_table1_closed_forms_small(self):
+        app = make_app("lcs", AppConfig(n=128, block=16))  # B = 8
+        st = graph_stats(app)
+        B = 8
+        assert st.tasks == B * B
+        assert st.edges == 2 * B * (B - 1) + (B - 1) ** 2
+        assert st.critical_path == 2 * (B - 1)
+
+    def test_known_sequences(self):
+        app = make_app("lcs", AppConfig(n=32, block=8, seed=7))
+        ref = lcs_reference(app.x, app.y)
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        assert app.extract(store) == ref
+
+    def test_single_assignment_policy(self):
+        app = make_app("lcs", scale="tiny")
+        assert app.baseline_policy.is_single_assignment
+        assert app.ft_policy.is_single_assignment
+
+
+class TestSW:
+    def test_buffer_rotation_block_ids(self):
+        app = make_app("sw", scale="tiny")
+        assert app.block_of((0, 2)) == BlockRef(("sw", 0, 2), 0)
+        assert app.block_of((1, 2)) == BlockRef(("sw", 1, 2), 0)
+        assert app.block_of((2, 2)) == BlockRef(("sw", 0, 2), 1)
+        assert app.block_of((3, 2)) == BlockRef(("sw", 1, 2), 1)
+
+    def test_producer_inverse_of_block_of(self):
+        app = make_app("sw", scale="tiny")
+        B = app.config.blocks
+        for i in range(B):
+            for j in range(B):
+                assert app.producer(app.block_of((i, j))) == (i, j)
+
+    def test_anti_dependence_edges_present(self):
+        app = make_app("sw", scale="tiny")
+        assert (1, 2) in app.predecessors((2, 1))
+        assert (2, 1) in app.successors((1, 2))
+
+    def test_score_matches_reference(self):
+        app = make_app("sw", AppConfig(n=48, block=16, seed=3))
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        assert app.extract(store) == sw_reference(app.x, app.y)
+
+    def test_reuse_evicts_old_rows(self):
+        app = make_app("sw", scale="tiny")
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        assert store.stats.evictions > 0
+
+
+class TestFW:
+    def test_paper_structure_at_small_scale(self):
+        app = make_app("fw", AppConfig(n=64, block=8))  # B = 8
+        st = graph_stats(app)
+        B = 8
+        assert st.tasks == B ** 3 + 1  # + collection sink
+        # The closed form verified against the paper's E = 308880 at B=40:
+        # k=0 data edges, k>=1 data edges (diag 1, panels 4(B-1),
+        # interiors 3(B-1)^2), WAR anti-edges per overwriting step, sink.
+        expected = (
+            (2 * (B - 1) + 2 * (B - 1) ** 2)                       # k = 0
+            + (B - 1) * (1 + 4 * (B - 1) + 3 * (B - 1) ** 2)       # k >= 1
+            + (B - 1) * (2 * (B - 1) ** 2 + 2 * (B - 1))           # anti-edges
+            + B * B                                                # sink
+        )
+        assert st.edges == expected
+        assert st.critical_path + 1 == 3 * B + 1  # 3B nodes + sink
+
+    def test_matches_scipy(self):
+        from scipy.sparse.csgraph import floyd_warshall
+
+        app = make_app("fw", AppConfig(n=24, block=8, seed=5))
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        got = app.extract(store)
+        ref = floyd_warshall(app.d0)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+    def test_two_version_policy_for_ft_only(self):
+        app = make_app("fw", scale="tiny")
+        assert app.baseline_policy.keep == 1
+        assert app.ft_policy.keep == 2
+
+    def test_sink_reads_all_final_versions(self):
+        app = make_app("fw", scale="tiny")
+        B = app.config.blocks
+        assert len(app.inputs("sink")) == B * B
+        assert len(app.predecessors("sink")) == B * B
+
+
+class TestLU:
+    def test_task_count_closed_form(self):
+        app = make_app("lu", AppConfig(n=48, block=8))  # B = 6
+        st = graph_stats(app)
+        B = 6
+        assert st.tasks == B * (B + 1) * (2 * B + 1) // 6
+        assert st.critical_path + 1 == 3 * (B - 1) + 1
+
+    def test_factorization_reconstructs_input(self):
+        app = make_app("lu", AppConfig(n=32, block=8, seed=11))
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        lu = app.extract(store)
+        l = np.tril(lu, -1) + np.eye(32)
+        u = np.triu(lu)
+        np.testing.assert_allclose(l @ u, app.a0, rtol=1e-9, atol=1e-9)
+
+    def test_sink_is_last_getrf(self):
+        app = make_app("lu", scale="tiny")
+        assert app.sink_key() == ("getrf", app.config.blocks - 1)
+
+
+class TestCholesky:
+    def test_task_count_closed_form(self):
+        app = make_app("cholesky", AppConfig(n=48, block=8))  # B = 6
+        st = graph_stats(app)
+        expected = sum(1 + (m - 1) + (m - 1) * m // 2 for m in range(1, 7))
+        assert st.tasks == expected
+
+    def test_factor_matches_numpy(self):
+        app = make_app("cholesky", AppConfig(n=32, block=8, seed=13))
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        np.testing.assert_allclose(
+            app.extract(store), np.linalg.cholesky(app.a0), rtol=1e-9, atol=1e-9
+        )
+
+    def test_syrk_tasks_deduplicate_preds(self):
+        app = make_app("cholesky", scale="tiny")
+        preds = app.predecessors(("upd", 0, 2, 2))
+        assert len(preds) == len(set(preds))
+        assert ("trsm", 0, 2) in preds
+
+
+class TestConfig:
+    def test_block_must_divide_n(self):
+        with pytest.raises(ValueError):
+            AppConfig(n=100, block=16)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            AppConfig(n=0, block=1)
+
+    def test_blocks_property(self):
+        assert AppConfig(n=64, block=16).blocks == 4

@@ -1,0 +1,80 @@
+"""Tests for the Application base class surface."""
+
+import numpy as np
+import pytest
+
+from repro.apps import AppConfig, make_app
+from repro.apps.base import ordered_preds
+from repro.graph.taskspec import BlockRef
+
+
+class TestOrderedPreds:
+    def test_filters_by_flag(self):
+        assert ordered_preds((True, "a"), (False, "b"), (True, "c")) == ("a", "c")
+
+    def test_empty(self):
+        assert ordered_preds() == ()
+        assert ordered_preds((False, "x")) == ()
+
+    def test_order_preserved(self):
+        out = ordered_preds((True, 3), (True, 1), (True, 2))
+        assert out == (3, 1, 2)
+
+
+class TestMakeStore:
+    def test_ft_store_uses_ft_policy(self):
+        app = make_app("fw", scale="tiny")
+        assert app.make_store(True).policy.keep == 2
+        assert app.make_store(False).policy.keep == 1
+
+    def test_store_is_seeded(self):
+        app = make_app("lu", scale="tiny")
+        store = app.make_store(True)
+        assert store.is_pinned(BlockRef(("a", 0, 0), 0))
+
+    def test_lcs_has_no_pinned_blocks(self):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True)
+        assert not store.is_pinned(BlockRef(("lcs", (0, 0)), 0))
+
+
+class TestVerify:
+    def test_verify_detects_wrong_result(self):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True)
+        # Forge a wrong sink block.
+        b = app.config.block
+        store.write(
+            BlockRef(("lcs", app.sink_key()), 0),
+            (np.full(b, 9999, dtype=np.int32), np.full(b, 9999, dtype=np.int32)),
+        )
+        with pytest.raises(AssertionError):
+            app.verify(store)
+
+    def test_light_mode_cannot_verify(self):
+        app = make_app("lcs", scale="tiny", light=True)
+        store = app.make_store(True)
+        from repro.core import run_scheduler
+
+        run_scheduler(app, store=store)
+        with pytest.raises(Exception):
+            app.verify(store)  # token payloads are not numeric results
+
+
+class TestLightCompute:
+    def test_light_reads_all_inputs(self):
+        # Light mode must preserve fault detection: a corrupted input
+        # block is still observed.
+        from repro.core import FTScheduler
+        from repro.faults.injector import FaultInjector
+        from repro.faults.model import FaultPlan
+        from repro.runtime import InlineRuntime
+        from repro.runtime.tracing import ExecutionTrace
+
+        app = make_app("lu", scale="tiny", light=True)
+        store = app.make_store(True)
+        trace = ExecutionTrace()
+        plan = FaultPlan.single(("getrf", 0), "after_notify")
+        injector = FaultInjector(plan, app, store, trace)
+        FTScheduler(app, InlineRuntime(), store=store, hooks=injector, trace=trace).run()
+        assert trace.recoveries[("getrf", 0)] == 1

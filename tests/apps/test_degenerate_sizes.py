@@ -1,0 +1,67 @@
+"""Degenerate problem sizes: single-block and single-column instances."""
+
+import pytest
+
+from repro.apps import AppConfig, make_app
+from repro.core import run_scheduler
+from repro.graph.validate import validate_spec
+from repro.runtime import SimulatedRuntime
+
+
+class TestSingleBlock:
+    """B = 1: the graph degenerates to a handful of tasks (or one)."""
+
+    @pytest.mark.parametrize("name,n", [("lcs", 16), ("sw", 16), ("lu", 8), ("cholesky", 8)])
+    def test_single_block_runs_and_verifies(self, name, n):
+        app = make_app(name, AppConfig(n=n, block=n))
+        assert validate_spec(app) >= 1
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        app.verify(store)
+
+    def test_fw_single_block(self):
+        app = make_app("fw", AppConfig(n=8, block=8))
+        assert validate_spec(app) == 2  # the one diag task + the sink
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        app.verify(store)
+
+
+class TestTwoBlocks:
+    @pytest.mark.parametrize("name,n,b", [
+        ("lcs", 32, 16), ("sw", 32, 16), ("fw", 16, 8), ("lu", 16, 8), ("cholesky", 16, 8),
+    ])
+    def test_two_blocks_parallel(self, name, n, b):
+        app = make_app(name, AppConfig(n=n, block=b))
+        store = app.make_store(True)
+        run_scheduler(app, runtime=SimulatedRuntime(workers=3, seed=1), store=store)
+        app.verify(store)
+
+    def test_two_block_fault_recovery(self):
+        from repro.core import FTScheduler
+        from repro.faults.injector import FaultInjector
+        from repro.faults.model import FaultPlan
+        from repro.runtime.tracing import ExecutionTrace
+
+        app = make_app("lu", AppConfig(n=16, block=8))
+        store = app.make_store(True)
+        trace = ExecutionTrace()
+        injector = FaultInjector(
+            FaultPlan.single(("getrf", 0), "after_compute"), app, store, trace
+        )
+        FTScheduler(app, SimulatedRuntime(workers=2, seed=0),
+                    store=store, hooks=injector, trace=trace).run()
+        app.verify(store)
+        assert trace.recoveries[("getrf", 0)] == 1
+
+
+class TestOddShapes:
+    def test_nonsquare_block_counts_rejected(self):
+        with pytest.raises(ValueError):
+            AppConfig(n=100, block=33)
+
+    def test_large_block_small_n(self):
+        app = make_app("lcs", AppConfig(n=8, block=8))
+        store = app.make_store(True)
+        run_scheduler(app, store=store)
+        app.verify(store)

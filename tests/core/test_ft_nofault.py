@@ -1,0 +1,105 @@
+"""Fault-tolerant scheduler in the absence of faults.
+
+Property P6 (DESIGN.md): without faults the FT scheduler must behave
+exactly like baseline NABBIT -- every task executed once, identical
+results, no recovery machinery engaged.
+"""
+
+import pytest
+
+from repro.core import FTScheduler, TaskStatus, run_scheduler
+from repro.graph.builders import chain_graph, diamond_graph, fork_join_graph, grid_graph, random_dag
+from repro.graph.taskspec import BlockRef
+from repro.runtime import InlineRuntime, SimulatedRuntime, ThreadedRuntime
+
+GRAPHS = [
+    chain_graph(12),
+    diamond_graph(width=6),
+    fork_join_graph(levels=3, fanout=5),
+    grid_graph(6, 6),
+    random_dag(60, edge_prob=0.15, seed=11),
+]
+
+
+class TestEquivalenceWithBaseline:
+    @pytest.mark.parametrize("spec", GRAPHS, ids=lambda g: f"{len(g)}tasks")
+    def test_same_result_as_baseline(self, spec):
+        ref = run_scheduler(spec, fault_tolerant=False).store.peek(BlockRef(spec.sink_key(), 0))
+        got = run_scheduler(spec, fault_tolerant=True).store.peek(BlockRef(spec.sink_key(), 0))
+        assert got == ref
+
+    @pytest.mark.parametrize("spec", GRAPHS, ids=lambda g: f"{len(g)}tasks")
+    def test_every_task_exactly_once(self, spec):
+        res = run_scheduler(spec, fault_tolerant=True)
+        assert res.trace.total_computes == len(spec)
+        assert res.trace.max_executions == 1
+        assert res.trace.reexecutions == 0
+
+    def test_no_recovery_machinery_engaged(self):
+        res = run_scheduler(grid_graph(6, 6))
+        t = res.trace
+        assert t.total_recoveries == 0
+        assert t.recovery_skips == 0
+        assert t.resets == 0
+        assert t.notify_reinits == 0
+        assert t.faults_observed == 0
+        assert t.compute_failures == {}
+
+    def test_no_stale_frames_without_recovery(self):
+        res = run_scheduler(grid_graph(6, 6))
+        assert res.trace.stale_frames == 0
+
+    def test_recovery_table_untouched(self):
+        spec = grid_graph(4, 4)
+        sched = FTScheduler(spec, InlineRuntime())
+        sched.run()
+        assert len(sched.recovery_table) == 0
+
+
+class TestRuntimes:
+    @pytest.mark.parametrize("workers", [1, 3, 9])
+    def test_simulated(self, workers):
+        spec = grid_graph(5, 5)
+        res = run_scheduler(spec, runtime=SimulatedRuntime(workers=workers, seed=workers))
+        assert res.trace.reexecutions == 0
+
+    def test_threaded(self):
+        spec = grid_graph(5, 5)
+        res = run_scheduler(spec, runtime=ThreadedRuntime(workers=4, seed=1))
+        assert res.trace.reexecutions == 0
+
+    def test_statuses_all_completed(self):
+        spec = grid_graph(4, 4)
+        sched = FTScheduler(spec, InlineRuntime())
+        sched.run()
+        for key in spec.vertices():
+            rec, life = sched.map.get(key)
+            assert rec.status is TaskStatus.COMPLETED
+            assert life == 1
+
+
+class TestJoinProtocol:
+    def test_notifications_exactly_edges_plus_self(self):
+        from repro.graph.analysis import graph_stats
+
+        spec = grid_graph(5, 5)
+        res = run_scheduler(spec)
+        st = graph_stats(spec)
+        assert res.trace.notifications == st.edges + st.tasks
+
+    def test_stale_notifications_zero_serial(self):
+        res = run_scheduler(grid_graph(5, 5))
+        assert res.trace.stale_notifications == 0
+
+
+class TestOverheadModel:
+    def test_ft_costs_slightly_more_than_baseline(self):
+        # With realistic task costs (compute >> scheduler bookkeeping, as
+        # in the paper's benchmarks) the FT additions stay marginal.
+        from repro.graph.builders import grid_graph as grid
+
+        spec = grid(8, 8, cost=lambda k: 200.0)
+        base = run_scheduler(spec, runtime=SimulatedRuntime(workers=1), fault_tolerant=False)
+        ft = run_scheduler(spec, runtime=SimulatedRuntime(workers=1), fault_tolerant=True)
+        assert ft.makespan > base.makespan
+        assert ft.makespan < base.makespan * 1.02

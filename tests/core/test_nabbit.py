@@ -1,0 +1,93 @@
+"""Tests for the baseline NABBIT scheduler (no fault tolerance)."""
+
+import pytest
+
+from repro.core import NabbitScheduler, TaskStatus, run_scheduler
+from repro.exceptions import SchedulerError
+from repro.graph.builders import chain_graph, diamond_graph, fork_join_graph, grid_graph, random_dag
+from repro.graph.taskspec import BlockRef
+from repro.runtime import InlineRuntime, SimulatedRuntime, ThreadedRuntime
+
+
+def sink_value(result, spec):
+    return result.store.peek(BlockRef(spec.sink_key(), 0))
+
+
+GRAPHS = [
+    chain_graph(12),
+    diamond_graph(width=6),
+    fork_join_graph(levels=3, fanout=5),
+    grid_graph(6, 6),
+    random_dag(60, edge_prob=0.15, seed=11),
+]
+
+
+class TestCorrectExecution:
+    @pytest.mark.parametrize("spec", GRAPHS, ids=lambda g: f"{len(g)}tasks")
+    def test_inline_runs_every_task_once(self, spec):
+        res = run_scheduler(spec, fault_tolerant=False)
+        assert res.trace.total_computes == len(spec)
+        assert res.trace.max_executions == 1
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_simulated_matches_inline_result(self, workers):
+        spec = grid_graph(5, 5)
+        ref = sink_value(run_scheduler(spec, fault_tolerant=False), spec)
+        res = run_scheduler(
+            spec, runtime=SimulatedRuntime(workers=workers, seed=workers), fault_tolerant=False
+        )
+        assert sink_value(res, spec) == ref
+
+    def test_threaded_matches_inline_result(self):
+        spec = grid_graph(5, 5)
+        ref = sink_value(run_scheduler(spec, fault_tolerant=False), spec)
+        res = run_scheduler(spec, runtime=ThreadedRuntime(workers=4, seed=3), fault_tolerant=False)
+        assert sink_value(res, spec) == ref
+
+    def test_all_statuses_completed(self):
+        spec = grid_graph(4, 4)
+        sched = NabbitScheduler(spec, InlineRuntime())
+        sched.run()
+        for key in spec.vertices():
+            rec, _ = sched.map.get(key)
+            assert rec is not None and rec.status is TaskStatus.COMPLETED
+
+    def test_single_task_graph(self):
+        spec = chain_graph(1)
+        res = run_scheduler(spec, fault_tolerant=False)
+        assert res.trace.total_computes == 1
+
+
+class TestAccounting:
+    def test_notifications_cover_edges_plus_self(self):
+        spec = grid_graph(4, 4)
+        res = run_scheduler(spec, fault_tolerant=False)
+        from repro.graph.analysis import graph_stats
+
+        st = graph_stats(spec)
+        # One notification per dependence edge plus one self-notification
+        # per task.
+        assert res.trace.notifications == st.edges + st.tasks
+
+    def test_scheduler_name(self):
+        res = run_scheduler(chain_graph(2), fault_tolerant=False)
+        assert res.scheduler == "nabbit"
+
+    def test_makespan_positive(self):
+        res = run_scheduler(chain_graph(5), fault_tolerant=False)
+        assert res.makespan > 0
+
+
+class TestGuards:
+    def test_single_use(self):
+        spec = chain_graph(3)
+        sched = NabbitScheduler(spec, InlineRuntime())
+        sched.run()
+        with pytest.raises(SchedulerError, match="single-use"):
+            sched.run()
+
+    def test_hooks_rejected_for_baseline(self):
+        from repro.core.hooks import NullHooks
+
+        with pytest.raises(ValueError):
+            run_scheduler(chain_graph(2), fault_tolerant=False, hooks=NullHooks())

@@ -1,0 +1,72 @@
+"""Unit tests for task records (join counter + bit vector protocol)."""
+
+import pytest
+
+from repro.core.records import TaskRecord
+from repro.core.status import TaskStatus
+from repro.exceptions import TaskCorruptionError
+
+
+class TestInitialization:
+    def test_join_counts_preds_plus_self(self):
+        r = TaskRecord("k", n_preds=3)
+        assert r.join == 4
+
+    def test_bit_vector_all_set(self):
+        r = TaskRecord("k", n_preds=3)
+        assert r.bit_vector == 0b1111
+
+    def test_source_task(self):
+        r = TaskRecord("k", n_preds=0)
+        assert r.join == 1
+        assert r.bit_vector == 0b1
+
+    def test_initial_status_visited(self):
+        assert TaskRecord("k", 1).status is TaskStatus.VISITED
+
+    def test_life_default_and_custom(self):
+        assert TaskRecord("k", 0).life == 1
+        assert TaskRecord("k", 0, life=7).life == 7
+
+
+class TestBitProtocol:
+    def test_unset_returns_true_once(self):
+        r = TaskRecord("k", n_preds=2)
+        assert r.try_unset_bit(1)
+        assert not r.try_unset_bit(1)
+
+    def test_unset_independent_bits(self):
+        r = TaskRecord("k", n_preds=2)
+        assert r.try_unset_bit(0)
+        assert r.try_unset_bit(2)  # the self slot
+        assert r.bit_vector == 0b010
+
+    def test_reset_for_reuse_restores_everything(self):
+        r = TaskRecord("k", n_preds=2)
+        r.try_unset_bit(0)
+        r.try_unset_bit(1)
+        r.join = 0
+        r.reset_for_reuse()
+        assert r.join == 3
+        assert r.bit_vector == 0b111
+
+    def test_wide_bit_vector(self):
+        r = TaskRecord("k", n_preds=200)
+        assert r.bit_vector == (1 << 201) - 1
+        assert r.try_unset_bit(199)
+
+
+class TestCorruption:
+    def test_check_clean(self):
+        TaskRecord("k", 0).check()
+
+    def test_check_corrupted_raises_with_identity(self):
+        r = TaskRecord("k", 0, life=3)
+        r.corrupted = True
+        with pytest.raises(TaskCorruptionError) as ei:
+            r.check()
+        assert ei.value.key == "k"
+        assert ei.value.life == 3
+
+    def test_status_ordering(self):
+        assert TaskStatus.VISITED < TaskStatus.COMPUTED < TaskStatus.COMPLETED

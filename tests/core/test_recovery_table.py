@@ -1,0 +1,82 @@
+"""Unit tests for Guarantee 1's recovery table."""
+
+import threading
+
+from repro.core.recovery_table import RecoveryTable
+
+
+class TestClaimSemantics:
+    def test_first_failure_claims(self):
+        t = RecoveryTable()
+        assert t.check_and_claim("k", 1)
+
+    def test_same_incarnation_claimed_once(self):
+        t = RecoveryTable()
+        assert t.check_and_claim("k", 1)
+        assert not t.check_and_claim("k", 1)
+        assert not t.check_and_claim("k", 1)
+
+    def test_next_incarnation_claimable(self):
+        t = RecoveryTable()
+        assert t.check_and_claim("k", 1)
+        assert t.check_and_claim("k", 2)
+        assert not t.check_and_claim("k", 2)
+
+    def test_stale_observer_of_old_incarnation_rejected(self):
+        t = RecoveryTable()
+        assert t.check_and_claim("k", 2)  # record now 2
+        assert not t.check_and_claim("k", 1)
+
+    def test_skipping_incarnations_rejected(self):
+        # A failure of life 5 when the table last saw life 1 means lives
+        # 2-4 never failed -- impossible in the protocol; reject.
+        t = RecoveryTable()
+        assert t.check_and_claim("k", 1)
+        assert not t.check_and_claim("k", 5)
+
+    def test_first_failure_at_later_life(self):
+        # A task can fail for the first time at any incarnation the
+        # injector targets.
+        t = RecoveryTable()
+        assert t.check_and_claim("k", 3)
+        assert not t.check_and_claim("k", 3)
+        assert t.check_and_claim("k", 4)
+
+    def test_keys_independent(self):
+        t = RecoveryTable()
+        assert t.check_and_claim("a", 1)
+        assert t.check_and_claim("b", 1)
+        assert len(t) == 2
+
+    def test_recovering_life(self):
+        t = RecoveryTable()
+        assert t.recovering_life("k") is None
+        t.check_and_claim("k", 1)
+        assert t.recovering_life("k") == 1
+
+
+class TestConcurrency:
+    def test_exactly_one_winner_per_incarnation(self):
+        t = RecoveryTable()
+        for life in (1, 2, 3):
+            wins = []
+            lock = threading.Lock()
+
+            def contend(lf=life):
+                if t.check_and_claim("k", lf):
+                    with lock:
+                        wins.append(1)
+
+            threads = [threading.Thread(target=contend) for _ in range(12)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            assert len(wins) == 1, f"life {life}"
+
+    def test_counters(self):
+        t = RecoveryTable()
+        t.check_and_claim("k", 1)
+        t.check_and_claim("k", 1)
+        assert t.claims == 1
+        assert t.rejections == 1

@@ -1,0 +1,39 @@
+"""Tests for SchedulerResult."""
+
+import pytest
+
+from repro.core import run_scheduler
+from repro.graph.builders import chain_graph
+from repro.runtime import SimulatedRuntime
+
+
+class TestSchedulerResult:
+    def test_makespan_property(self):
+        res = run_scheduler(chain_graph(4))
+        assert res.makespan == res.run.makespan
+
+    def test_overhead_vs(self):
+        spec = chain_graph(6, cost=lambda k: 100.0)
+        base = run_scheduler(spec, runtime=SimulatedRuntime(workers=1),
+                             fault_tolerant=False)
+        ft = run_scheduler(spec, runtime=SimulatedRuntime(workers=1))
+        overhead = ft.overhead_vs(base)
+        assert overhead > 0
+        assert base.overhead_vs(ft) < 0
+
+    def test_overhead_vs_zero_baseline_rejected(self):
+        res = run_scheduler(chain_graph(2))
+        fake = run_scheduler(chain_graph(2))
+        fake.run.makespan = 0.0
+        with pytest.raises(ValueError):
+            res.overhead_vs(fake)
+
+    def test_scheduler_names(self):
+        assert run_scheduler(chain_graph(2)).scheduler == "ft"
+        assert run_scheduler(chain_graph(2), fault_tolerant=False).scheduler == "nabbit"
+
+    def test_store_carries_results(self):
+        from repro.graph.taskspec import BlockRef
+
+        res = run_scheduler(chain_graph(3))
+        assert res.store.peek(BlockRef(2, 0)) is not None

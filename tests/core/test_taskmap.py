@@ -1,0 +1,100 @@
+"""Unit tests for the concurrent task map and life numbers."""
+
+import threading
+
+import pytest
+
+from repro.core.taskmap import TaskMap
+
+
+def simple_map():
+    return TaskMap(n_preds_of=lambda k: 2)
+
+
+class TestInsertion:
+    def test_first_insert(self):
+        m = simple_map()
+        rec, life, inserted = m.insert_if_absent("a")
+        assert inserted
+        assert life == 1
+        assert rec.join == 3  # 2 preds + self
+
+    def test_second_insert_returns_existing(self):
+        m = simple_map()
+        rec1, _, _ = m.insert_if_absent("a")
+        rec2, life, inserted = m.insert_if_absent("a")
+        assert not inserted
+        assert rec2 is rec1
+        assert life == 1
+
+    def test_exactly_one_inserter_under_contention(self):
+        m = simple_map()
+        wins = []
+        lock = threading.Lock()
+
+        def contend():
+            _, _, inserted = m.insert_if_absent("hot")
+            if inserted:
+                with lock:
+                    wins.append(1)
+
+        threads = [threading.Thread(target=contend) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+
+
+class TestGet:
+    def test_missing(self):
+        assert simple_map().get("nope") == (None, 0)
+
+    def test_present(self):
+        m = simple_map()
+        rec, _, _ = m.insert_if_absent("a")
+        got, life = m.get("a")
+        assert got is rec
+        assert life == 1
+
+
+class TestReplace:
+    def test_replace_bumps_life(self):
+        m = simple_map()
+        old, _, _ = m.insert_if_absent("a")
+        new, life = m.replace("a")
+        assert life == 2
+        assert new is not old
+        assert new.life == 2
+        assert m.get("a") == (new, 2)
+
+    def test_replace_resets_state(self):
+        m = simple_map()
+        rec, _, _ = m.insert_if_absent("a")
+        rec.join = 0
+        rec.try_unset_bit(0)
+        new, _ = m.replace("a")
+        assert new.join == 3
+        assert new.bit_vector == 0b111
+
+    def test_replace_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            simple_map().replace("ghost")
+
+    def test_repeated_replacement_monotonic_lives(self):
+        m = simple_map()
+        m.insert_if_absent("a")
+        lives = [m.replace("a")[1] for _ in range(5)]
+        assert lives == [2, 3, 4, 5, 6]
+
+
+class TestBookkeeping:
+    def test_len_contains_counters(self):
+        m = simple_map()
+        m.insert_if_absent("a")
+        m.insert_if_absent("b")
+        m.replace("a")
+        assert len(m) == 2
+        assert "a" in m and "c" not in m
+        assert m.inserts == 2
+        assert m.replacements == 1

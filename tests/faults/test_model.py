@@ -1,0 +1,112 @@
+"""Unit tests for the fault model types."""
+
+import pytest
+
+from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
+
+
+class TestPhase:
+    @pytest.mark.parametrize(
+        "name,phase",
+        [
+            ("before_compute", FaultPhase.BEFORE_COMPUTE),
+            ("AFTER_COMPUTE", FaultPhase.AFTER_COMPUTE),
+            ("  after_notify ", FaultPhase.AFTER_NOTIFY),
+        ],
+    )
+    def test_from_name(self, name, phase):
+        assert FaultPhase.from_name(name) is phase
+
+    def test_from_phase_identity(self):
+        assert FaultPhase.from_name(FaultPhase.AFTER_COMPUTE) is FaultPhase.AFTER_COMPUTE
+
+    def test_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown fault phase"):
+            FaultPhase.from_name("during_lunch")
+
+
+class TestEvent:
+    def test_defaults(self):
+        e = FaultEvent("k", FaultPhase.AFTER_COMPUTE)
+        assert e.life == 1
+        assert e.corrupt_descriptor and e.corrupt_outputs
+
+    def test_life_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultEvent("k", FaultPhase.AFTER_COMPUTE, life=0)
+
+    def test_must_corrupt_something(self):
+        with pytest.raises(ValueError):
+            FaultEvent("k", FaultPhase.AFTER_COMPUTE,
+                       corrupt_descriptor=False, corrupt_outputs=False)
+
+    def test_frozen(self):
+        e = FaultEvent("k", FaultPhase.AFTER_COMPUTE)
+        with pytest.raises(Exception):
+            e.life = 5
+
+
+class TestPlan:
+    def test_iteration_and_len(self):
+        events = [FaultEvent(i, FaultPhase.AFTER_COMPUTE) for i in range(3)]
+        plan = FaultPlan(events=events, implied_reexecutions=3)
+        assert len(plan) == 3
+        assert list(plan) == events
+        assert plan.keys() == [0, 1, 2]
+
+    def test_single(self):
+        plan = FaultPlan.single("k", "after_notify", life=2)
+        assert len(plan) == 1
+        assert plan.events[0].phase is FaultPhase.AFTER_NOTIFY
+        assert plan.events[0].life == 2
+        assert plan.implied_reexecutions == 1
+
+
+class TestPlanSerialization:
+    def test_round_trip(self):
+        import json
+
+        from repro.faults.model import plan_from_dict, plan_to_dict
+
+        plan = FaultPlan(
+            events=[
+                FaultEvent(("gemm", 1, 2, 3), FaultPhase.AFTER_NOTIFY, life=2),
+                FaultEvent("simple", FaultPhase.BEFORE_COMPUTE, corrupt_outputs=False),
+                FaultEvent(7, FaultPhase.AFTER_COMPUTE, corrupt_descriptor=True),
+            ],
+            implied_reexecutions=9,
+            task_type="v=last",
+        )
+        back = plan_from_dict(json.loads(json.dumps(plan_to_dict(plan))))
+        assert back.events == plan.events
+        assert back.implied_reexecutions == 9
+        assert back.task_type == "v=last"
+
+    def test_defaults_on_sparse_dict(self):
+        from repro.faults.model import plan_from_dict
+
+        back = plan_from_dict({"events": [{"key": "a", "phase": "after_compute"}]})
+        assert back.events[0].life == 1
+        assert back.events[0].corrupt_outputs
+
+    def test_loaded_plan_drives_injection(self):
+        import json
+
+        from repro.faults.injector import FaultInjector
+        from repro.faults.model import plan_from_dict, plan_to_dict
+        from repro.core import FTScheduler
+        from repro.graph.builders import grid_graph
+        from repro.memory.blockstore import BlockStore
+        from repro.runtime import InlineRuntime
+        from repro.runtime.tracing import ExecutionTrace
+
+        spec = grid_graph(4, 4)
+        plan = plan_from_dict(json.loads(json.dumps(
+            plan_to_dict(FaultPlan.single((1, 1), "after_compute"))
+        )))
+        store = BlockStore()
+        trace = ExecutionTrace()
+        injector = FaultInjector(plan, spec, store, trace)
+        FTScheduler(spec, InlineRuntime(), store=store, hooks=injector, trace=trace).run()
+        assert injector.all_fired()
+        assert trace.recoveries[(1, 1)] == 1

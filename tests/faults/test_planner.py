@@ -1,0 +1,110 @@
+"""Unit tests for fault planning."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.faults.model import FaultPhase
+from repro.faults.planner import plan_faults, plan_recursive_faults, resolve_target
+from repro.faults.selectors import VersionIndex
+from repro.graph.builders import grid_graph
+
+
+@pytest.fixture(scope="module")
+def grid_index():
+    return VersionIndex(grid_graph(8, 8))
+
+
+class TestResolveTarget:
+    def test_count(self, grid_index):
+        assert resolve_target(grid_index, count=5) == 5
+
+    def test_fraction(self, grid_index):
+        assert resolve_target(grid_index, fraction=0.25) == 16
+
+    def test_fraction_rounds_to_at_least_one(self, grid_index):
+        assert resolve_target(grid_index, fraction=0.001) == 1
+
+    def test_exactly_one_of(self, grid_index):
+        with pytest.raises(ValueError):
+            resolve_target(grid_index)
+        with pytest.raises(ValueError):
+            resolve_target(grid_index, count=1, fraction=0.1)
+
+    def test_bad_values(self, grid_index):
+        with pytest.raises(ValueError):
+            resolve_target(grid_index, count=0)
+        with pytest.raises(ValueError):
+            resolve_target(grid_index, fraction=1.5)
+
+
+class TestPlanFaults:
+    def test_meets_target(self):
+        spec = grid_graph(8, 8)
+        plan = plan_faults(spec, phase="after_compute", count=10, seed=0)
+        assert plan.implied_reexecutions >= 10
+        assert len(plan) == 10  # single-assignment: one per victim
+
+    def test_deterministic_by_seed(self):
+        spec = grid_graph(8, 8)
+        a = plan_faults(spec, phase="after_compute", count=7, seed=5)
+        b = plan_faults(spec, phase="after_compute", count=7, seed=5)
+        assert a.keys() == b.keys()
+
+    def test_different_seeds_differ(self):
+        spec = grid_graph(8, 8)
+        a = plan_faults(spec, phase="after_compute", count=7, seed=1)
+        b = plan_faults(spec, phase="after_compute", count=7, seed=2)
+        assert a.keys() != b.keys()
+
+    def test_before_compute_does_not_corrupt_outputs(self):
+        spec = grid_graph(6, 6)
+        plan = plan_faults(spec, phase="before_compute", count=3, seed=0)
+        assert all(not e.corrupt_outputs for e in plan)
+
+    def test_after_compute_corrupts_outputs(self):
+        spec = grid_graph(6, 6)
+        plan = plan_faults(spec, phase="after_compute", count=3, seed=0)
+        assert all(e.corrupt_outputs for e in plan)
+
+    def test_chain_sizing_for_after_notify(self):
+        app = make_app("fw", scale="tiny", light=True)
+        index = VersionIndex(app)
+        plan = plan_faults(app, phase="after_notify", task_type="v=last",
+                           count=6, seed=0, index=index)
+        # Each v=last victim implies a chain of B re-executions.
+        B = app.config.blocks
+        assert plan.implied_reexecutions >= 6
+        assert len(plan) < 6  # fewer victims than target: chains count
+
+    def test_victim_sizing_for_after_compute(self):
+        app = make_app("fw", scale="tiny", light=True)
+        plan = plan_faults(app, phase="after_compute", task_type="v=last", count=6, seed=0)
+        assert len(plan) == 6  # one implied re-execution per victim
+
+    def test_pool_exhaustion(self):
+        spec = grid_graph(3, 3)
+        with pytest.raises(ValueError, match="pool exhausted"):
+            plan_faults(spec, phase="after_compute", count=100, seed=0)
+
+    def test_sink_never_chosen(self):
+        spec = grid_graph(4, 4)
+        plan = plan_faults(spec, phase="after_compute", count=14, seed=0)
+        assert (3, 3) not in plan.keys()
+
+    def test_fraction_interface(self):
+        spec = grid_graph(8, 8)
+        plan = plan_faults(spec, phase="after_compute", fraction=0.05, seed=0)
+        assert plan.implied_reexecutions >= 3
+
+
+class TestRecursivePlans:
+    def test_lives_ascend(self):
+        spec = grid_graph(4, 4)
+        plan = plan_recursive_faults(spec, (1, 1), depth=4)
+        assert [e.life for e in plan] == [1, 2, 3, 4]
+        assert all(e.key == (1, 1) for e in plan)
+
+    def test_phase_configurable(self):
+        spec = grid_graph(4, 4)
+        plan = plan_recursive_faults(spec, (1, 1), phase="before_compute", depth=2)
+        assert all(e.phase is FaultPhase.BEFORE_COMPUTE for e in plan)

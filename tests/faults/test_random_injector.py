@@ -1,0 +1,95 @@
+"""Tests for the online probabilistic injector."""
+
+import pytest
+
+from repro.core import FTScheduler, run_scheduler
+from repro.faults.random_injector import RandomInjector
+from repro.graph.builders import grid_graph, random_dag
+from repro.graph.taskspec import BlockRef
+from repro.memory.blockstore import BlockStore
+from repro.runtime import SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+def run_random(spec, seed=0, workers=4, steal_seed=0, **rates):
+    store = BlockStore()
+    trace = ExecutionTrace()
+    injector = RandomInjector(spec, store, seed=seed, trace=trace, **rates)
+    sched = FTScheduler(
+        spec, SimulatedRuntime(workers=workers, seed=steal_seed),
+        store=store, hooks=injector, trace=trace,
+    )
+    return sched.run(), injector, store
+
+
+class TestRates:
+    def test_zero_rate_is_fault_free(self):
+        spec = grid_graph(5, 5)
+        res, injector, _ = run_random(spec, rate=0.0)
+        assert not injector.fired
+        assert res.trace.reexecutions == 0
+
+    def test_invalid_rate_rejected(self):
+        spec = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            RandomInjector(spec, BlockStore(), rate=1.5)
+
+    def test_per_phase_rates_override_base(self):
+        spec = grid_graph(5, 5)
+        _, injector, _ = run_random(spec, rate=0.0, after_compute=0.3, seed=2)
+        assert injector.fired
+        assert all(phase.value == "after_compute" for _, _, phase in injector.fired)
+
+    def test_rate_scales_fault_count(self):
+        spec = grid_graph(6, 6)
+        _, low, _ = run_random(spec, after_compute=0.05, seed=1)
+        _, high, _ = run_random(spec, after_compute=0.5, seed=1)
+        assert len(high.fired) > len(low.fired)
+
+
+class TestDeterminism:
+    def test_same_seed_same_victims(self):
+        spec = grid_graph(5, 5)
+        _, a, _ = run_random(spec, after_compute=0.3, seed=9)
+        _, b, _ = run_random(spec, after_compute=0.3, seed=9)
+        assert a.fired == b.fired
+
+    def test_different_seed_different_victims(self):
+        spec = grid_graph(5, 5)
+        _, a, _ = run_random(spec, after_compute=0.3, seed=1)
+        _, b, _ = run_random(spec, after_compute=0.3, seed=2)
+        assert a.fired != b.fired
+
+
+class TestCorrectnessUnderRandomFaults:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_results_unchanged(self, seed):
+        spec = grid_graph(6, 6)
+        expected = run_scheduler(spec).store.peek(BlockRef((5, 5), 0))
+        res, injector, store = run_random(
+            spec, rate=0.1, seed=seed, steal_seed=seed
+        )
+        assert store.peek(BlockRef((5, 5), 0)) == expected
+
+    def test_recovery_can_be_struck_again(self):
+        # High rate: incarnations beyond life 1 get hit too (Guarantee 6
+        # under load) -- completion must still hold.
+        spec = grid_graph(4, 4)
+        expected = run_scheduler(spec).store.peek(BlockRef((3, 3), 0))
+        res, injector, store = run_random(spec, after_compute=0.6, seed=3)
+        assert store.peek(BlockRef((3, 3), 0)) == expected
+        assert any(life > 1 for _, life, _ in injector.fired)
+
+    def test_random_dags(self):
+        for seed in range(3):
+            spec = random_dag(25, edge_prob=0.25, seed=seed)
+            expected = run_scheduler(spec).store.peek(BlockRef(spec.sink_key(), 0))
+            _, _, store = run_random(spec, rate=0.15, seed=seed)
+            assert store.peek(BlockRef(spec.sink_key(), 0)) == expected
+
+
+class TestCap:
+    def test_max_faults_bounds_firing(self):
+        spec = grid_graph(6, 6)
+        _, injector, _ = run_random(spec, after_compute=0.9, seed=1, max_faults=3)
+        assert len(injector.fired) == 3

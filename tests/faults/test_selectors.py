@@ -1,0 +1,137 @@
+"""Unit tests for version-based victim classification."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.faults.selectors import (
+    TASK_TYPES,
+    V0,
+    VLAST,
+    VRAND,
+    VersionIndex,
+    normalize_task_type,
+    sample_victims,
+)
+from repro.graph.builders import grid_graph
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "alias,canon",
+        [("v=0", V0), ("v0", V0), ("first", V0), ("V=LAST", VLAST), ("last", VLAST),
+         ("rand", VRAND), ("random", VRAND), ("v=rand", VRAND)],
+    )
+    def test_aliases(self, alias, canon):
+        assert normalize_task_type(alias) == canon
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            normalize_task_type("v=7")
+
+
+class TestSingleAssignmentGraph:
+    def test_every_task_is_both_v0_and_vlast(self):
+        # LCS-like: one version per block (the paper's Table II remark).
+        idx = VersionIndex(grid_graph(4, 4))
+        counts = idx.type_counts()
+        assert counts[V0] == counts[VLAST] == counts[VRAND] == 15  # sink excluded
+
+    def test_sink_excluded_by_default(self):
+        idx = VersionIndex(grid_graph(4, 4))
+        assert (3, 3) not in idx.pool(VRAND)
+        assert (3, 3) in idx.pool(VRAND, exclude_sink=False)
+
+    def test_sources_excludable(self):
+        idx = VersionIndex(grid_graph(4, 4))
+        assert (0, 0) not in idx.pool(VRAND, exclude_sources=True)
+
+
+class TestVersionedApps:
+    def test_fw_version_structure(self):
+        app = make_app("fw", scale="tiny", light=True)
+        idx = VersionIndex(app)
+        B = app.config.blocks
+        # v=0 producers are the step-0 tasks; v=last the step-(B-1) tasks.
+        assert all(k[0] == 0 for k in idx.pool(V0))
+        assert all(k[0] == B - 1 for k in idx.pool(VLAST))
+        assert len(idx.pool(V0)) == B * B
+        assert len(idx.pool(VLAST)) == B * B
+
+    def test_fw_first_version_accounts_for_pinned_inputs(self):
+        app = make_app("fw", scale="tiny", light=True)
+        idx = VersionIndex(app)
+        # Blocks get task-produced versions 1..B; version 0 is pinned input.
+        assert idx.first_version(("d", 0, 0)) == 1
+        assert idx.last_version(("d", 0, 0)) == app.config.blocks
+
+    def test_lu_classification(self):
+        app = make_app("lu", scale="tiny", light=True)
+        idx = VersionIndex(app)
+        assert ("getrf", 0) in idx.pool(V0)
+        B = app.config.blocks
+        # Final-version producers include all factor-stage tasks.
+        assert ("trsmr", 0, B - 1) in idx.pool(VLAST)
+        # getrf(0) produces both the first and last version of (0,0).
+        assert ("getrf", 0) in idx.pool(VLAST)
+
+    def test_implied_chain_model(self):
+        app = make_app("fw", scale="tiny", light=True)
+        idx = VersionIndex(app)
+        B = app.config.blocks
+        key = (B - 1, 1, 2)
+        # Before-compute loses nothing.
+        assert idx.implied_reexecutions(key, "before_compute", 2) == 1
+        # Immediate detection with two retained versions: just the victim
+        # (the paper's rationale for two-version FW).
+        assert idx.implied_reexecutions(key, "after_compute", 2) == 1
+        # ... but with a single buffer the victim destroyed its own input:
+        # the whole chain replays.
+        assert idx.implied_reexecutions(key, "after_compute", 1) == B
+        # Delayed detection implies the chain under any bounded keep.
+        assert idx.implied_reexecutions(key, "after_notify", 2) == B
+        assert idx.implied_reexecutions((0, 1, 2), "after_notify", 2) == 1
+        # Single assignment never evicts: always 1.
+        assert idx.implied_reexecutions(key, "after_notify", None) == 1
+
+    def test_self_chained_classification(self):
+        fw = make_app("fw", scale="tiny", light=True)
+        assert VersionIndex(fw).self_chained((2, 1, 2))
+        sw = make_app("sw", scale="tiny", light=True)
+        idx = VersionIndex(sw)
+        # SW tasks read neighbouring blocks, never their own block's
+        # previous version.
+        assert not idx.self_chained((3, 2))
+        lu = make_app("lu", scale="tiny", light=True)
+        assert VersionIndex(lu).self_chained(("gemm", 1, 3, 4))
+
+    def test_primary_output_and_npreds(self):
+        app = make_app("cholesky", scale="tiny", light=True)
+        idx = VersionIndex(app)
+        ref = idx.primary_output(("potrf", 0))
+        assert ref.block == ("a", 0, 0)
+        assert ref.version == 1
+        assert idx.n_preds(("potrf", 0)) == 0
+
+
+class TestSampling:
+    def test_sample_without_replacement(self):
+        import random
+
+        pool = list(range(100))
+        got = sample_victims(pool, random.Random(1), count=10)
+        assert len(got) == len(set(got)) == 10
+
+    def test_sample_whole_pool(self):
+        import random
+
+        pool = list(range(10))
+        got = sample_victims(pool, random.Random(1))
+        assert sorted(got) == pool
+
+    def test_deterministic_by_seed(self):
+        import random
+
+        pool = list(range(50))
+        a = sample_victims(pool, random.Random(3), count=5)
+        b = sample_victims(pool, random.Random(3), count=5)
+        assert a == b

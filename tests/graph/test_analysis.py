@@ -1,0 +1,108 @@
+"""Unit tests for graph analytics (Table I quantities, work/span)."""
+
+import pytest
+
+from repro.graph.analysis import (
+    collect_tasks,
+    critical_path_length,
+    graph_stats,
+    topological_order,
+    work_and_span,
+)
+from repro.graph.builders import chain_graph, diamond_graph, fork_join_graph, grid_graph
+
+
+class TestCollectAndTopo:
+    def test_collect_reaches_all(self):
+        assert len(collect_tasks(grid_graph(3, 5))) == 15
+
+    def test_topological_order_respects_edges(self):
+        g = grid_graph(4, 4)
+        order = topological_order(g)
+        pos = {k: i for i, k in enumerate(order)}
+        for k in order:
+            for p in g.predecessors(k):
+                assert pos[p] < pos[k]
+
+    def test_topo_on_chain_is_the_chain(self):
+        assert topological_order(chain_graph(6)) == list(range(6))
+
+
+class TestCriticalPath:
+    def test_chain(self):
+        assert critical_path_length(chain_graph(10)) == 9
+
+    def test_diamond(self):
+        assert critical_path_length(diamond_graph()) == 2
+
+    def test_grid_wavefront(self):
+        # Longest path alternates right/down: 2*(n-1) edges.
+        assert critical_path_length(grid_graph(5, 5)) == 8
+
+    def test_weighted(self):
+        g = chain_graph(4, cost=lambda k: float(k + 1))
+        assert critical_path_length(g, weight=g.cost) == 1 + 2 + 3 + 4
+
+
+class TestGraphStats:
+    def test_chain_stats(self):
+        st = graph_stats(chain_graph(8))
+        assert st.tasks == 8
+        assert st.edges == 7
+        assert st.critical_path == 7
+        assert st.max_in_degree == 1
+        assert st.max_out_degree == 1
+        assert st.sources == 1
+        assert st.total_cost == 8.0
+        assert st.span_cost == 8.0
+        assert st.average_parallelism == 1.0
+
+    def test_diamond_stats(self):
+        st = graph_stats(diamond_graph(width=3))
+        assert st.tasks == 5
+        assert st.edges == 6
+        assert st.max_in_degree == 3
+        assert st.max_out_degree == 3
+        assert st.max_degree == 6
+
+    def test_grid_edge_count_closed_form(self):
+        n = 6
+        st = graph_stats(grid_graph(n, n))
+        expected = 2 * n * (n - 1) + (n - 1) ** 2
+        assert st.edges == expected
+
+    def test_fork_join(self):
+        st = graph_stats(fork_join_graph(levels=3, fanout=4))
+        # 3 forks of 4 + 3 joins + the initial join(-1) node
+        assert st.tasks == 3 * 4 + 3 + 1
+        assert st.max_out_degree == 4
+        assert st.max_in_degree == 4
+
+
+class TestWorkAndSpan:
+    def test_fault_free_chain(self):
+        g = chain_graph(5)
+        t1, tinf = work_and_span(g)
+        # T1 charges cost + |out| per task: 5 * 1 + 4 notification edges.
+        assert t1 == 5 + 4
+        assert tinf == 5.0
+
+    def test_reexecution_increases_work_linearly(self):
+        g = chain_graph(5)
+        t1a, _ = work_and_span(g)
+        t1b, _ = work_and_span(g, {2: 3})  # task 2 runs 3 times
+        assert t1b == t1a + 2 * (1 + 1)  # two extra (cost + out-degree)
+
+    def test_reexecution_on_critical_path_increases_span(self):
+        g = chain_graph(5)
+        _, sa = work_and_span(g)
+        _, sb = work_and_span(g, {2: 4})
+        assert sb == sa + 3  # three extra serial executions of cost 1
+
+    def test_reexecution_off_critical_path_may_not_increase_span(self):
+        g = diamond_graph(width=2)
+        _, sa = work_and_span(g)
+        _, sb = work_and_span(g, {("mid", 0): 2})
+        # Span path can route through the other middle task... but N on a
+        # path member counts serially, so span grows only on that path.
+        assert sb == sa + 1  # the heavier branch becomes the span path

@@ -1,0 +1,89 @@
+"""Unit tests for synthetic graph builders."""
+
+import pytest
+
+from repro.graph.builders import (
+    chain_graph,
+    diamond_graph,
+    fork_join_graph,
+    grid_graph,
+    random_dag,
+)
+from repro.graph.validate import validate_spec
+
+
+class TestChain:
+    def test_lengths(self):
+        for n in (1, 2, 7):
+            assert validate_spec(chain_graph(n)) == n
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            chain_graph(0)
+
+
+class TestDiamond:
+    def test_width(self):
+        g = diamond_graph(width=5)
+        assert validate_spec(g) == 7
+        assert len(g.predecessors("sink")) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            diamond_graph(width=0)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = fork_join_graph(levels=2, fanout=3)
+        assert validate_spec(g) == 2 * 3 + 2 + 1
+        assert g.sink_key() == ("join", 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fork_join_graph(0, 1)
+
+
+class TestGrid:
+    def test_with_diagonal(self):
+        g = grid_graph(3, 3)
+        assert validate_spec(g) == 9
+        assert set(g.predecessors((1, 1))) == {(0, 1), (1, 0), (0, 0)}
+
+    def test_without_diagonal(self):
+        g = grid_graph(3, 3, diagonal=False)
+        assert set(g.predecessors((1, 1))) == {(0, 1), (1, 0)}
+
+    def test_single_cell(self):
+        assert validate_spec(grid_graph(1, 1)) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestRandomDag:
+    def test_valid_for_various_sizes(self):
+        for n in (1, 2, 10, 40):
+            g = random_dag(n, edge_prob=0.3, seed=n)
+            assert validate_spec(g) == len(g)
+
+    def test_deterministic_by_seed(self):
+        a = random_dag(25, edge_prob=0.25, seed=9)
+        b = random_dag(25, edge_prob=0.25, seed=9)
+        assert a.vertices() == b.vertices()
+        assert all(a.predecessors(v) == b.predecessors(v) for v in a.vertices())
+
+    def test_different_seeds_differ(self):
+        a = random_dag(25, edge_prob=0.25, seed=1)
+        b = random_dag(25, edge_prob=0.25, seed=2)
+        assert any(a.predecessors(v) != b.predecessors(v) for v in range(25))
+
+    def test_max_in_degree_respected(self):
+        g = random_dag(40, edge_prob=0.9, seed=3, max_in_degree=2)
+        assert all(len(g.predecessors(v)) <= 2 for v in range(40))
+
+    def test_sink_depends_on_all_natural_sinks(self):
+        g = random_dag(15, edge_prob=0.0, seed=0)
+        # No internal edges: every vertex feeds the virtual sink.
+        assert len(g.predecessors("__sink__")) == 15

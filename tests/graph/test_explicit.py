@@ -1,0 +1,104 @@
+"""Unit tests for explicit (materialized) task graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.explicit import ExplicitTaskGraph
+
+
+class TestConstruction:
+    def test_simple_chain(self):
+        g = ExplicitTaskGraph([(0, 1), (1, 2)])
+        assert g.sink_key() == 2
+        assert g.predecessors(2) == (1,)
+        assert g.successors(0) == (1,)
+        assert len(g) == 3
+
+    def test_sink_inferred_unique(self):
+        g = ExplicitTaskGraph([("a", "c"), ("b", "c")])
+        assert g.sink_key() == "c"
+
+    def test_ambiguous_sink_rejected(self):
+        with pytest.raises(ValueError, match="unique sink"):
+            ExplicitTaskGraph([("a", "b"), ("a", "c")])
+
+    def test_explicit_sink_must_be_vertex(self):
+        with pytest.raises(ValueError, match="not a vertex"):
+            ExplicitTaskGraph([("a", "b")], sink="z")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            ExplicitTaskGraph([("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate edge"):
+            ExplicitTaskGraph([("a", "b"), ("a", "b")])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no vertices"):
+            ExplicitTaskGraph([])
+
+    def test_single_vertex(self):
+        g = ExplicitTaskGraph([], sink="only", vertices=["only"])
+        assert g.sink_key() == "only"
+        assert g.predecessors("only") == ()
+
+    def test_edge_order_preserved(self):
+        g = ExplicitTaskGraph([("b", "d"), ("a", "d"), ("c", "d")], sink="d")
+        assert g.predecessors("d") == ("b", "a", "c")
+
+
+class TestAlternateConstructors:
+    def test_from_predecessor_map(self):
+        g = ExplicitTaskGraph.from_predecessor_map({"a": [], "b": ["a"], "c": ["a", "b"]})
+        assert g.sink_key() == "c"
+        assert g.predecessors("c") == ("a", "b")
+
+    def test_from_networkx(self):
+        dg = nx.DiGraph([(1, 2), (2, 3), (1, 3)])
+        g = ExplicitTaskGraph.from_networkx(dg)
+        assert g.sink_key() == 3
+        assert set(g.predecessors(3)) == {1, 2}
+
+    def test_with_virtual_sink(self):
+        g = ExplicitTaskGraph.with_virtual_sink([("a", "b"), ("a", "c")])
+        assert g.sink_key() == "__sink__"
+        assert set(g.predecessors("__sink__")) == {"b", "c"}
+
+    def test_virtual_sink_key_collision_rejected(self):
+        with pytest.raises(ValueError, match="already used"):
+            ExplicitTaskGraph.with_virtual_sink([("a", "__sink__")])
+
+
+class TestSpecSurface:
+    def test_contains(self):
+        g = ExplicitTaskGraph([("a", "b")])
+        assert "a" in g
+        assert "z" not in g
+
+    def test_vertices(self):
+        g = ExplicitTaskGraph([("a", "b")])
+        assert set(g.vertices()) == {"a", "b"}
+
+    def test_custom_cost(self):
+        g = ExplicitTaskGraph([("a", "b")], cost=lambda k: 5.0 if k == "a" else 1.0)
+        assert g.cost("a") == 5.0
+        assert g.cost("b") == 1.0
+
+    def test_producer_is_block(self):
+        from repro.graph.taskspec import BlockRef
+
+        g = ExplicitTaskGraph([("a", "b")])
+        assert g.producer(BlockRef("a", 0)) == "a"
+
+    def test_default_compute_builds_deterministic_tuples(self):
+        from repro.core import run_scheduler
+        from repro.graph.taskspec import BlockRef
+
+        g = ExplicitTaskGraph([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")], sink="d")
+        r1 = run_scheduler(g)
+        r2 = run_scheduler(g)
+        v1 = r1.store.peek(BlockRef("d", 0))
+        v2 = r2.store.peek(BlockRef("d", 0))
+        assert v1 == v2
+        assert v1[0] == "d"

@@ -1,0 +1,96 @@
+"""Unit tests for the task-graph specification protocol."""
+
+import pytest
+
+from repro.graph.taskspec import BlockRef, CallableSpec, TaskGraphSpec, TaskSpecBase
+
+
+def diamond_spec():
+    preds = {"a": [], "b": ["a"], "c": ["a"], "d": ["b", "c"]}
+    succs = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+    return CallableSpec(
+        sink="d",
+        preds=lambda k: preds[k],
+        succs=lambda k: succs[k],
+        compute=lambda k, ctx: ctx.write(BlockRef(k, 0), k.upper()),
+    )
+
+
+class TestBlockRef:
+    def test_is_named_tuple(self):
+        ref = BlockRef("blk", 3)
+        assert ref.block == "blk"
+        assert ref.version == 3
+        assert tuple(ref) == ("blk", 3)
+
+    def test_equality_with_plain_tuple(self):
+        assert BlockRef("x", 0) == ("x", 0)
+
+    def test_hashable_dict_key(self):
+        d = {BlockRef("x", 1): "v"}
+        assert d[BlockRef("x", 1)] == "v"
+
+
+class TestCallableSpec:
+    def test_satisfies_protocol(self):
+        assert isinstance(diamond_spec(), TaskGraphSpec)
+
+    def test_sink(self):
+        assert diamond_spec().sink_key() == "d"
+
+    def test_preds_and_succs(self):
+        s = diamond_spec()
+        assert s.predecessors("d") == ("b", "c")
+        assert s.successors("a") == ("b", "c")
+
+    def test_default_cost_is_one(self):
+        assert diamond_spec().cost("a") == 1.0
+
+    def test_custom_cost(self):
+        s = CallableSpec("d", lambda k: [], lambda k: [], lambda k, c: None, cost=lambda k: 7.0)
+        assert s.cost("anything") == 7.0
+
+
+class TestTaskSpecBaseDefaults:
+    def test_default_inputs_mirror_predecessors(self):
+        s = diamond_spec()
+        assert tuple(s.inputs("d")) == (BlockRef("b", 0), BlockRef("c", 0))
+
+    def test_default_outputs_are_own_key(self):
+        s = diamond_spec()
+        assert tuple(s.outputs("b")) == (BlockRef("b", 0),)
+
+    def test_default_producer_is_block_id(self):
+        s = diamond_spec()
+        assert s.producer(BlockRef("b", 0)) == "b"
+
+    def test_pred_index_positions(self):
+        s = diamond_spec()
+        assert s.pred_index("d", "b") == 0
+        assert s.pred_index("d", "c") == 1
+
+    def test_pred_index_self_is_extra_slot(self):
+        s = diamond_spec()
+        assert s.pred_index("d", "d") == 2
+        assert s.pred_index("a", "a") == 0
+
+    def test_pred_index_unknown_raises(self):
+        with pytest.raises(KeyError):
+            diamond_spec().pred_index("d", "a")
+
+    def test_walk_from_sink_reaches_everything(self):
+        assert set(diamond_spec().walk_from_sink()) == {"a", "b", "c", "d"}
+
+    def test_walk_from_sink_starts_at_sink(self):
+        assert next(iter(diamond_spec().walk_from_sink())) == "d"
+
+    def test_abstract_methods_raise(self):
+        base = TaskSpecBase()
+        with pytest.raises(NotImplementedError):
+            base.sink_key()
+        with pytest.raises(NotImplementedError):
+            base.predecessors("x")
+        with pytest.raises(NotImplementedError):
+            base.successors("x")
+        with pytest.raises(NotImplementedError):
+            base.compute("x", None)

@@ -1,0 +1,92 @@
+"""Unit tests for structural validation."""
+
+import pytest
+
+from repro.graph.builders import diamond_graph, grid_graph
+from repro.graph.explicit import ExplicitTaskGraph
+from repro.graph.taskspec import CallableSpec
+from repro.graph.validate import GraphValidationError, validate_spec
+
+
+def spec_from(preds, succs, sink, cost=None):
+    return CallableSpec(
+        sink=sink,
+        preds=lambda k: preds.get(k, []),
+        succs=lambda k: succs.get(k, []),
+        compute=lambda k, ctx: None,
+        cost=cost,
+    )
+
+
+class TestAccepts:
+    def test_diamond(self):
+        assert validate_spec(diamond_graph()) == 4
+
+    def test_grid(self):
+        assert validate_spec(grid_graph(4, 4)) == 16
+
+    def test_returns_reachable_count_only(self):
+        # "z" exists but is unreachable from the sink.
+        g = ExplicitTaskGraph([("a", "b"), ("z", "y")], sink="b")
+        assert validate_spec(g) == 2
+
+
+class TestRejects:
+    def test_sink_with_successors(self):
+        s = spec_from({"a": [], "b": ["a"]}, {"a": ["b"], "b": ["a"]}, "b")
+        with pytest.raises(GraphValidationError, match="sink .* has successors"):
+            validate_spec(s)
+
+    def test_cycle(self):
+        preds = {"a": ["b"], "b": ["a"], "c": ["a", "b"]}
+        succs = {"a": ["b", "c"], "b": ["a", "c"], "c": []}
+        with pytest.raises(GraphValidationError, match="cycle"):
+            validate_spec(spec_from(preds, succs, "c"))
+
+    def test_inconsistent_adjacency_missing_succ(self):
+        preds = {"a": [], "b": ["a"]}
+        succs = {"a": [], "b": []}  # a should list b
+        with pytest.raises(GraphValidationError, match="inconsistent adjacency"):
+            validate_spec(spec_from(preds, succs, "b"))
+
+    def test_inconsistent_adjacency_missing_pred(self):
+        # Reachable task "a" claims successor "c", but "c" does not list
+        # "a" as a predecessor.
+        preds = {"a": [], "b": ["a"], "c": []}
+        succs = {"a": ["b", "c"], "b": [], "c": []}
+        with pytest.raises(GraphValidationError, match="inconsistent adjacency"):
+            validate_spec(spec_from(preds, succs, "b"))
+
+    def test_duplicate_predecessors(self):
+        preds = {"a": [], "b": ["a", "a"]}
+        succs = {"a": ["b"], "b": []}
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            validate_spec(spec_from(preds, succs, "b"))
+
+    def test_self_predecessor(self):
+        preds = {"b": ["b"]}
+        succs = {"b": []}
+        with pytest.raises(GraphValidationError):
+            validate_spec(spec_from(preds, succs, "b"))
+
+    def test_nonpositive_cost(self):
+        s = spec_from({"a": [], "b": ["a"]}, {"a": ["b"], "b": []}, "b", cost=lambda k: 0.0)
+        with pytest.raises(GraphValidationError, match="cost"):
+            validate_spec(s)
+
+    def test_nan_cost(self):
+        s = spec_from({"a": [], "b": ["a"]}, {"a": ["b"], "b": []}, "b",
+                      cost=lambda k: float("nan"))
+        with pytest.raises(GraphValidationError, match="cost"):
+            validate_spec(s)
+
+    def test_max_tasks_guard(self):
+        # Unbounded backward chain: key n depends on n+1 forever.
+        s = CallableSpec(
+            sink=0,
+            preds=lambda k: [k + 1],
+            succs=lambda k: [k - 1] if k > 0 else [],
+            compute=lambda k, ctx: None,
+        )
+        with pytest.raises(GraphValidationError, match="max_tasks"):
+            validate_spec(s, max_tasks=100)

@@ -1,0 +1,37 @@
+"""Smoke tests for the ``python -m repro.harness`` CLI."""
+
+import pytest
+
+from repro.harness.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_table1_quick(self, capsys):
+        assert main(["--quick", "--only", "table1", "--apps", "lcs"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "lcs" in out
+
+    def test_fig5a_single_app(self, capsys):
+        assert main(["--quick", "--only", "fig5a", "--apps", "lcs", "--reps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "before_compute" in out
+
+    def test_table2_and_fig6_share_runs(self, capsys):
+        assert main([
+            "--quick", "--only", "table2", "--only", "fig6",
+            "--apps", "lcs", "--reps", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Figure 6" in out
+
+    def test_experiment_names_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])

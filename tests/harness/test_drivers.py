@@ -1,0 +1,114 @@
+"""Tests for the per-table/figure drivers (tiny scale, minimal reps)."""
+
+import pytest
+
+from repro.harness.figure4 import figure4, format_figure4
+from repro.harness.figure5 import figure5a, figure5b, format_figure5
+from repro.harness.figure7 import figure7, format_figure7
+from repro.harness.report import pm, render_table
+from repro.harness.table1 import PAPER_TABLE1, format_table1, table1
+from repro.harness.table2 import after_notify_study, format_figure6, format_table2
+
+APPS = ("lcs", "fw")  # one single-assignment + one versioned app
+
+
+class TestTable1:
+    def test_tiny_scale_rows(self):
+        rows = table1(APPS, scale="tiny")
+        assert [r.app for r in rows] == list(APPS)
+        assert all(r.tasks > 0 and r.edges > 0 for r in rows)
+        out = format_table1(rows)
+        assert "Table I" in out
+
+    def test_lcs_paper_scale_matches_paper_exactly(self):
+        (row,) = table1(("lcs",), scale="paper")
+        assert row.tasks == row.paper_tasks == 65536
+        assert row.edges == row.paper_edges == 195585
+        assert row.s_edges == 510
+
+    def test_paper_reference_values_recorded(self):
+        assert set(PAPER_TABLE1) == {"lcs", "sw", "fw", "lu", "cholesky"}
+
+
+class TestFigure4:
+    def test_speedup_series_shape(self):
+        series = figure4(APPS, workers=(1, 2, 4), reps=1, scale="tiny")
+        assert len(series) == len(APPS) * 2
+        for s in series:
+            assert s.speedup(1) == pytest.approx(1.0)
+            assert s.speedup(4) > 1.2  # some parallelism even at tiny scale
+
+    def test_ft_overhead_small_except_fw(self):
+        series = figure4(APPS, workers=(1,), reps=1, scale="tiny")
+        seq = {(s.app, s.variant): s.sequential_time for s in series}
+        lcs_gap = seq[("lcs", "ft")] / seq[("lcs", "baseline")]
+        fw_gap = seq[("fw", "ft")] / seq[("fw", "baseline")]
+        assert lcs_gap < 1.02
+        assert 1.05 < fw_gap < 1.15  # the two-version memory penalty
+
+    def test_format(self):
+        series = figure4(("lcs",), workers=(1, 2), reps=1, scale="tiny")
+        out = format_figure4(series)
+        assert "Figure 4" in out and "sequential overhead" in out
+
+
+class TestFigure5:
+    def test_5a_shape(self):
+        cells = figure5a(("lcs",), reps=2, scale="tiny")
+        assert len(cells) == 6  # 3 task types x 2 phases
+        before = [c for c in cells if c.phase == "before_compute"]
+        after = [c for c in cells if c.phase == "after_compute"]
+        assert all(c.reexecutions.mean == 0 for c in before)
+        assert all(c.reexecutions.mean >= 1 for c in after)
+        assert all(c.overhead.mean < 0.5 for c in before)
+
+    def test_5b_shape(self):
+        cells = figure5b(("lcs",), fractions=(0.25,), reps=2, scale="tiny")
+        assert len(cells) == 2
+        after = next(c for c in cells if c.phase == "after_compute")
+        # 25% of tasks lost sequentially -> ~25% overhead.
+        assert 10.0 < after.overhead.mean < 45.0
+
+    def test_format(self):
+        out = format_figure5(figure5a(("lcs",), reps=1, scale="tiny"), "t")
+        assert "overhead %" in out
+
+
+class TestTable2AndFigure6:
+    def test_study_covers_types_and_fractions(self):
+        cells = after_notify_study(("fw",), fractions=(0.05,), reps=2, scale="tiny")
+        assert len(cells) == 4  # 3 types + one fraction
+        t2 = format_table2(cells)
+        f6 = format_figure6(cells)
+        assert "Table II" in t2 and "Figure 6" in f6
+
+    def test_vlast_cascades_damped_by_two_version(self):
+        cells = after_notify_study(("fw",), fractions=(), reps=2, scale="tiny")
+        by_type = {c.task_type: c for c in cells}
+        # v=last implied counts include full chains; actual is damped.
+        assert by_type["v=last"].reexecutions.mean < by_type["v=last"].implied
+
+
+class TestFigure7:
+    def test_panel_a(self):
+        series = figure7(("lcs",), paper_loss=512, workers=(1, 4), reps=2, scale="tiny")
+        (s,) = series
+        assert set(s.overhead) == {1, 4}
+        out = format_figure7(series, "t")
+        assert "P=4" in out
+
+    def test_requires_exactly_one_amount(self):
+        with pytest.raises(ValueError):
+            figure7(("lcs",), paper_loss=None, fraction=None)
+        with pytest.raises(ValueError):
+            figure7(("lcs",), paper_loss=512, fraction=0.05)
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["x", 1.5], ["yy", 22.25]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_pm(self):
+        assert pm(1.234, 0.5) == "1.23 ± 0.50"

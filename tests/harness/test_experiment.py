@@ -1,0 +1,56 @@
+"""Tests for the experiment execution layer."""
+
+import pytest
+
+from repro.apps import make_app
+from repro.faults.planner import plan_faults
+from repro.harness.experiment import execute, makespans
+
+
+@pytest.fixture(scope="module")
+def lcs_tiny():
+    return make_app("lcs", scale="tiny", light=True)
+
+
+class TestExecute:
+    def test_fault_free(self, lcs_tiny):
+        out = execute(lcs_tiny)
+        assert out.makespan > 0
+        assert out.reexecutions == 0
+        assert out.injector is None
+
+    def test_with_plan(self, lcs_tiny):
+        plan = plan_faults(lcs_tiny, phase="after_compute", count=2, seed=0)
+        out = execute(lcs_tiny, plan=plan)
+        assert out.reexecutions == 2
+        assert out.injector.all_fired()
+
+    def test_plan_requires_ft(self, lcs_tiny):
+        plan = plan_faults(lcs_tiny, phase="after_compute", count=1, seed=0)
+        with pytest.raises(ValueError):
+            execute(lcs_tiny, fault_tolerant=False, plan=plan)
+
+    def test_verify_full_mode(self):
+        app = make_app("lcs", scale="tiny")
+        execute(app, verify=True)
+
+    def test_deterministic(self, lcs_tiny):
+        a = execute(lcs_tiny, workers=4, steal_seed=9).makespan
+        b = execute(lcs_tiny, workers=4, steal_seed=9).makespan
+        assert a == b
+
+
+class TestMakespans:
+    def test_serial_runs_once_and_replicates(self, lcs_tiny):
+        ms = makespans(lcs_tiny, reps=4, workers=1)
+        assert len(ms) == 4
+        assert len(set(ms)) == 1
+
+    def test_parallel_varies_with_seed(self, lcs_tiny):
+        ms = makespans(lcs_tiny, reps=4, workers=4)
+        assert len(ms) == 4
+        assert len(set(ms)) > 1
+
+    def test_baseline_variant(self, lcs_tiny):
+        ms = makespans(lcs_tiny, reps=2, fault_tolerant=False, workers=2)
+        assert all(m > 0 for m in ms)

@@ -1,0 +1,42 @@
+"""Tests for JSON result export."""
+
+import json
+
+from repro.analysis.stats import Summary, summarize
+from repro.harness.export import results_to_dict, write_results
+
+
+class TestJsonify:
+    def test_summary_flattened(self):
+        d = results_to_dict({"x": summarize([1.0, 2.0, 3.0])})
+        assert d["x"]["mean"] == 2.0
+        assert d["x"]["n"] == 3
+
+    def test_dataclass_rows(self):
+        from repro.harness.table1 import table1
+
+        rows = table1(("lcs",), scale="tiny")
+        d = results_to_dict({"table1": rows})
+        assert d["table1"][0]["app"] == "lcs"
+        assert isinstance(d["table1"][0]["tasks"], int)
+
+    def test_nested_series_with_summaries(self):
+        from repro.harness.figure4 import figure4
+
+        series = figure4(("lcs",), workers=(1, 2), reps=1, scale="tiny")
+        d = results_to_dict({"figure4": series})
+        assert d["figure4"][0]["variant"] in ("baseline", "ft")
+        assert "mean" in d["figure4"][0]["times"]["1"]
+
+    def test_unserializable_values_become_repr(self):
+        d = results_to_dict({"x": object()})
+        assert d["x"].startswith("<object")
+
+    def test_everything_json_dumps(self, tmp_path):
+        from repro.harness.figure5 import figure5a
+
+        cells = figure5a(("lcs",), reps=1, scale="tiny")
+        path = tmp_path / "r.json"
+        write_results({"figure5a": cells}, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["figure5a"][0]["phase"] in ("before_compute", "after_compute")

@@ -1,0 +1,115 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.harness.plot import bar_chart, figure4_chart, figure7_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [(1, 1.0), (2, 2.0), (4, 4.0)]}, title="t")
+        assert out.startswith("t")
+        assert "legend: o a" in out
+        assert "o" in out
+
+    def test_multiple_series_distinct_marks(self):
+        out = line_chart({"a": [(1, 1)], "b": [(1, 2)]})
+        assert "o a" in out and "x b" in out
+
+    def test_extremes_on_grid(self):
+        out = line_chart({"s": [(0, 0.0), (10, 100.0)]}, height=8, width=20)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert "o" in lines[0]            # max lands on the top row
+        assert "o" in lines[-1]           # min on the bottom row
+
+    def test_axis_labels(self):
+        out = line_chart({"s": [(1, 5), (44, 9)]}, y_label="spd", x_label="P")
+        assert "spd" in out
+        assert "P" in out
+        assert "44" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_flat_series_no_crash(self):
+        line_chart({"s": [(1, 3.0), (2, 3.0)]})
+
+
+class TestBarChart:
+    def test_positive_bars(self):
+        out = bar_chart({"a": 1.0, "b": 2.0}, unit="%")
+        assert "1.00%" in out and "2.00%" in out
+        a_line = next(l for l in out.splitlines() if l.startswith("a"))
+        b_line = next(l for l in out.splitlines() if l.startswith("b"))
+        assert b_line.count("#") > a_line.count("#")
+
+    def test_negative_values_render(self):
+        out = bar_chart({"neg": -1.0, "pos": 2.0})
+        assert "-1.00" in out
+
+    def test_zero_value(self):
+        out = bar_chart({"z": 0.0, "p": 1.0})
+        assert "0.00" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestFigureCharts:
+    def test_figure4_chart(self):
+        from repro.harness.figure4 import figure4
+
+        series = figure4(("lcs",), workers=(1, 4), reps=1, scale="tiny")
+        out = figure4_chart(series)
+        assert "Figure 4" in out
+        assert "lcs/ft" in out
+
+    def test_figure7_chart(self):
+        from repro.harness.figure7 import figure7
+
+        series = figure7(("lcs",), paper_loss=512, workers=(1, 4), reps=1, scale="tiny")
+        out = figure7_chart(series, "F7")
+        assert "F7" in out
+
+    def test_figure5_chart(self):
+        from repro.harness.figure5 import figure5a
+        from repro.harness.plot import figure5_chart
+
+        cells = figure5a(("lcs",), reps=1, scale="tiny")
+        out = figure5_chart(cells, "F5")
+        assert "F5" in out and "#" in out
+
+
+class TestGanttChart:
+    def _timeline(self):
+        from repro.runtime import SimulatedRuntime
+        from repro.core import FTScheduler
+        from repro.graph.builders import grid_graph
+
+        spec = grid_graph(4, 4)
+        rt = SimulatedRuntime(workers=3, seed=1, record_timeline=True)
+        FTScheduler(spec, rt).run()
+        return rt.timeline
+
+    def test_renders_every_worker_row(self):
+        from repro.harness.plot import gantt_chart
+
+        out = gantt_chart(self._timeline(), title="G")
+        assert out.startswith("G")
+        for w in ("w0", "w1", "w2"):
+            assert w in out
+
+    def test_compute_columns_marked(self):
+        from repro.harness.plot import gantt_chart
+
+        out = gantt_chart(self._timeline())
+        assert "c" in out
+
+    def test_empty_timeline_rejected(self):
+        import pytest
+        from repro.harness.plot import gantt_chart
+
+        with pytest.raises(ValueError):
+            gantt_chart([])

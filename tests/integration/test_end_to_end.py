@@ -1,0 +1,90 @@
+"""End-to-end integration: every benchmark, every fault phase, verified
+against the independent numerical reference."""
+
+import pytest
+
+from repro.apps import APP_NAMES, make_app
+from repro.core import FTScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.planner import plan_faults
+from repro.faults.selectors import TASK_TYPES, VersionIndex
+from repro.runtime import SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+def run_injected(app, plan, workers=3, seed=0):
+    store = app.make_store(True)
+    trace = ExecutionTrace()
+    injector = FaultInjector(plan, app, store, trace)
+    sched = FTScheduler(
+        app, SimulatedRuntime(workers=workers, seed=seed), store=store,
+        hooks=injector, trace=trace,
+    )
+    result = sched.run()
+    return result, store, injector
+
+
+class TestFaultsDoNotChangeResults:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    @pytest.mark.parametrize("phase", ["before_compute", "after_compute", "after_notify"])
+    def test_phase_injection_verifies(self, name, phase):
+        app = make_app(name, scale="tiny")
+        plan = plan_faults(app, phase=phase, task_type="v=rand", count=3, seed=17)
+        result, store, injector = run_injected(app, plan)
+        assert injector.all_fired()
+        app.verify(store)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_vlast_after_notify_cascades_verify(self, name):
+        """The hardest scenario: delayed detection on last-version tasks,
+        cascading through reused buffers."""
+        app = make_app(name, scale="tiny")
+        index = VersionIndex(app)
+        plan = plan_faults(app, phase="after_notify", task_type="v=last",
+                           count=2, seed=5, index=index)
+        result, store, injector = run_injected(app, plan, workers=4, seed=3)
+        app.verify(store)
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    @pytest.mark.parametrize("task_type", TASK_TYPES)
+    def test_task_types_after_compute_verify(self, name, task_type):
+        app = make_app(name, scale="tiny")
+        plan = plan_faults(app, phase="after_compute", task_type=task_type, count=2, seed=2)
+        _, store, _ = run_injected(app, plan, workers=2, seed=8)
+        app.verify(store)
+
+
+class TestCascadeAccounting:
+    def test_sw_reuse_cascade_reexecutes_chain(self):
+        """A late-detected fault on a v=last SW task forces recomputation
+        of evicted boundary versions -- actual > 1 per victim."""
+        app = make_app("sw", scale="tiny")
+        index = VersionIndex(app)
+        plan = plan_faults(app, phase="after_notify", task_type="v=last",
+                           count=1, seed=1, index=index)
+        result, store, _ = run_injected(app, plan, workers=1)
+        app.verify(store)
+        assert result.trace.reexecutions >= 1
+
+    def test_fw_two_version_damps_cascades(self):
+        """With two resident versions, recovering a last-step FW task does
+        not need to replay the whole version chain (the paper's rationale
+        for doubling FW's memory)."""
+        app = make_app("fw", scale="tiny")
+        index = VersionIndex(app)
+        plan = plan_faults(app, phase="after_compute", task_type="v=last",
+                           count=2, seed=1, index=index)
+        result, store, _ = run_injected(app, plan, workers=1)
+        app.verify(store)
+        B = app.config.blocks
+        assert result.trace.reexecutions < 2 * B  # no full chains
+
+
+class TestRepeatedSeeds:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lu_heavy_faults_many_schedules(self, seed):
+        app = make_app("lu", scale="tiny")
+        plan = plan_faults(app, phase="after_compute", task_type="v=rand",
+                           fraction=0.2, seed=seed)
+        _, store, _ = run_injected(app, plan, workers=5, seed=seed)
+        app.verify(store)

@@ -1,0 +1,71 @@
+"""Unit tests for allocation/retention policies."""
+
+import pytest
+
+from repro.memory.allocator import (
+    AllocationPolicy,
+    KeepK,
+    Reuse,
+    SingleAssignment,
+    TwoVersion,
+    policy_from_name,
+)
+
+
+class TestPolicies:
+    def test_single_assignment(self):
+        p = SingleAssignment()
+        assert p.keep is None
+        assert p.is_single_assignment
+        assert p.name == "single_assignment"
+        assert p.buffers_per_block() is None
+
+    def test_reuse(self):
+        p = Reuse()
+        assert p.keep == 1
+        assert not p.is_single_assignment
+        assert p.name == "reuse"
+
+    def test_two_version(self):
+        p = TwoVersion()
+        assert p.keep == 2
+        assert p.name == "two_version"
+        assert p.buffers_per_block() == 2
+
+    def test_keep_k(self):
+        assert KeepK(5).keep == 5
+        assert KeepK(5).name == "keep5"
+
+    def test_invalid_keep(self):
+        with pytest.raises(ValueError):
+            AllocationPolicy(keep=0)
+        with pytest.raises(ValueError):
+            KeepK(-1)
+
+    def test_equality(self):
+        assert Reuse() == Reuse()
+        assert Reuse() != TwoVersion()
+        assert KeepK(1) == Reuse()
+
+
+class TestFromName:
+    @pytest.mark.parametrize(
+        "name,keep",
+        [
+            ("reuse", 1),
+            ("two_version", 2),
+            ("two-version", 2),
+            ("single_assignment", None),
+            ("single-assignment", None),
+            ("keep3", 3),
+            ("KEEP7", 7),
+            ("  Reuse  ", 1),
+        ],
+    )
+    def test_valid_names(self, name, keep):
+        assert policy_from_name(name).keep == keep
+
+    @pytest.mark.parametrize("name", ["nope", "keep", "keepX", "", "keep0"])
+    def test_invalid_names(self, name):
+        with pytest.raises(ValueError):
+            policy_from_name(name)

@@ -1,0 +1,182 @@
+"""Unit tests for the versioned block store."""
+
+import pytest
+
+from repro.exceptions import DataCorruptionError, OverwrittenError
+from repro.graph.taskspec import BlockRef
+from repro.memory.allocator import KeepK, Reuse, SingleAssignment, TwoVersion
+from repro.memory.blockstore import BlockStore
+
+
+def ref(v, block="b"):
+    return BlockRef(block, v)
+
+
+class TestSingleAssignment:
+    def test_all_versions_stay_resident(self):
+        s = BlockStore(SingleAssignment())
+        for v in range(5):
+            s.write(ref(v), v * 10)
+        for v in range(5):
+            assert s.read(ref(v)) == v * 10
+
+    def test_never_written_raises_overwritten(self):
+        s = BlockStore()
+        with pytest.raises(OverwrittenError) as ei:
+            s.read(ref(3))
+        assert ei.value.resident is None
+
+
+class TestReuse:
+    def test_only_latest_resident(self):
+        s = BlockStore(Reuse())
+        s.write(ref(0), "a")
+        s.write(ref(1), "b")
+        assert s.read(ref(1)) == "b"
+        with pytest.raises(OverwrittenError) as ei:
+            s.read(ref(0))
+        assert ei.value.resident == 1
+
+    def test_retention_is_by_write_recency_not_version(self):
+        # Recovery replay: writing an *older* version evicts the newer one.
+        s = BlockStore(Reuse())
+        s.write(ref(3), "new")
+        s.write(ref(2), "replayed")
+        assert s.read(ref(2)) == "replayed"
+        with pytest.raises(OverwrittenError):
+            s.read(ref(3))
+
+    def test_rewrite_same_version_refreshes_in_place(self):
+        s = BlockStore(Reuse())
+        s.write(ref(1), "x")
+        s.write(ref(1), "y")
+        assert s.read(ref(1)) == "y"
+        assert s.stats.rewrites == 1
+        assert s.stats.evictions == 0
+
+
+class TestTwoVersion:
+    def test_two_newest_writes_resident(self):
+        s = BlockStore(TwoVersion())
+        s.write(ref(0), 0)
+        s.write(ref(1), 1)
+        s.write(ref(2), 2)
+        assert s.read(ref(1)) == 1
+        assert s.read(ref(2)) == 2
+        with pytest.raises(OverwrittenError):
+            s.read(ref(0))
+
+    def test_keep_k(self):
+        s = BlockStore(KeepK(3))
+        for v in range(5):
+            s.write(ref(v), v)
+        assert s.resident_versions("b") == (2, 3, 4)
+
+
+class TestCorruption:
+    def test_read_of_corrupted_raises(self):
+        s = BlockStore()
+        s.write(ref(0), "data")
+        assert s.mark_corrupted(ref(0))
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+
+    def test_corruption_sticky_until_rewrite(self):
+        s = BlockStore()
+        s.write(ref(0), "data")
+        s.mark_corrupted(ref(0))
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+        s.write(ref(0), "regenerated")
+        assert s.read(ref(0)) == "regenerated"
+
+    def test_marking_nonresident_is_noop(self):
+        s = BlockStore(Reuse())
+        s.write(ref(0), "a")
+        s.write(ref(1), "b")
+        assert not s.mark_corrupted(ref(0))  # already evicted
+
+    def test_status_of(self):
+        s = BlockStore()
+        assert s.status_of(ref(0)) == "missing"
+        s.write(ref(0), 1)
+        assert s.status_of(ref(0)) == "ok"
+        s.mark_corrupted(ref(0))
+        assert s.status_of(ref(0)) == "corrupted"
+
+    def test_is_available(self):
+        s = BlockStore()
+        assert not s.is_available(ref(0))
+        s.write(ref(0), 1)
+        assert s.is_available(ref(0))
+        s.mark_corrupted(ref(0))
+        assert not s.is_available(ref(0))
+
+
+class TestPinned:
+    def test_pinned_survives_eviction(self):
+        s = BlockStore(Reuse())
+        s.pin(ref(0), "input")
+        for v in range(1, 5):
+            s.write(ref(v), v)
+        assert s.read(ref(0)) == "input"
+        assert s.is_pinned(ref(0))
+
+    def test_pinned_immune_to_corruption(self):
+        s = BlockStore()
+        s.pin(ref(0), "input")
+        assert not s.mark_corrupted(ref(0))
+        assert s.read(ref(0)) == "input"
+        assert s.status_of(ref(0)) == "ok"
+
+    def test_pinned_does_not_occupy_ring(self):
+        s = BlockStore(Reuse())
+        s.pin(ref(0), "input")
+        s.write(ref(1), 1)
+        s.write(ref(2), 2)
+        assert s.read(ref(0)) == "input"
+        assert s.read(ref(2)) == 2
+
+
+class TestIntrospection:
+    def test_peek_never_raises(self):
+        s = BlockStore()
+        assert s.peek(ref(9), default="d") == "d"
+        s.write(ref(0), 1)
+        s.mark_corrupted(ref(0))
+        assert s.peek(ref(0), default="d") == "d"
+
+    def test_newest_resident(self):
+        s = BlockStore(TwoVersion())
+        assert s.newest_resident("b") is None
+        s.write(ref(4), 4)
+        s.write(ref(2), 2)
+        assert s.newest_resident("b") == 2  # by write order
+
+    def test_stats_counters(self):
+        s = BlockStore(Reuse())
+        s.write(ref(0), 0)
+        s.write(ref(1), 1)
+        s.read(ref(1))
+        with pytest.raises(OverwrittenError):
+            s.read(ref(0))
+        st = s.stats.snapshot()
+        assert st["writes"] == 2
+        assert st["evictions"] == 1
+        assert st["reads"] == 2
+        assert st["overwritten_reads"] == 1
+
+    def test_blocks_and_refs(self):
+        s = BlockStore()
+        s.write(BlockRef("x", 0), 1)
+        s.write(BlockRef("y", 2), 1)
+        assert set(s.blocks()) == {"x", "y"}
+        assert set(s.refs()) == {BlockRef("x", 0), BlockRef("y", 2)}
+        assert s.resident_count() == 2
+
+    def test_peak_resident_tracks_high_water(self):
+        s = BlockStore(Reuse())
+        for b in range(4):
+            s.write(BlockRef(b, 0), b)
+            s.write(BlockRef(b, 1), b)
+        assert s.stats.peak_resident == 4

@@ -1,0 +1,60 @@
+"""Property-based tests on graph analytics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.analysis import collect_tasks, graph_stats, topological_order, work_and_span
+from repro.graph.builders import random_dag
+from repro.graph.validate import validate_spec
+
+
+@st.composite
+def dags(draw):
+    n = draw(st.integers(1, 40))
+    return random_dag(
+        n,
+        edge_prob=draw(st.floats(0.0, 0.6)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+class TestStructuralProperties:
+    @given(dags())
+    @settings(max_examples=80, deadline=None)
+    def test_random_dags_always_validate(self, spec):
+        assert validate_spec(spec) == len(spec)
+
+    @given(dags())
+    @settings(max_examples=80, deadline=None)
+    def test_topological_order_is_valid(self, spec):
+        order = topological_order(spec)
+        assert len(order) == len(spec)
+        pos = {k: i for i, k in enumerate(order)}
+        for k in order:
+            for p in spec.predecessors(k):
+                assert pos[p] < pos[k]
+
+    @given(dags())
+    @settings(max_examples=80, deadline=None)
+    def test_stats_internally_consistent(self, spec):
+        st_ = graph_stats(spec)
+        assert st_.tasks == len(collect_tasks(spec))
+        assert st_.sources >= 1
+        assert 0 <= st_.critical_path < st_.tasks
+        assert st_.span_cost <= st_.total_cost
+        assert st_.max_degree >= 1 or st_.tasks == 1
+
+    @given(dags(), st.integers(0, 39), st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_work_monotone_in_executions(self, spec, victim_idx, count):
+        tasks = collect_tasks(spec)
+        victim = tasks[victim_idx % len(tasks)]
+        t1a, sa = work_and_span(spec)
+        t1b, sb = work_and_span(spec, {victim: count})
+        assert t1b > t1a
+        assert sb >= sa
+
+    @given(dags())
+    @settings(max_examples=60, deadline=None)
+    def test_span_at_most_work(self, spec):
+        t1, t_inf = work_and_span(spec)
+        assert t_inf <= t1 + 1e-9

@@ -1,0 +1,128 @@
+"""Property-based tests on the numerical kernels.
+
+The blocked decompositions are only correct if the kernels compose: the
+DP kernels must give identical boundaries whether a region is processed
+as one block or as two stitched blocks, and the linear-algebra tile
+kernels must agree with whole-matrix factorizations.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.kernels import (
+    fw_diag,
+    fw_minplus,
+    fw_panel_col,
+    fw_panel_row,
+    lcs_block,
+    lu_getrf,
+    sw_block,
+)
+
+seqs = lambda lo, hi: hnp.arrays(
+    np.int8, st.integers(lo, hi), elements=st.integers(0, 3)
+)
+
+
+class TestLCSComposition:
+    @given(x=seqs(2, 16), y=seqs(2, 16), split=st.integers(1, 15))
+    @settings(max_examples=80, deadline=None)
+    def test_horizontal_split_matches_monolithic(self, x, y, split):
+        split = min(split, len(y) - 1)
+        zt = np.zeros(len(y), np.int32)
+        zl = np.zeros(len(x), np.int32)
+        bottom, right = lcs_block(x, y, zt, zl, 0)
+        # Process the same region as [left | right] blocks.
+        b1, r1 = lcs_block(x, y[:split], zt[:split], zl, 0)
+        b2, r2 = lcs_block(x, y[split:], zt[split:], r1, 0)
+        np.testing.assert_array_equal(np.concatenate([b1, b2]), bottom)
+        np.testing.assert_array_equal(r2, right)
+
+    @given(x=seqs(2, 16), y=seqs(2, 16), split=st.integers(1, 15))
+    @settings(max_examples=80, deadline=None)
+    def test_vertical_split_matches_monolithic(self, x, y, split):
+        split = min(split, len(x) - 1)
+        zt = np.zeros(len(y), np.int32)
+        zl = np.zeros(len(x), np.int32)
+        bottom, right = lcs_block(x, y, zt, zl, 0)
+        b1, r1 = lcs_block(x[:split], y, zt, zl[:split], 0)
+        b2, r2 = lcs_block(x[split:], y, b1, zl[split:], 0)
+        np.testing.assert_array_equal(b2, bottom)
+        np.testing.assert_array_equal(np.concatenate([r1, r2]), right)
+
+    @given(x=seqs(1, 12), y=seqs(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_lcs_bounded_and_monotone(self, x, y):
+        bottom, right = lcs_block(
+            x, y, np.zeros(len(y), np.int32), np.zeros(len(x), np.int32), 0
+        )
+        assert 0 <= bottom[-1] <= min(len(x), len(y))
+        assert (np.diff(bottom) >= 0).all()
+        assert (np.diff(right) >= 0).all()
+
+
+class TestSWProperties:
+    @given(x=seqs(1, 12), y=seqs(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_scores_nonnegative_and_max_consistent(self, x, y):
+        bottom, right, mx = sw_block(
+            x, y, np.zeros(len(y), np.int32), np.zeros(len(x), np.int32), 0
+        )
+        assert (bottom >= 0).all() and (right >= 0).all()
+        assert mx >= max(bottom.max(initial=0), right.max(initial=0))
+
+    @given(x=seqs(2, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_self_alignment_scores_full_match(self, x):
+        _, _, mx = sw_block(
+            x, x, np.zeros(len(x), np.int32), np.zeros(len(x), np.int32), 0
+        )
+        assert mx >= 2 * len(x)  # match score = 2 per position
+
+
+dist_blocks = hnp.arrays(
+    np.float64, (5, 5), elements=st.floats(0.5, 20.0, allow_nan=False)
+)
+
+
+class TestFWProperties:
+    @given(d=dist_blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_diag_idempotent(self, d):
+        np.fill_diagonal(d, 0.0)
+        once = fw_diag(d)
+        np.testing.assert_allclose(fw_diag(once), once)
+
+    @given(d=dist_blocks)
+    @settings(max_examples=60, deadline=None)
+    def test_updates_never_increase(self, d):
+        np.fill_diagonal(d, 0.0)
+        new = fw_diag(d)
+        assert (new <= d + 1e-12).all()
+        a = np.abs(d) + 1.0
+        assert (fw_minplus(d, a, a) <= d + 1e-12).all()
+        assert (fw_panel_row(new, d) <= d + 1e-12).all()
+        assert (fw_panel_col(new, d) <= d + 1e-12).all()
+
+    @given(d=dist_blocks)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality_after_diag(self, d):
+        np.fill_diagonal(d, 0.0)
+        out = fw_diag(d)
+        n = out.shape[0]
+        for t in range(n):
+            assert (out <= out[:, t, None] + out[None, t, :] + 1e-9).all()
+
+
+class TestLUProperties:
+    @given(
+        a=hnp.arrays(np.float64, (6, 6), elements=st.floats(-1, 1, allow_nan=False))
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_getrf_reconstructs_dd_matrices(self, a):
+        a = a + 12.0 * np.eye(6)
+        lu = lu_getrf(a)
+        l = np.tril(lu, -1) + np.eye(6)
+        u = np.triu(lu)
+        np.testing.assert_allclose(l @ u, a, rtol=1e-9, atol=1e-9)

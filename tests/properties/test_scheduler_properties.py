@@ -1,0 +1,137 @@
+"""Property-based tests of the DESIGN.md correctness invariants P1-P7 on
+random DAGs with random fault plans."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FTScheduler, TaskStatus, run_scheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
+from repro.graph.builders import random_dag
+from repro.graph.taskspec import BlockRef
+from repro.memory.blockstore import BlockStore
+from repro.runtime import SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+PHASES = [FaultPhase.BEFORE_COMPUTE, FaultPhase.AFTER_COMPUTE, FaultPhase.AFTER_NOTIFY]
+
+
+@st.composite
+def dag_and_plan(draw):
+    n = draw(st.integers(4, 30))
+    seed = draw(st.integers(0, 10_000))
+    prob = draw(st.floats(0.05, 0.5))
+    spec = random_dag(n, edge_prob=prob, seed=seed)
+    victims = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.sampled_from(PHASES)),
+            max_size=6,
+            unique_by=lambda t: t[0],
+        )
+    )
+    events = [
+        FaultEvent(key, phase, corrupt_outputs=phase is not FaultPhase.BEFORE_COMPUTE)
+        for key, phase in victims
+    ]
+    plan = FaultPlan(events=events, implied_reexecutions=len(events))
+    workers = draw(st.sampled_from([1, 2, 5]))
+    steal_seed = draw(st.integers(0, 1000))
+    return spec, plan, workers, steal_seed
+
+
+class TestFaultInjectionProperties:
+    @given(dag_and_plan())
+    @settings(max_examples=60, deadline=None)
+    def test_p2_p3_completion_and_identical_results(self, case):
+        """P2: the sink completes under any fault plan.  P3: the final
+        output equals the fault-free output."""
+        spec, plan, workers, steal_seed = case
+        expected = run_scheduler(spec).store.peek(BlockRef(spec.sink_key(), 0))
+
+        store = BlockStore()
+        trace = ExecutionTrace()
+        injector = FaultInjector(plan, spec, store, trace)
+        sched = FTScheduler(
+            spec, SimulatedRuntime(workers=workers, seed=steal_seed),
+            store=store, hooks=injector, trace=trace,
+        )
+        sched.run()  # raises on hang (P2)
+        assert store.peek(BlockRef(spec.sink_key(), 0)) == expected
+
+    @given(dag_and_plan())
+    @settings(max_examples=60, deadline=None)
+    def test_p5_each_incarnation_recovered_at_most_once(self, case):
+        spec, plan, workers, steal_seed = case
+        store = BlockStore()
+        trace = ExecutionTrace()
+        injector = FaultInjector(plan, spec, store, trace)
+        sched = FTScheduler(
+            spec, SimulatedRuntime(workers=workers, seed=steal_seed),
+            store=store, hooks=injector, trace=trace,
+        )
+        sched.run()
+        # Per key, recoveries never exceed the number of life-1 faults
+        # that could be observed (here: one planned fault per victim).
+        for key, count in trace.recoveries.items():
+            assert count <= 1, f"{key} recovered {count} times for one fault"
+
+    @given(dag_and_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_p1_no_compute_before_predecessors(self, case):
+        """P1: tasks only compute after all predecessor outputs exist --
+        enforced here by the strict context + default compute reading
+        every input; a violation would raise inside run()."""
+        spec, plan, workers, steal_seed = case
+        store = BlockStore()
+        trace = ExecutionTrace()
+        injector = FaultInjector(plan, spec, store, trace)
+        FTScheduler(
+            spec, SimulatedRuntime(workers=workers, seed=steal_seed),
+            store=store, hooks=injector, trace=trace,
+        ).run()
+        # Every task computed at least once, statuses all COMPLETED.
+        assert trace.tasks_computed == len(spec)
+
+    @given(dag_and_plan())
+    @settings(max_examples=40, deadline=None)
+    def test_p7_after_compute_reexecution_matches_victims(self, case):
+        """P7: for single-assignment graphs, after-compute faults cause
+        exactly one re-execution per *observed* victim and before-compute
+        faults none."""
+        spec, plan, workers, steal_seed = case
+        only_compute_phases = [
+            e for e in plan if e.phase is not FaultPhase.AFTER_NOTIFY
+        ]
+        if len(only_compute_phases) != len(plan.events):
+            return  # property specific to pre-notify phases
+        store = BlockStore()
+        trace = ExecutionTrace()
+        injector = FaultInjector(plan, spec, store, trace)
+        FTScheduler(
+            spec, SimulatedRuntime(workers=workers, seed=steal_seed),
+            store=store, hooks=injector, trace=trace,
+        ).run()
+        after = sum(1 for e in injector.fired if e.phase is FaultPhase.AFTER_COMPUTE)
+        assert trace.reexecutions == after
+
+
+class TestNoFaultProperties:
+    @given(
+        n=st.integers(2, 40),
+        seed=st.integers(0, 5000),
+        prob=st.floats(0.0, 0.6),
+        workers=st.sampled_from([1, 3, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_p6_ft_equals_baseline(self, n, seed, prob, workers):
+        spec = random_dag(n, edge_prob=prob, seed=seed)
+        base = run_scheduler(
+            spec, runtime=SimulatedRuntime(workers=workers, seed=1), fault_tolerant=False
+        )
+        ft = run_scheduler(
+            spec, runtime=SimulatedRuntime(workers=workers, seed=1), fault_tolerant=True
+        )
+        key = BlockRef(spec.sink_key(), 0)
+        assert ft.store.peek(key) == base.store.peek(key)
+        assert ft.trace.executions() == base.trace.executions()
+        assert ft.trace.max_executions == 1

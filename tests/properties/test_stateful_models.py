@@ -1,0 +1,142 @@
+"""Model-based (stateful) property tests for the protocol primitives.
+
+Hypothesis drives random operation sequences against the real
+implementations while a trivially correct Python model runs alongside;
+any divergence is a protocol bug.  These are the components whose
+correctness the recovery guarantees lean on: the task map's life
+numbers, the recovery table's claim semantics, and the block store's
+retention ring.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.recovery_table import RecoveryTable
+from repro.core.taskmap import TaskMap
+from repro.graph.taskspec import BlockRef
+from repro.memory.allocator import KeepK
+from repro.memory.blockstore import BlockStore
+
+KEYS = st.sampled_from(["a", "b", "c", "d"])
+
+
+class TaskMapMachine(RuleBasedStateMachine):
+    """Model: dict key -> (life, record identity token)."""
+
+    def __init__(self):
+        super().__init__()
+        self.map = TaskMap(n_preds_of=lambda k: 2)
+        self.model: dict[str, int] = {}
+
+    @rule(key=KEYS)
+    def insert(self, key):
+        rec, life, inserted = self.map.insert_if_absent(key)
+        if key in self.model:
+            assert not inserted
+            assert life == self.model[key]
+        else:
+            assert inserted
+            assert life == 1
+            self.model[key] = 1
+        assert rec.life == self.model[key]
+
+    @rule(key=KEYS)
+    def replace(self, key):
+        if key not in self.model:
+            return
+        rec, life = self.map.replace(key)
+        self.model[key] += 1
+        assert life == self.model[key]
+        assert rec.join == 3 and rec.bit_vector == 0b111  # fresh state
+
+    @rule(key=KEYS)
+    def get(self, key):
+        rec, life = self.map.get(key)
+        if key in self.model:
+            assert life == self.model[key]
+            assert rec is not None and rec.life == life
+        else:
+            assert rec is None and life == 0
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.map) == len(self.model)
+
+
+class RecoveryTableMachine(RuleBasedStateMachine):
+    """Model invariant: for each key, exactly one claim per claimed life,
+    and claimed lives advance without gaps."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = RecoveryTable()
+        self.claimed: dict[str, int] = {}
+
+    @rule(key=KEYS, life=st.integers(1, 6))
+    def claim(self, key, life):
+        won = self.table.check_and_claim(key, life)
+        prev = self.claimed.get(key)
+        if prev is None:
+            # First-ever failure of this key: any life may claim.
+            assert won
+            self.claimed[key] = life
+        elif life == prev + 1:
+            assert won
+            self.claimed[key] = life
+        else:
+            # Same, older, or gap-skipping life: never claims.
+            assert not won
+
+    @invariant()
+    def table_view_matches_model(self):
+        for key, life in self.claimed.items():
+            assert self.table.recovering_life(key) == life
+
+
+class BlockStoreMachine(RuleBasedStateMachine):
+    """Model: per-block ordered list of the last ``keep`` written
+    versions with their values and corruption flags."""
+
+    KEEP = 2
+
+    def __init__(self):
+        super().__init__()
+        self.store = BlockStore(KeepK(self.KEEP))
+        self.model: dict[str, list[tuple[int, object, bool]]] = {}
+
+    @rule(block=KEYS, version=st.integers(0, 4))
+    def write(self, block, version):
+        value = object()
+        self.store.write(BlockRef(block, version), value)
+        ring = [e for e in self.model.get(block, []) if e[0] != version]
+        ring.append((version, value, False))
+        self.model[block] = ring[-self.KEEP:]
+
+    @rule(block=KEYS, version=st.integers(0, 4))
+    def corrupt(self, block, version):
+        hit = self.store.mark_corrupted(BlockRef(block, version))
+        ring = self.model.get(block, [])
+        model_hit = any(v == version for v, _, _ in ring)
+        assert hit == model_hit
+        self.model[block] = [
+            (v, d, True if v == version else c) for v, d, c in ring
+        ]
+
+    @invariant()
+    def reads_match_model(self):
+        for block, ring in self.model.items():
+            assert self.store.resident_versions(block) == tuple(v for v, _, _ in ring)
+            for version, value, corrupted in ring:
+                status = self.store.status_of(BlockRef(block, version))
+                assert status == ("corrupted" if corrupted else "ok")
+                if not corrupted:
+                    assert self.store.read(BlockRef(block, version)) is value
+
+
+TestTaskMapModel = TaskMapMachine.TestCase
+TestRecoveryTableModel = RecoveryTableMachine.TestCase
+TestBlockStoreModel = BlockStoreMachine.TestCase
+
+for case in (TestTaskMapModel, TestRecoveryTableModel, TestBlockStoreModel):
+    case.settings = settings(max_examples=60, stateful_step_count=40, deadline=None)

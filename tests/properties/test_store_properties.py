@@ -1,0 +1,95 @@
+"""Property-based tests for the block store's retention invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import DataCorruptionError, OverwrittenError
+from repro.graph.taskspec import BlockRef
+from repro.memory.allocator import KeepK, SingleAssignment
+from repro.memory.blockstore import BlockStore
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "corrupt", "pin"]),
+        st.integers(0, 3),   # block id
+        st.integers(0, 6),   # version
+    ),
+    max_size=60,
+)
+
+
+class TestRetentionInvariants:
+    @given(ops=ops, keep=st.integers(1, 3))
+    @settings(max_examples=120, deadline=None)
+    def test_resident_count_bounded_by_keep(self, ops, keep):
+        store = BlockStore(KeepK(keep))
+        for op, block, version in ops:
+            ref = BlockRef(block, version)
+            if op == "write":
+                store.write(ref, (block, version))
+            elif op == "corrupt":
+                store.mark_corrupted(ref)
+            else:
+                store.pin(ref, "pinned")
+        for block in store.blocks():
+            assert len(store.resident_versions(block)) <= keep
+
+    @given(ops=ops)
+    @settings(max_examples=120, deadline=None)
+    def test_single_assignment_never_evicts(self, ops):
+        store = BlockStore(SingleAssignment())
+        written = set()
+        for op, block, version in ops:
+            ref = BlockRef(block, version)
+            if op == "write":
+                store.write(ref, (block, version))
+                written.add(ref)
+        for ref in written:
+            assert store.status_of(ref) in ("ok", "corrupted")
+
+    @given(ops=ops, keep=st.integers(1, 3))
+    @settings(max_examples=120, deadline=None)
+    def test_read_returns_last_write_or_raises(self, ops, keep):
+        store = BlockStore(KeepK(keep))
+        last: dict[BlockRef, object] = {}
+        corrupted: set[BlockRef] = set()
+        pinned: set[BlockRef] = set()
+        for op, block, version in ops:
+            ref = BlockRef(block, version)
+            if op == "write":
+                value = object()
+                store.write(ref, value)
+                last[ref] = value
+                corrupted.discard(ref)
+            elif op == "corrupt":
+                if store.mark_corrupted(ref):
+                    corrupted.add(ref)
+            else:
+                store.pin(ref, "P")
+                pinned.add(ref)
+        for ref, value in last.items():
+            status = store.status_of(ref)
+            if ref in pinned:
+                assert store.read(ref) == "P"
+            elif status == "ok":
+                assert store.read(ref) is value
+            elif status == "corrupted":
+                assert ref in corrupted
+                with pytest.raises(DataCorruptionError):
+                    store.read(ref)
+            else:
+                with pytest.raises(OverwrittenError):
+                    store.read(ref)
+
+    @given(ops=ops, keep=st.integers(1, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_rewrite_clears_corruption(self, ops, keep):
+        store = BlockStore(KeepK(keep))
+        for op, block, version in ops:
+            ref = BlockRef(block, version)
+            if op == "write":
+                store.write(ref, 1)
+            elif op == "corrupt":
+                store.mark_corrupted(ref)
+            store.write(ref, 2)
+            assert store.read(ref) == 2

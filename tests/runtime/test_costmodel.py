@@ -1,0 +1,48 @@
+"""Unit tests for the virtual cost model."""
+
+import pytest
+
+from repro.runtime.costmodel import CostModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        CostModel()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(steal_cost=-1.0)
+
+    def test_zero_failed_steal_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(failed_steal_cost=0.0)
+
+    def test_two_version_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(two_version_compute_factor=0.9)
+
+
+class TestComputeFactor:
+    def test_single_assignment_no_penalty(self):
+        assert CostModel().compute_factor(None) == 1.0
+
+    def test_reuse_no_penalty(self):
+        assert CostModel().compute_factor(1) == 1.0
+
+    def test_two_version_penalty(self):
+        cm = CostModel(two_version_compute_factor=1.25)
+        assert cm.compute_factor(2) == 1.25
+        assert cm.compute_factor(5) == 1.25
+
+
+class TestScaled:
+    def test_scales_overheads_not_compute_factor(self):
+        cm = CostModel().scaled(3.0)
+        base = CostModel()
+        assert cm.frame_overhead == base.frame_overhead * 3
+        assert cm.steal_cost == base.steal_cost * 3
+        assert cm.two_version_compute_factor == base.two_version_compute_factor
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().frame_overhead = 5.0

@@ -1,0 +1,68 @@
+"""Unit tests for the work-stealing deque."""
+
+import threading
+
+from repro.runtime.deque import WorkDeque
+
+
+class TestSemantics:
+    def test_owner_lifo(self):
+        d = WorkDeque()
+        d.push_bottom(1)
+        d.push_bottom(2)
+        d.push_bottom(3)
+        assert d.pop_bottom() == 3
+        assert d.pop_bottom() == 2
+        assert d.pop_bottom() == 1
+        assert d.pop_bottom() is None
+
+    def test_thief_fifo(self):
+        d = WorkDeque()
+        for i in range(3):
+            d.push_bottom(i)
+        assert d.steal_top() == 0
+        assert d.steal_top() == 1
+        assert d.steal_top() == 2
+        assert d.steal_top() is None
+
+    def test_mixed_ends(self):
+        d = WorkDeque()
+        for i in range(4):
+            d.push_bottom(i)
+        assert d.steal_top() == 0
+        assert d.pop_bottom() == 3
+        assert d.steal_top() == 1
+        assert d.pop_bottom() == 2
+
+    def test_len_and_bool(self):
+        d = WorkDeque()
+        assert not d
+        assert len(d) == 0
+        d.push_bottom("x")
+        assert d
+        assert len(d) == 1
+
+
+class TestConcurrency:
+    def test_no_item_lost_or_duplicated_under_contention(self):
+        d = WorkDeque()
+        total = 4000
+        for i in range(total):
+            d.push_bottom(i)
+        taken: list[int] = []
+        lock = threading.Lock()
+
+        def worker(stealer: bool):
+            while True:
+                item = d.steal_top() if stealer else d.pop_bottom()
+                if item is None:
+                    return
+                with lock:
+                    taken.append(item)
+
+        threads = [threading.Thread(target=worker, args=(i % 2 == 0,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(taken) == list(range(total))

@@ -1,0 +1,80 @@
+"""Unit tests for the serial inline runtime."""
+
+import pytest
+
+from repro.runtime.frames import Frame
+from repro.runtime.inline import InlineRuntime
+
+
+class TestExecution:
+    def test_runs_root(self):
+        rt = InlineRuntime()
+        ran = []
+        rt.execute(Frame(lambda: ran.append("root")))
+        assert ran == ["root"]
+
+    def test_depth_first_lifo_order(self):
+        rt = InlineRuntime()
+        order = []
+
+        def root():
+            rt.spawn(lambda: order.append("a"))
+            rt.spawn(lambda: order.append("b"))
+
+        rt.execute(Frame(root))
+        assert order == ["b", "a"]  # LIFO: last spawn runs first
+
+    def test_nested_spawns_all_run(self):
+        rt = InlineRuntime()
+        count = [0]
+
+        def task(depth):
+            count[0] += 1
+            if depth:
+                rt.spawn(lambda: task(depth - 1))
+                rt.spawn(lambda: task(depth - 1))
+
+        res = rt.execute(Frame(lambda: task(5)))
+        assert count[0] == 2 ** 6 - 1
+        assert res.frames == 2 ** 6 - 1
+
+    def test_deep_chain_no_recursion_limit(self):
+        rt = InlineRuntime()
+        n = [0]
+
+        def step():
+            n[0] += 1
+            if n[0] < 50_000:
+                rt.spawn(step)
+
+        rt.execute(Frame(step))
+        assert n[0] == 50_000
+
+
+class TestAccounting:
+    def test_charges_accumulate_into_makespan(self):
+        rt = InlineRuntime()
+
+        def root():
+            rt.charge(10.0)
+            rt.spawn(lambda: rt.charge(5.0), base_cost=2.0)
+
+        res = rt.execute(Frame(root, base_cost=1.0))
+        assert res.makespan == pytest.approx(18.0)
+        assert res.busy_time == [pytest.approx(18.0)]
+        assert res.utilization == pytest.approx(1.0)
+
+    def test_workers_is_one(self):
+        assert InlineRuntime().workers == 1
+
+
+class TestGuards:
+    def test_spawn_outside_execute_rejected(self):
+        rt = InlineRuntime()
+        with pytest.raises(RuntimeError):
+            rt.spawn(lambda: None)
+
+    def test_not_reentrant(self):
+        rt = InlineRuntime()
+        with pytest.raises(RuntimeError):
+            rt.execute(Frame(lambda: rt.execute(Frame(lambda: None))))

@@ -1,0 +1,104 @@
+"""Unit tests for the real-thread work-stealing runtime."""
+
+import threading
+
+import pytest
+
+from repro.runtime.frames import Frame
+from repro.runtime.threadpool import ThreadedRuntime
+
+
+class TestExecution:
+    def test_all_frames_run(self):
+        rt = ThreadedRuntime(workers=4, seed=1)
+        count = [0]
+        lock = threading.Lock()
+
+        def root():
+            for _ in range(200):
+                def child():
+                    with lock:
+                        count[0] += 1
+                rt.spawn(child)
+
+        res = rt.execute(Frame(root))
+        assert count[0] == 200
+        assert res.frames == 201
+
+    def test_nested_spawning(self):
+        rt = ThreadedRuntime(workers=3, seed=2)
+        seen = []
+        lock = threading.Lock()
+
+        def task(depth, tag):
+            with lock:
+                seen.append(tag)
+            if depth:
+                rt.spawn(lambda: task(depth - 1, tag + "L"))
+                rt.spawn(lambda: task(depth - 1, tag + "R"))
+
+        rt.execute(Frame(lambda: task(6, "x")))
+        assert len(seen) == 2 ** 7 - 1
+        assert len(set(seen)) == len(seen)
+
+    def test_single_worker(self):
+        rt = ThreadedRuntime(workers=1)
+        ran = []
+        rt.execute(Frame(lambda: ran.append(1)))
+        assert ran == [1]
+
+    def test_makespan_is_positive_wallclock(self):
+        rt = ThreadedRuntime(workers=2, seed=0)
+        res = rt.execute(Frame(lambda: None))
+        assert res.makespan > 0
+        assert res.workers == 2
+
+    def test_work_actually_distributes(self):
+        rt = ThreadedRuntime(workers=4, seed=3)
+        tids = set()
+        lock = threading.Lock()
+
+        def root():
+            for _ in range(300):
+                def child():
+                    import time
+                    time.sleep(0.0002)
+                    with lock:
+                        tids.add(threading.get_ident())
+                rt.spawn(child)
+
+        rt.execute(Frame(root))
+        assert len(tids) >= 2  # at least one steal occurred
+
+
+class TestFailure:
+    def test_frame_exception_propagates(self):
+        rt = ThreadedRuntime(workers=3, seed=4)
+
+        def root():
+            rt.spawn(lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+        with pytest.raises(ValueError, match="boom"):
+            rt.execute(Frame(root))
+
+    def test_pool_reusable_after_failure(self):
+        rt = ThreadedRuntime(workers=2, seed=5)
+        with pytest.raises(ValueError):
+            rt.execute(Frame(lambda: (_ for _ in ()).throw(ValueError("x"))))
+        ran = []
+        rt.execute(Frame(lambda: ran.append(1)))
+        assert ran == [1]
+
+
+class TestGuards:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(workers=0)
+
+    def test_spawn_from_outside_worker_rejected(self):
+        rt = ThreadedRuntime(workers=2)
+        with pytest.raises(RuntimeError):
+            rt.spawn(lambda: None)
+
+    def test_charge_is_noop(self):
+        ThreadedRuntime(workers=1).charge(5.0)  # must not raise

@@ -1,0 +1,63 @@
+"""Unit tests for execution tracing (the N accounting)."""
+
+from repro.runtime.tracing import ExecutionTrace
+
+
+class TestCounters:
+    def test_compute_counts(self):
+        t = ExecutionTrace()
+        t.count_compute("a")
+        t.count_compute("a")
+        t.count_compute("b")
+        assert t.executions() == {"a": 2, "b": 1}
+        assert t.tasks_computed == 2
+        assert t.total_computes == 3
+        assert t.reexecutions == 1
+        assert t.max_executions == 2
+
+    def test_empty_trace(self):
+        t = ExecutionTrace()
+        assert t.reexecutions == 0
+        assert t.max_executions == 0
+        assert t.tasks_computed == 0
+
+    def test_recoveries(self):
+        t = ExecutionTrace()
+        t.count_recovery("x")
+        t.count_recovery("x")
+        t.count_recovery("y")
+        assert t.total_recoveries == 3
+
+    def test_bump(self):
+        t = ExecutionTrace()
+        t.bump("resets")
+        t.bump("resets", 4)
+        assert t.resets == 5
+
+    def test_summary_keys(self):
+        t = ExecutionTrace()
+        t.count_compute("a")
+        t.count_compute_failure("a")
+        s = t.summary()
+        assert s["tasks_computed"] == 1
+        assert s["reexecutions"] == 0
+        for key in ("recoveries", "resets", "notify_reinits", "faults_observed"):
+            assert key in s
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        t = ExecutionTrace()
+
+        def work():
+            for i in range(500):
+                t.count_compute(i % 7)
+                t.bump("notifications")
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert t.total_computes == 3000
+        assert t.notifications == 3000

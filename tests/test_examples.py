@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "same result as the fault-free run" in out
+
+    def test_fault_injection_study(self):
+        out = run_example("fault_injection_study.py", "--n", "48", "--block", "16",
+                          "--victims", "2")
+        assert "verified" in out
+        assert "after_notify" in out
+
+    def test_custom_task_graph(self):
+        out = run_example("custom_task_graph.py")
+        assert "result unchanged" in out
+
+    def test_soft_error_rates(self):
+        out = run_example("soft_error_rates.py")
+        assert "Online soft-error rate sweep" in out
+        assert "Worker occupancy" in out
+
+    @pytest.mark.slow
+    def test_scalability_study(self):
+        out = run_example("scalability_study.py", "--app", "fw", "--reps", "1",
+                          timeout=600)
+        assert "Figure 7 view" in out
+        assert "Work-stealing internals" in out

@@ -1,0 +1,52 @@
+"""Tests for the exception hierarchy (identity payloads drive recovery
+routing, so they are load-bearing)."""
+
+import pytest
+
+from repro.exceptions import (
+    DataCorruptionError,
+    FaultError,
+    OverwrittenError,
+    ReproError,
+    SchedulerError,
+    TaskCorruptionError,
+)
+
+
+class TestHierarchy:
+    def test_fault_errors_are_faults_not_scheduler_bugs(self):
+        for exc in (
+            TaskCorruptionError("k", 1),
+            DataCorruptionError("b", 0),
+            OverwrittenError("b", 1, 3),
+        ):
+            assert isinstance(exc, FaultError)
+            assert isinstance(exc, ReproError)
+            assert not isinstance(exc, SchedulerError)
+
+    def test_scheduler_error_not_a_fault(self):
+        assert not isinstance(SchedulerError("bug"), FaultError)
+
+
+class TestPayloads:
+    def test_task_corruption_identity(self):
+        e = TaskCorruptionError(("gemm", 1, 2, 3), 4)
+        assert e.key == ("gemm", 1, 2, 3)
+        assert e.life == 4
+        assert "life=4" in str(e)
+
+    def test_data_corruption_identity(self):
+        e = DataCorruptionError(("a", 1, 2), 3, producer=("gemm", 2, 1, 2))
+        assert e.block == ("a", 1, 2)
+        assert e.version == 3
+        assert e.producer == ("gemm", 2, 1, 2)
+
+    def test_overwritten_identity_and_message(self):
+        e = OverwrittenError("blk", 2, 5)
+        assert e.resident == 5
+        assert "wanted v2" in str(e)
+        assert "v5" in str(e)
+
+    def test_overwritten_never_written(self):
+        e = OverwrittenError("blk", 0, None)
+        assert "nothing" in str(e)

@@ -1,0 +1,27 @@
+"""Tests for the top-level ``python -m repro`` CLI."""
+
+from repro.__main__ import main
+
+
+class TestTopLevelCLI:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        for name in ("lcs", "sw", "fw", "lu", "cholesky"):
+            assert name in out
+
+    def test_about(self, capsys):
+        assert main(["about"]) == 0
+        assert "SC 2014" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "selftest" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["fnord"]) == 2
+
+    def test_harness_forwarding(self, capsys):
+        assert main(["harness", "--quick", "--only", "table1", "--apps", "lcs"]) == 0
+        assert "Table I" in capsys.readouterr().out
