@@ -54,6 +54,7 @@ from repro.core import (
     TaskStatus,
     run_scheduler,
 )
+from repro.obs import Event, EventKind, EventLog
 
 __version__ = "1.0.0"
 
@@ -96,5 +97,9 @@ __all__ = [
     "SchedulerResult",
     "TaskStatus",
     "run_scheduler",
+    # observability
+    "Event",
+    "EventKind",
+    "EventLog",
     "__version__",
 ]

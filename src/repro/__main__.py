@@ -8,6 +8,10 @@ Commands:
   the install works.
 * ``harness`` -- forwards to ``python -m repro.harness`` (all tables and
   figures); accepts the same flags.
+* ``trace`` -- run one app with structured event tracing: per-worker
+  metrics, the recovery timeline, Chrome trace / JSONL export
+  (``python -m repro trace cholesky --chrome trace.json``; see
+  docs/OBSERVABILITY.md).
 * ``about`` -- what this package reproduces and where to look next.
 """
 
@@ -91,9 +95,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.harness.__main__ import main as harness_main
 
         return harness_main(rest)
+    if cmd == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(rest)
     if cmd == "about":
         return _about()
-    print(f"unknown command {cmd!r}; expected selftest | harness | about")
+    print(f"unknown command {cmd!r}; expected selftest | harness | trace | about")
     return 2
 
 

@@ -44,7 +44,6 @@ both eviction under memory reuse and data corruption.
 
 from __future__ import annotations
 
-import threading
 from typing import Hashable
 
 from repro.core.hooks import NULL_HOOKS, SchedulerHooks
@@ -63,6 +62,7 @@ from repro.exceptions import (
 from repro.graph.taskspec import BlockRef, TaskGraphSpec
 from repro.memory.blockstore import BlockStore
 from repro.memory.context import StoreComputeContext
+from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.runtime.api import Runtime
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
@@ -88,6 +88,7 @@ class FTScheduler:
         strict_context: bool = True,
         max_recoveries: int = 1_000_000,
         record_events: bool = False,
+        event_log: EventLog | None = None,
     ) -> None:
         self.spec = spec
         self.runtime = runtime
@@ -97,22 +98,47 @@ class FTScheduler:
         self.trace = trace or ExecutionTrace()
         self.strict_context = strict_context
         self.max_recoveries = max_recoveries
-        self.record_events = record_events
-        self.events: list[tuple] = []
-        """Recovery-path event log (only when ``record_events``): tuples
-        like ``("fault_observed", key, life, exc_type)``,
-        ``("recovery", key, new_life)``, ``("reset", key, life)``,
-        ``("reinit", key, successor)``, ``("stale_frame", key, life)`` --
-        the post-mortem narrative of how a faulty run unfolded."""
-        self._events_lock = threading.Lock()
+        if event_log is None and record_events:
+            event_log = EventLog()
+        self.log = event_log if event_log is not None else NULL_LOG
+        """Structured observability log (:mod:`repro.obs`).  Disabled by
+        default (``NULL_LOG``); pass ``event_log=EventLog()`` -- or the
+        legacy ``record_events=True`` -- to record the run's lifecycle:
+        every event carries the task key and life number, timestamped and
+        worker-attributed by the runtime."""
+        self._obs = self.log.enabled
+        self.log.bind_runtime(runtime)
+        if self._obs and getattr(self.hooks, "event_log", False) is None:
+            # Fault injectors accept an event_log; share ours unless the
+            # caller wired their own.
+            hooks.event_log = self.log
         self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
         self.recovery_table = RecoveryTable()
         self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
 
-    def _event(self, *payload) -> None:
-        if self.record_events:
-            with self._events_lock:
-                self.events.append(payload)
+    @property
+    def events(self) -> list[tuple]:
+        """Recovery-path narrative as legacy tuples, derived from the
+        structured log: ``("compute_fault", key, life, exc_type, source)``,
+        ``("recovery", key, new_life)``, ``("recovery_skipped", key,
+        life)``, ``("reset", key, life)``, ``("reinit", key, successor)``,
+        ``("stale_frame", key, life)``.  Prefer ``self.log.events`` (full
+        structured stream) for new code."""
+        out: list[tuple] = []
+        for e in self.log.events:
+            if e.kind is EventKind.COMPUTE_FAULT:
+                out.append(("compute_fault", e.key, e.life, e.data["exc"], e.data["source"]))
+            elif e.kind is EventKind.RECOVERY:
+                out.append(("recovery", e.key, e.life))
+            elif e.kind is EventKind.RECOVERY_SKIPPED:
+                out.append(("recovery_skipped", e.key, e.life))
+            elif e.kind is EventKind.RESET:
+                out.append(("reset", e.key, e.life))
+            elif e.kind is EventKind.REINIT:
+                out.append(("reinit", e.key, e.data["successor"]))
+            elif e.kind is EventKind.STALE_FRAME:
+                out.append(("stale_frame", e.key, e.life))
+        return out
 
     # -- public API -------------------------------------------------------------------
 
@@ -123,6 +149,8 @@ class FTScheduler:
         sink, life, inserted = self.map.insert_if_absent(skey)
         if not inserted:
             raise SchedulerError("scheduler instances are single-use; create a new one")
+        if self._obs:
+            self.log.emit(EventKind.TASK_CREATED, skey, life)
         root = Frame(lambda: self._init_and_compute(sink, skey, life), label=f"init:{skey!r}")
         run = self.runtime.execute(root)
         final, _ = self.map.get(skey)
@@ -159,6 +187,8 @@ class FTScheduler:
             return
         B, blife, inserted = self.map.insert_if_absent(pkey)
         if inserted:
+            if self._obs:
+                self.log.emit(EventKind.TASK_CREATED, pkey, blife)
             self.runtime.spawn(
                 lambda: self._init_and_compute(B, pkey, blife),
                 label=f"init:{pkey!r}",
@@ -175,7 +205,9 @@ class FTScheduler:
             with A.lock:
                 waiting = bool(A.bit_vector & (1 << ind))
             if not waiting:
-                self.trace.bump("stale_notifications")
+                self.trace.count_stale_notification()
+                if self._obs:
+                    self.log.emit(EventKind.NOTIFY_STALE, key, life, src=pkey)
                 return
             B.check()
             self.runtime.charge(self.cost_model.lock_cost)
@@ -188,8 +220,10 @@ class FTScheduler:
                 # The paper's "if (B.overwritten) throw": B has computed,
                 # but are the versions A needs still resident and clean?
                 self._ensure_outputs_available(key, pkey)
-        except FaultError:
-            self.trace.bump("faults_observed")
+        except FaultError as exc:
+            self.trace.count_fault_observed()
+            if self._obs:
+                self.log.emit(EventKind.FAULT_OBSERVED, pkey, blife, exc=type(exc).__name__)
             finished = False
             self._recover_task_once(pkey, blife)
         if finished:
@@ -208,15 +242,21 @@ class FTScheduler:
                     A.join -= 1
                     val = A.join
             if success:
-                self.trace.bump("notifications")
+                self.trace.count_notification()
+                if self._obs:
+                    self.log.emit(EventKind.NOTIFY, key, life, src=pkey)
                 if val < 0:
                     raise SchedulerError(f"join underflow on {key!r} via {pkey!r}")
                 if val == 0:
                     self._compute_and_notify(A, key, life)
             else:
-                self.trace.bump("stale_notifications")
-        except FaultError:
-            self.trace.bump("faults_observed")
+                self.trace.count_stale_notification()
+                if self._obs:
+                    self.log.emit(EventKind.NOTIFY_STALE, key, life, src=pkey)
+        except FaultError as exc:
+            self.trace.count_fault_observed()
+            if self._obs:
+                self.log.emit(EventKind.FAULT_OBSERVED, key, life, exc=type(exc).__name__)
             self._recover_task_once(key, life)
 
     def _compute_and_notify(self, A: TaskRecord, key: Key, life: int) -> None:
@@ -231,18 +271,24 @@ class FTScheduler:
         try:
             A.check()
             self.trace.count_compute(key)
+            if self._obs:
+                self.log.emit(EventKind.COMPUTE_BEGIN, key, life)
             self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
             ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
             self.spec.compute(key, ctx)
             self.hooks.on_after_compute(A)
             A.check()
+            if self._obs:
+                self.log.emit(EventKind.COMPUTE_END, key, life)
             self.runtime.spawn(
                 lambda: self._publish_and_notify(A, key, life),
                 label=f"publish:{key!r}",
             )
         except FaultError as exc:
             self.trace.count_compute_failure(key)
-            self.trace.bump("faults_observed")
+            self.trace.count_fault_observed()
+            if self._obs:
+                self.log.emit(EventKind.FAULT_OBSERVED, key, life, exc=type(exc).__name__)
             self._handle_compute_fault(A, key, life, exc)
 
     def _publish_and_notify(self, A: TaskRecord, key: Key, life: int) -> None:
@@ -260,6 +306,8 @@ class FTScheduler:
             self.runtime.charge(cm.atomic_cost)
             with A.lock:
                 A.status = TaskStatus.COMPUTED
+            if self._obs:
+                self.log.emit(EventKind.TASK_COMPUTED, key, life)
             notified = 0
             while True:
                 with A.lock:
@@ -275,9 +323,13 @@ class FTScheduler:
                     if len(A.notify_array) == notified:
                         A.status = TaskStatus.COMPLETED
                         break
+            if self._obs:
+                self.log.emit(EventKind.TASK_COMPLETED, key, life)
             self.hooks.on_after_notify(A)
-        except FaultError:
-            self.trace.bump("faults_observed")
+        except FaultError as exc:
+            self.trace.count_fault_observed()
+            if self._obs:
+                self.log.emit(EventKind.FAULT_OBSERVED, key, life, exc=type(exc).__name__)
             self._recover_task_once(key, life)
 
     def _notify_successor(self, key: Key, skey: Key) -> None:
@@ -297,8 +349,9 @@ class FTScheduler:
         if self.recovery_table.check_and_claim(key, life):
             self._recover_task(key)
         else:
-            self.trace.bump("recovery_skips")
-            self._event("recovery_skipped", key, life)
+            self.trace.count_recovery_skip()
+            if self._obs:
+                self.log.emit(EventKind.RECOVERY_SKIPPED, key, life)
 
     def _recover_task(self, key: Key) -> None:
         """RECOVERTASK: install a new incarnation, rebuild its notify array
@@ -309,7 +362,8 @@ class FTScheduler:
             T, life = self.map.replace(key)
             T.recovery = True
             self.trace.count_recovery(key)
-            self._event("recovery", key, life)
+            if self._obs:
+                self.log.emit(EventKind.RECOVERY, key, life)
             if self.trace.total_recoveries > self.max_recoveries:
                 raise SchedulerError(
                     f"recovery budget exceeded ({self.max_recoveries}); "
@@ -317,7 +371,9 @@ class FTScheduler:
                 )
             try:
                 for skey in self.spec.successors(key):
-                    self.trace.bump("reinit_scans")
+                    self.trace.count_reinit_scan()
+                    if self._obs:
+                        self.log.emit(EventKind.REINIT_SCAN, key, life, successor=skey)
                     S, slife = self.map.get(skey)
                     if S is None:
                         # Successor not yet expanded; when it is created it
@@ -329,11 +385,15 @@ class FTScheduler:
                     label=f"recover:{key!r}#{life}",
                 )
                 return
-            except FaultError:
-                self.trace.bump("faults_observed")
+            except FaultError as exc:
+                self.trace.count_fault_observed()
+                if self._obs:
+                    self.log.emit(EventKind.FAULT_OBSERVED, key, life, exc=type(exc).__name__)
                 if not self.recovery_table.check_and_claim(key, life):
                     # Another thread owns the newer incarnation's recovery.
-                    self.trace.bump("recovery_skips")
+                    self.trace.count_recovery_skip()
+                    if self._obs:
+                        self.log.emit(EventKind.RECOVERY_SKIPPED, key, life)
                     return
                 # else: we own it; loop and retry with a fresh incarnation.
 
@@ -354,11 +414,14 @@ class FTScheduler:
             if waiting:
                 with T.lock:
                     T.notify_array.append(skey)
-                self.trace.bump("notify_reinits")
-                self._event("reinit", key, skey)
+                self.trace.count_notify_reinit()
+                if self._obs:
+                    self.log.emit(EventKind.REINIT, key, T.life, successor=skey)
         except FaultError as exc:
             if isinstance(exc, TaskCorruptionError) and exc.key == skey:
-                self.trace.bump("faults_observed")
+                self.trace.count_fault_observed()
+                if self._obs:
+                    self.log.emit(EventKind.FAULT_OBSERVED, skey, slife, exc=type(exc).__name__)
                 self._recover_task_once(skey, slife)
             else:
                 raise
@@ -373,11 +436,14 @@ class FTScheduler:
             self.runtime.charge(self.cost_model.lock_cost)
             with A.lock:
                 A.reset_for_reuse()
-            self.trace.bump("resets")
-            self._event("reset", key, life)
+            self.trace.count_reset()
+            if self._obs:
+                self.log.emit(EventKind.RESET, key, life)
             self._init_and_compute(A, key, life)
-        except FaultError:
-            self.trace.bump("faults_observed")
+        except FaultError as exc:
+            self.trace.count_fault_observed()
+            if self._obs:
+                self.log.emit(EventKind.FAULT_OBSERVED, key, life, exc=type(exc).__name__)
             self._recover_task_once(key, life)
 
     # -- fault routing helpers --------------------------------------------------------------
@@ -397,8 +463,9 @@ class FTScheduler:
         current, cur_life = self.map.get(key)
         if current is A and cur_life == life:
             return False
-        self.trace.bump("stale_frames")
-        self._event("stale_frame", key, life)
+        self.trace.count_stale_frame()
+        if self._obs:
+            self.log.emit(EventKind.STALE_FRAME, key, life)
         return True
 
     def _handle_compute_fault(self, A: TaskRecord, key: Key, life: int, exc: FaultError) -> None:
@@ -406,7 +473,10 @@ class FTScheduler:
         own; otherwise reset A so the replayed traversal repairs the
         failed input's producer."""
         source = self._fault_source(exc)
-        self._event("compute_fault", key, life, type(exc).__name__, source)
+        if self._obs:
+            self.log.emit(
+                EventKind.COMPUTE_FAULT, key, life, exc=type(exc).__name__, source=source
+            )
         if source == key or source is None:
             self._recover_task_once(key, life)
         else:

@@ -37,6 +37,7 @@ from repro.exceptions import SchedulerError
 from repro.graph.taskspec import TaskGraphSpec
 from repro.memory.blockstore import BlockStore
 from repro.memory.context import StoreComputeContext
+from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.runtime.api import Runtime
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
@@ -58,6 +59,7 @@ class NabbitScheduler:
         cost_model: CostModel | None = None,
         trace: ExecutionTrace | None = None,
         strict_context: bool = True,
+        event_log: EventLog | None = None,
     ) -> None:
         self.spec = spec
         self.runtime = runtime
@@ -65,6 +67,12 @@ class NabbitScheduler:
         self.cost_model = cost_model or CostModel()
         self.trace = trace or ExecutionTrace()
         self.strict_context = strict_context
+        self.log = event_log if event_log is not None else NULL_LOG
+        """Structured observability log (:mod:`repro.obs`); the baseline
+        emits the task-lifecycle subset (created / compute / computed /
+        completed / notify) -- it has no fault path."""
+        self._obs = self.log.enabled
+        self.log.bind_runtime(runtime)
         self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
         self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
 
@@ -76,6 +84,8 @@ class NabbitScheduler:
         sink, _, inserted = self.map.insert_if_absent(skey)
         if not inserted:
             raise SchedulerError("scheduler instances are single-use; create a new one")
+        if self._obs:
+            self.log.emit(EventKind.TASK_CREATED, skey, 1)
         root = Frame(lambda: self._init_and_compute(sink, skey), label=f"init:{skey!r}")
         run = self.runtime.execute(root)
         final, _ = self.map.get(skey)
@@ -102,6 +112,8 @@ class NabbitScheduler:
         notification or notify immediately."""
         B, _, inserted = self.map.insert_if_absent(pkey)
         if inserted:
+            if self._obs:
+                self.log.emit(EventKind.TASK_CREATED, pkey, 1)
             self.runtime.spawn(
                 lambda: self._init_and_compute(B, pkey),
                 label=f"init:{pkey!r}",
@@ -121,7 +133,9 @@ class NabbitScheduler:
         with A.lock:
             A.join -= 1
             val = A.join
-        self.trace.bump("notifications")
+        self.trace.count_notification()
+        if self._obs:
+            self.log.emit(EventKind.NOTIFY, key, 1, src=pkey)
         if val < 0:
             raise SchedulerError(f"join counter underflow on {key!r} (notified by {pkey!r})")
         if val == 0:
@@ -130,9 +144,13 @@ class NabbitScheduler:
     def _compute_and_notify(self, A: TaskRecord, key: Key) -> None:
         """COMPUTEANDNOTIFY, first half: run the user COMPUTE function."""
         self.trace.count_compute(key)
+        if self._obs:
+            self.log.emit(EventKind.COMPUTE_BEGIN, key, 1)
         self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
         ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
         self.spec.compute(key, ctx)
+        if self._obs:
+            self.log.emit(EventKind.COMPUTE_END, key, 1)
         self.runtime.spawn(
             lambda: self._publish_and_notify(A, key),
             label=f"publish:{key!r}",
@@ -145,6 +163,8 @@ class NabbitScheduler:
         self.runtime.charge(cm.atomic_cost)
         with A.lock:
             A.status = TaskStatus.COMPUTED
+        if self._obs:
+            self.log.emit(EventKind.TASK_COMPUTED, key, 1)
         notified = 0
         while True:
             with A.lock:
@@ -159,6 +179,8 @@ class NabbitScheduler:
             with A.lock:
                 if len(A.notify_array) == notified:
                     A.status = TaskStatus.COMPLETED
+                    if self._obs:
+                        self.log.emit(EventKind.TASK_COMPLETED, key, 1)
                     return
 
     def _notify_successor(self, key: Key, skey: Key) -> None:

@@ -23,6 +23,7 @@ from repro.core.records import TaskRecord
 from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
 from repro.graph.taskspec import BlockRef, TaskGraphSpec
 from repro.memory.blockstore import BlockStore
+from repro.obs.events import EventKind, EventLog
 from repro.runtime.tracing import ExecutionTrace
 
 
@@ -35,11 +36,16 @@ class FaultInjector:
         spec: TaskGraphSpec,
         store: BlockStore,
         trace: ExecutionTrace | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         self.plan = plan
         self.spec = spec
         self.store = store
         self.trace = trace
+        self.event_log = event_log
+        """Observability log for FAULT_INJECTED events.  Left ``None``,
+        the FT scheduler shares its own log at construction time, so
+        injected faults land in the same stream as their recoveries."""
         self._lock = threading.Lock()
         # (key, phase) -> list of pending events ordered by life.
         self._pending: dict[tuple[Hashable, FaultPhase], list[FaultEvent]] = {}
@@ -78,7 +84,11 @@ class FaultInjector:
             for raw in self.spec.outputs(record.key):
                 self.store.mark_corrupted(BlockRef(*raw))
         if self.trace is not None:
-            self.trace.bump("faults_injected")
+            self.trace.count_fault_injected()
+        if self.event_log is not None and self.event_log.enabled:
+            self.event_log.emit(
+                EventKind.FAULT_INJECTED, record.key, record.life, phase=phase.value
+            )
 
     # -- verification -----------------------------------------------------------------------
 

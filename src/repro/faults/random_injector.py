@@ -26,6 +26,7 @@ from repro.core.records import TaskRecord
 from repro.faults.model import FaultPhase
 from repro.graph.taskspec import BlockRef, TaskGraphSpec
 from repro.memory.blockstore import BlockStore
+from repro.obs.events import EventKind, EventLog
 from repro.runtime.tracing import ExecutionTrace
 
 
@@ -61,6 +62,7 @@ class RandomInjector:
         after_notify: float | None = None,
         max_faults: int | None = None,
         trace: ExecutionTrace | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         self.spec = spec
         self.store = store
@@ -68,6 +70,9 @@ class RandomInjector:
         self.rates = _phase_rates(rate, before_compute, after_compute, after_notify)
         self.max_faults = max_faults
         self.trace = trace
+        self.event_log = event_log
+        """Observability log for FAULT_INJECTED events (shared by the FT
+        scheduler at construction time when left ``None``)."""
         self.fired: list[tuple[Hashable, int, FaultPhase]] = []
         self._lock = threading.Lock()
 
@@ -96,7 +101,11 @@ class RandomInjector:
             for raw in self.spec.outputs(record.key):
                 self.store.mark_corrupted(BlockRef(*raw))
         if self.trace is not None:
-            self.trace.bump("faults_injected")
+            self.trace.count_fault_injected()
+        if self.event_log is not None and self.event_log.enabled:
+            self.event_log.emit(
+                EventKind.FAULT_INJECTED, record.key, record.life, phase=phase.value
+            )
 
     # -- hook surface ----------------------------------------------------------------------
 

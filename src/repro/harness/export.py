@@ -1,10 +1,21 @@
-"""JSON export of experiment results.
+"""JSON export of experiment results and observability artifacts.
 
 Every driver returns dataclasses; this module flattens them into
 JSON-safe dictionaries so downstream tooling (plotting, regression
 tracking across versions) can consume a harness run without re-parsing
 tables.  ``python -m repro.harness --json out.json`` collects everything
 it ran into one document.
+
+It also exports :mod:`repro.obs` event logs in two interchange formats:
+
+* **Chrome trace-event JSON** (``write_chrome_trace``) -- loadable in
+  ``chrome://tracing`` / Perfetto: one lane (tid) per worker, COMPUTE
+  begin/end pairs rendered as duration slices named after the task key
+  (with the life number when > 1, so re-executed incarnations are
+  visually distinct), everything else as instant events carrying key +
+  life in ``args``.
+* **JSONL** (``write_events_jsonl``) -- one JSON object per event, for
+  ad-hoc analysis with standard line tools.
 """
 
 from __future__ import annotations
@@ -12,9 +23,10 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.analysis.stats import Summary
+from repro.obs.events import Event, EventKind, events_in_order
 
 
 def _jsonify(value: Any) -> Any:
@@ -44,3 +56,137 @@ def results_to_dict(results: dict[str, Any]) -> dict[str, Any]:
 
 def write_results(results: dict[str, Any], path: str | Path) -> None:
     Path(path).write_text(json.dumps(results_to_dict(results), indent=1))
+
+
+# -- observability exports ---------------------------------------------------------
+
+#: Event kinds rendered as duration-slice beginnings (paired with the
+#: matching end/fault of the same (key, life) on the same lane).
+_SLICE_BEGIN = EventKind.COMPUTE_BEGIN
+_SLICE_END = frozenset({EventKind.COMPUTE_END, EventKind.COMPUTE_FAULT})
+
+#: Time unit: trace-event ``ts`` is microseconds.  Wall-clock seconds
+#: map naturally; virtual time maps 1 unit -> 1 us, which keeps relative
+#: durations faithful (the only thing the viewer shows).
+_US = 1e6
+
+
+def events_to_trace_events(events: Iterable[Event]) -> list[dict[str, Any]]:
+    """Convert an event log into Chrome trace-event dicts.
+
+    Workers become threads (``tid``) of one process, so the viewer shows
+    one lane per worker.  COMPUTE begin/end pairs become complete ("X")
+    slices; every other event becomes a thread-scoped instant ("i")
+    whose ``args`` carry the task key and life number.
+    """
+    ordered = events_in_order(events)
+    out: list[dict[str, Any]] = []
+    workers = sorted({e.worker for e in ordered})
+    for w in workers:
+        out.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": w,
+                "args": {"name": f"worker {w}"},
+            }
+        )
+    open_slices: dict[tuple[Any, int], Event] = {}
+    for e in ordered:
+        if e.kind is _SLICE_BEGIN:
+            open_slices[(e.key, e.life)] = e
+            continue
+        if e.kind in _SLICE_END:
+            begin = open_slices.pop((e.key, e.life), None)
+            if begin is not None:
+                name = f"{begin.key!r}" + (f" #{begin.life}" if begin.life > 1 else "")
+                slice_event = {
+                    "ph": "X",
+                    "name": name,
+                    "cat": "compute",
+                    "pid": 0,
+                    "tid": begin.worker,
+                    "ts": begin.t * _US,
+                    "dur": max(0.0, e.t - begin.t) * _US,
+                    "args": {"key": _arg(begin.key), "life": begin.life},
+                }
+                if e.kind is EventKind.COMPUTE_FAULT:
+                    slice_event["args"]["fault"] = e.data.get("exc")
+                out.append(slice_event)
+            if e.kind is EventKind.COMPUTE_END:
+                continue  # end markers carry no extra information
+        args: dict[str, Any] = {"key": _arg(e.key), "life": e.life}
+        for name, value in e.data.items():
+            args[name] = _arg(value)
+        out.append(
+            {
+                "ph": "i",
+                "name": e.kind.value,
+                "cat": _category(e.kind),
+                "pid": 0,
+                "tid": e.worker,
+                "ts": e.t * _US,
+                "s": "t",
+                "args": args,
+            }
+        )
+    # Unterminated slices (a compute that never ended: scheduler bug or a
+    # truncated ring buffer) still deserve a mark.
+    for begin in open_slices.values():
+        out.append(
+            {
+                "ph": "i",
+                "name": "compute_unterminated",
+                "cat": "compute",
+                "pid": 0,
+                "tid": begin.worker,
+                "ts": begin.t * _US,
+                "s": "t",
+                "args": {"key": _arg(begin.key), "life": begin.life},
+            }
+        )
+    return out
+
+
+_RECOVERY_KINDS = frozenset(
+    {
+        EventKind.FAULT_INJECTED,
+        EventKind.FAULT_OBSERVED,
+        EventKind.COMPUTE_FAULT,
+        EventKind.RECOVERY,
+        EventKind.RECOVERY_SKIPPED,
+        EventKind.RESET,
+        EventKind.REINIT,
+        EventKind.REINIT_SCAN,
+        EventKind.STALE_FRAME,
+    }
+)
+
+_RUNTIME_KINDS = frozenset({EventKind.STEAL, EventKind.PARK, EventKind.UNPARK})
+
+
+def _category(kind: EventKind) -> str:
+    if kind in _RECOVERY_KINDS:
+        return "recovery"
+    if kind in _RUNTIME_KINDS:
+        return "runtime"
+    return "lifecycle"
+
+
+def _arg(value: Any) -> Any:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def write_chrome_trace(events: Iterable[Event], path: str | Path) -> None:
+    """Write a ``chrome://tracing`` / Perfetto-loadable trace file."""
+    doc = {"traceEvents": events_to_trace_events(events), "displayTimeUnit": "ms"}
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def write_events_jsonl(events: Iterable[Event], path: str | Path) -> None:
+    """Write one JSON object per event (``Event.to_dict`` schema)."""
+    lines = [json.dumps(e.to_dict()) for e in events_in_order(events)]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))

@@ -1,0 +1,42 @@
+"""Observability: structured event tracing for the FT scheduler.
+
+One substrate, many views:
+
+* :class:`EventLog` / :class:`Event` / :class:`EventKind` -- the
+  low-overhead structured log every scheduler, runtime, and the fault
+  injector emit through (``NULL_LOG`` keeps fault-free runs free).
+* :mod:`repro.obs.replay` -- derive :class:`ExecutionTrace` counters
+  back out of the log (the one-source-of-truth consistency check).
+* :mod:`repro.obs.metrics` -- per-worker steal/park/busy breakdown.
+* :mod:`repro.obs.report` -- per-fault recovery-cascade timelines.
+* :mod:`repro.harness.export` -- Chrome trace-event JSON and JSONL.
+* ``python -m repro trace`` (:mod:`repro.obs.cli`) -- run an app with
+  tracing and emit/inspect all of the above.
+
+See docs/OBSERVABILITY.md for the event schema and life-number
+semantics.
+"""
+
+from repro.obs.events import NULL_LOG, Event, EventKind, EventLog, NullEventLog, events_in_order
+from repro.obs.metrics import WorkerMetrics, format_worker_metrics, worker_metrics
+from repro.obs.replay import assert_consistent, replay_summary, replay_trace, verify_consistency
+from repro.obs.report import RecoveryCascade, format_recovery_timeline, recovery_timeline
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventLog",
+    "NullEventLog",
+    "NULL_LOG",
+    "events_in_order",
+    "replay_trace",
+    "replay_summary",
+    "verify_consistency",
+    "assert_consistent",
+    "WorkerMetrics",
+    "worker_metrics",
+    "format_worker_metrics",
+    "RecoveryCascade",
+    "recovery_timeline",
+    "format_recovery_timeline",
+]

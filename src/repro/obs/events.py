@@ -1,0 +1,276 @@
+"""Structured event log: the substrate of the observability layer.
+
+The paper's Section V bounds and Section VI experiments are all *a
+posteriori* -- they depend on what actually happened at run time: which
+incarnation of which task recovered, when, on which worker, and what the
+recovery scan cost.  :class:`ExecutionTrace` aggregates those facts into
+counters; this module records the *events themselves* so the counters
+(and much more: Chrome traces, worker metrics, recovery timelines) can
+be derived after the fact from one source of truth.
+
+Design constraints:
+
+* **Low overhead when off.**  Schedulers and runtimes hold a
+  :data:`NULL_LOG` by default and guard every emission with the log's
+  ``enabled`` flag, so a fault-free benchmark run pays one attribute
+  read per would-be event.
+* **Worker attribution and timestamps come from the runtime.**  Each
+  runtime exposes ``obs_now()`` (virtual time on the simulator,
+  wall-clock seconds since ``execute()`` on the threaded runtime,
+  accumulated charge inline) and ``obs_worker()``; the log binds to them
+  via :meth:`EventLog.bind_runtime`.
+* **Incarnations are distinguishable.**  Every task-scoped event carries
+  the task key *and* its life number, so a recovered task's second
+  incarnation never aliases its first.
+* **Bounded memory on demand.**  ``EventLog(capacity=n)`` keeps only the
+  most recent ``n`` events in a ring buffer (``dropped`` counts the
+  rest); the default is unbounded, which is what the replay/consistency
+  machinery in :mod:`repro.obs.replay` requires.
+
+Thread-safe: the threaded runtime emits from many workers; a single lock
+serializes appends, which also makes the global sequence number a total
+order consistent with each worker's program order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+
+class EventKind(str, Enum):
+    """Lifecycle vocabulary of one task-graph execution.
+
+    Scheduler-side kinds map 1:1 onto the paper's routines (see
+    docs/OBSERVABILITY.md for the full schema); runtime-side kinds
+    (steal/park/unpark) describe the work-stealing substrate.
+    """
+
+    # -- task lifecycle (both schedulers) ------------------------------------
+    TASK_CREATED = "task_created"
+    """Task record inserted into the task map (INSERTTASKIFABSENT won)."""
+    COMPUTE_BEGIN = "compute_begin"
+    """COMPUTE invoked; pairs with COMPUTE_END or COMPUTE_FAULT."""
+    COMPUTE_END = "compute_end"
+    """COMPUTE returned without a detected fault."""
+    TASK_COMPUTED = "task_computed"
+    """Status published as Computed; successors may now be notified."""
+    TASK_COMPLETED = "task_completed"
+    """Notify array drained to stability; task reached Completed."""
+    NOTIFY = "notify"
+    """Join-counter decrement performed (bit successfully unset)."""
+    NOTIFY_STALE = "notify_stale"
+    """Notification dropped: the predecessor's bit was already clear."""
+
+    # -- fault path (FT scheduler + injector) --------------------------------
+    FAULT_INJECTED = "fault_injected"
+    """The injector fired a planned fault event."""
+    FAULT_OBSERVED = "fault_observed"
+    """A scheduler catch block observed a detected-fault exception."""
+    COMPUTE_FAULT = "compute_fault"
+    """COMPUTE raised a detected fault; carries the attributed source."""
+    RECOVERY = "recovery"
+    """RECOVERTASK installed a new incarnation (life = the new life)."""
+    RECOVERY_SKIPPED = "recovery_skipped"
+    """RECOVERTASKONCE suppressed a duplicate recovery (Guarantee 1)."""
+    RESET = "reset"
+    """RESETNODE re-armed a consumer whose input was faulty."""
+    REINIT_SCAN = "reinit_scan"
+    """REINITNOTIFYENTRY examined one successor record (scan cost unit)."""
+    REINIT = "reinit"
+    """REINITNOTIFYENTRY re-enqueued a still-waiting successor."""
+    STALE_FRAME = "stale_frame"
+    """A frame of a replaced incarnation was dropped (life mismatch)."""
+
+    # -- runtime substrate ---------------------------------------------------
+    STEAL = "steal"
+    """A thief took a frame from a victim's deque top."""
+    PARK = "park"
+    """A worker found nothing to run or steal and went idle."""
+    UNPARK = "unpark"
+    """A previously idle worker found work again."""
+
+
+@dataclass(slots=True, frozen=True)
+class Event:
+    """One timestamped, worker-attributed lifecycle event."""
+
+    seq: int
+    """Global emission order (total, gap-free for an unbounded log)."""
+    t: float
+    """Runtime time: virtual on the simulator, seconds on the threaded
+    runtime, accumulated charge inline."""
+    worker: int
+    """Worker that emitted the event."""
+    kind: EventKind
+    key: Hashable = None
+    """Task key, for task-scoped events."""
+    life: int = 0
+    """Incarnation number of ``key`` at emission (0 = not task-scoped)."""
+    data: dict[str, Any] = field(default_factory=dict)
+    """Kind-specific extras: fault source, exception type, successor key,
+    victim worker, deque depth, phase ..."""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe flat dict (keys stringified via repr when needed)."""
+        out: dict[str, Any] = {
+            "seq": self.seq,
+            "t": self.t,
+            "worker": self.worker,
+            "kind": self.kind.value,
+        }
+        if self.key is not None:
+            out["key"] = _json_key(self.key)
+        if self.life:
+            out["life"] = self.life
+        for name, value in self.data.items():
+            out[name] = _json_key(value) if name in _KEY_FIELDS else value
+        return out
+
+
+#: ``Event.data`` fields that hold task keys and need key serialization.
+_KEY_FIELDS = frozenset({"source", "successor", "src", "target"})
+
+
+def _json_key(key: Any) -> Any:
+    """Task keys are arbitrary hashables; keep JSON-native ones, repr the rest."""
+    if key is None or isinstance(key, (str, int, float, bool)):
+        return key
+    return repr(key)
+
+
+class EventLog:
+    """Append-only, thread-safe event collector bound to a runtime clock."""
+
+    enabled = True
+    """Emission guard: hot paths check ``log.enabled`` before building an
+    event.  Always True here; the :class:`NullEventLog` overrides it."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._events: deque[Event] | list[Event]
+        self._events = deque(maxlen=capacity) if capacity is not None else []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._clock: Callable[[], float] = time.perf_counter
+        self._worker: Callable[[], int] = _zero
+        self._epoch = time.perf_counter()
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind_runtime(self, runtime: Any) -> None:
+        """Adopt ``runtime``'s notion of time and worker identity.
+
+        Any object with ``obs_now()`` / ``obs_worker()`` works; missing
+        methods leave the wall-clock / worker-0 defaults in place.
+        """
+        now = getattr(runtime, "obs_now", None)
+        if now is not None:
+            self._clock = now
+        worker = getattr(runtime, "obs_worker", None)
+        if worker is not None:
+            self._worker = worker
+
+    # -- emission ----------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: EventKind,
+        key: Hashable = None,
+        life: int = 0,
+        **data: Any,
+    ) -> None:
+        """Record one event at the bound runtime's current time/worker."""
+        self.emit_at(kind, self._clock(), self._worker(), key, life, **data)
+
+    def emit_at(
+        self,
+        kind: EventKind,
+        t: float,
+        worker: int,
+        key: Hashable = None,
+        life: int = 0,
+        **data: Any,
+    ) -> None:
+        """Record one event with explicit attribution (used by the
+        simulator's driver loop, which acts *for* a virtual worker)."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            self._events.append(Event(seq, t, worker, kind, key, life, data))
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def events(self) -> list[Event]:
+        """Snapshot of retained events in emission order."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring buffer (0 for an unbounded log)."""
+        with self._lock:
+            return self._seq - len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def by_kind(self, *kinds: EventKind) -> list[Event]:
+        wanted = frozenset(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+
+class NullEventLog(EventLog):
+    """The disabled log: every emission is a no-op.
+
+    Schedulers/runtimes hold this by default so fault-free benchmark runs
+    pay only an ``enabled`` flag check (and not even that where call
+    sites guard on it, which all hot paths do).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 - trivially inherits
+        super().__init__()
+
+    def emit(self, kind: EventKind, key: Hashable = None, life: int = 0, **data: Any) -> None:
+        return None
+
+    def emit_at(
+        self, kind: EventKind, t: float, worker: int, key: Hashable = None, life: int = 0, **data: Any
+    ) -> None:
+        return None
+
+
+def _zero() -> int:
+    return 0
+
+
+#: Shared disabled log; identity-comparable (``log is NULL_LOG``).
+NULL_LOG = NullEventLog()
+
+
+def events_in_order(events: Iterable[Event]) -> list[Event]:
+    """Events sorted by global sequence number (emission order)."""
+    return sorted(events, key=lambda e: e.seq)

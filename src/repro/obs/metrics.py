@@ -1,0 +1,123 @@
+"""Per-worker metrics derived from the event log and run results.
+
+The paper reasons about the work-stealing substrate (steal bounds,
+Theorem 2's P·T∞ term) in aggregate; this module gives the per-worker
+breakdown -- steals, parks, compute busy/idle time, observed deque
+occupancy -- that makes an individual run's schedule inspectable.
+
+Sources are combined: :class:`~repro.runtime.api.RunResult` carries
+runtime-maintained exact counters (frames, steals, busy time) when the
+runtime records them per worker, and the event log contributes what only
+events can know (parks, per-worker compute spans, deque depths sampled
+at steal time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import Event, EventKind
+from repro.runtime.api import RunResult
+
+
+@dataclass
+class WorkerMetrics:
+    """One worker's share of an execution."""
+
+    worker: int
+    frames: int = 0
+    """Frames executed (exact when the runtime reports per-worker frames)."""
+    steals: int = 0
+    """Successful steals performed by this worker (as thief)."""
+    stolen_from: int = 0
+    """Frames other workers stole from this worker's deque (as victim)."""
+    parks: int = 0
+    """Transitions into idleness (nothing to run or steal)."""
+    computes: int = 0
+    """COMPUTE invocations attributed to this worker."""
+    busy: float = 0.0
+    """Busy time: runtime-reported when available, else the summed
+    compute spans observed in the event log."""
+    span: float = 0.0
+    """Makespan of the run this worker participated in."""
+    deque_depths: list[int] = field(default_factory=list)
+    """Deque occupancy of this worker sampled when thieves stole from it."""
+
+    @property
+    def idle(self) -> float:
+        return max(0.0, self.span - self.busy)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.span if self.span > 0 else 1.0
+
+    @property
+    def max_deque_depth(self) -> int:
+        return max(self.deque_depths, default=0)
+
+
+def worker_metrics(
+    events: list[Event],
+    run: RunResult | None = None,
+    workers: int | None = None,
+) -> list[WorkerMetrics]:
+    """Build per-worker metrics from an event log and (optionally) the
+    :class:`RunResult` of the same execution."""
+    n = workers or (run.workers if run is not None else 0)
+    n = max(n, max((e.worker for e in events), default=-1) + 1, 1)
+    out = [WorkerMetrics(worker=w) for w in range(n)]
+    span = run.makespan if run is not None else max((e.t for e in events), default=0.0)
+    compute_begin: dict[tuple, float] = {}
+    for e in events:
+        m = out[e.worker]
+        if e.kind is EventKind.STEAL:
+            m.steals += 1
+            victim = e.data.get("victim")
+            if victim is not None and 0 <= victim < n:
+                out[victim].stolen_from += 1
+                depth = e.data.get("depth")
+                if depth is not None:
+                    out[victim].deque_depths.append(depth)
+        elif e.kind is EventKind.PARK:
+            m.parks += 1
+        elif e.kind is EventKind.COMPUTE_BEGIN:
+            m.computes += 1
+            compute_begin[(e.key, e.life)] = e.t
+        elif e.kind in (EventKind.COMPUTE_END, EventKind.COMPUTE_FAULT):
+            t0 = compute_begin.pop((e.key, e.life), None)
+            if t0 is not None:
+                m.busy += max(0.0, e.t - t0)
+    for m in out:
+        m.span = span
+    if run is not None:
+        # Runtime-maintained counters are exact; prefer them where present.
+        for w, frames in enumerate(run.worker_frames[:n]):
+            out[w].frames = frames
+        for w, steals in enumerate(run.worker_steals[:n]):
+            out[w].steals = steals
+        for w, busy in enumerate(run.busy_time[:n]):
+            out[w].busy = busy
+    return out
+
+
+def format_worker_metrics(metrics: list[WorkerMetrics]) -> str:
+    """Fixed-width table of the per-worker breakdown."""
+    header = (
+        f"{'worker':>6} {'frames':>8} {'computes':>8} {'steals':>7} "
+        f"{'stolen':>7} {'parks':>6} {'busy':>12} {'idle':>12} {'util':>6} {'maxdeq':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for m in metrics:
+        lines.append(
+            f"{m.worker:>6} {m.frames:>8} {m.computes:>8} {m.steals:>7} "
+            f"{m.stolen_from:>7} {m.parks:>6} {m.busy:>12.6g} {m.idle:>12.6g} "
+            f"{m.utilization:>6.1%} {m.max_deque_depth:>6}"
+        )
+    total_busy = sum(m.busy for m in metrics)
+    lines.append(
+        f"{'total':>6} {sum(m.frames for m in metrics):>8} "
+        f"{sum(m.computes for m in metrics):>8} {sum(m.steals for m in metrics):>7} "
+        f"{sum(m.stolen_from for m in metrics):>7} {sum(m.parks for m in metrics):>6} "
+        f"{total_busy:>12.6g}"
+    )
+    return "\n".join(lines)

@@ -43,7 +43,18 @@ class RunResult:
     failed_steals: int = 0
     workers: int = 1
     busy_time: list[float] = field(default_factory=list)
-    """Per-worker accumulated frame-execution time (virtual runtimes)."""
+    """Per-worker accumulated frame-execution time (virtual time on the
+    simulator/inline runtimes, wall-clock seconds on the threaded one)."""
+
+    worker_frames: list[int] = field(default_factory=list)
+    """Per-worker frame counts (sums to ``frames`` when populated)."""
+
+    worker_steals: list[int] = field(default_factory=list)
+    """Per-worker successful steals, attributed to the thief (sums to
+    ``steals`` when populated)."""
+
+    parks: int = 0
+    """Transitions into idleness (a worker found nothing to run or steal)."""
 
     @property
     def utilization(self) -> float:

@@ -28,6 +28,15 @@ class InlineRuntime:
     def workers(self) -> int:
         return 1
 
+    # -- observability surface ------------------------------------------------------
+
+    def obs_now(self) -> float:
+        """Virtual time = charge accumulated so far."""
+        return self._total
+
+    def obs_worker(self) -> int:
+        return 0
+
     def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
         if not self._running:
             raise RuntimeError("spawn called outside execute()")

@@ -38,6 +38,7 @@ import random
 from collections import deque
 from typing import Callable
 
+from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.runtime.api import RunResult
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
@@ -57,6 +58,7 @@ class SimulatedRuntime:
         seed: int = 0,
         record_timeline: bool = False,
         steal_policy: str = "random",
+        event_log: EventLog | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -76,14 +78,28 @@ class SimulatedRuntime:
         longest-deque oracle -- an upper-bound comparator, not
         implementable on real hardware without global state)."""
         self.timeline: list[tuple[float, float, int, str]] = []
+        self._log = event_log if event_log is not None else NULL_LOG
         self._running = False
         self._accum = 0.0
         self._spawn_buffer: list[Frame] = []
         self._pending = 0
+        self._current_worker = 0
+        self._frame_start = 0.0
 
     @property
     def workers(self) -> int:
         return self._workers
+
+    # -- observability surface ------------------------------------------------------
+
+    def obs_now(self) -> float:
+        """Virtual time inside the currently executing frame: the frame's
+        start instant plus the charges it has accumulated so far."""
+        return self._frame_start + self._accum
+
+    def obs_worker(self) -> int:
+        """Virtual worker the current frame is attributed to."""
+        return self._current_worker
 
     # -- ExecutionContext surface (valid only while a frame runs) -----------------
 
@@ -110,6 +126,9 @@ class SimulatedRuntime:
     def _run(self, root: Frame) -> RunResult:
         cm = self.cost_model
         P = self._workers
+        log = self._log
+        obs = log.enabled
+        log.bind_runtime(self)
         rng = random.Random(self.seed)
         # Deques hold (publication_time, Frame); publication times within a
         # deque are nondecreasing because the owner pushes at successive
@@ -126,6 +145,9 @@ class SimulatedRuntime:
         frames = 0
         steals = 0
         failed_steals = 0
+        parks = 0
+        worker_frames = [0] * P
+        worker_steals = [0] * P
         self.timeline = []
 
         def wake(count: int, at: float) -> None:
@@ -134,6 +156,8 @@ class SimulatedRuntime:
                 i = rng.randrange(len(parked))
                 pw = parked.pop(i)
                 clocks[pw] = max(clocks[pw], at)
+                if obs:
+                    log.emit_at(EventKind.UNPARK, max(clocks[pw], at), pw)
                 heapq.heappush(heap, (clocks[pw], seq, pw))
                 seq += 1
 
@@ -163,6 +187,9 @@ class SimulatedRuntime:
                         # the next publication wakes us.
                         parked.append(w)
                         parked.sort()
+                        parks += 1
+                        if obs:
+                            log.emit_at(EventKind.PARK, now, w)
                         continue
                     # Work exists but is not yet published for us: spin
                     # until the earliest publication instant.
@@ -216,12 +243,19 @@ class SimulatedRuntime:
                     victim = stealable[rng.randrange(len(stealable))]
                 _, frame = deques[victim].popleft()  # thief: top, FIFO
                 steals += 1
+                worker_steals[w] += 1
+                if obs:
+                    log.emit_at(
+                        EventKind.STEAL, start, w, victim=victim, depth=len(deques[victim])
+                    )
             else:
                 raise AssertionError("single worker idle with pending frames")
 
             # Execute the frame; its spawns are published at completion.
             self._accum = frame.base_cost + cm.frame_overhead
             self._spawn_buffer = []
+            self._current_worker = w
+            self._frame_start = start
             frame.fn()
             spawned = self._spawn_buffer
             self._spawn_buffer = []
@@ -229,6 +263,7 @@ class SimulatedRuntime:
             clocks[w] = end
             busy[w] += self._accum
             frames += 1
+            worker_frames[w] += 1
             self._pending += len(spawned) - 1
             if end > makespan:
                 makespan = end
@@ -248,4 +283,7 @@ class SimulatedRuntime:
             failed_steals=failed_steals,
             workers=P,
             busy_time=busy,
+            worker_frames=worker_frames,
+            worker_steals=worker_steals,
+            parks=parks,
         )

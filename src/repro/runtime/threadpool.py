@@ -9,6 +9,12 @@ recovery races -- under true nondeterministic interleavings, not to
 measure scalability.  Virtual ``charge`` calls are ignored; ``makespan``
 is wall-clock seconds.
 
+Observability: pass ``event_log=EventLog()`` to record steal and
+park/unpark events; the runtime also provides worker attribution
+(``obs_worker``) and a run-relative wall clock (``obs_now``) to any log
+bound to it, and always reports per-worker frame/steal/busy breakdowns
+in :class:`~repro.runtime.api.RunResult`.
+
 Exceptions escaping a frame are scheduler bugs (detected faults are caught
 inside the scheduler): the pool shuts down and re-raises the first one.
 """
@@ -20,6 +26,7 @@ import threading
 import time
 from typing import Callable
 
+from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.runtime.api import RunResult
 from repro.runtime.deque import WorkDeque
 from repro.runtime.frames import Frame
@@ -30,11 +37,14 @@ _PARK_SECONDS = 20e-6
 class ThreadedRuntime:
     """Work-stealing thread pool executing frames to quiescence."""
 
-    def __init__(self, workers: int = 4, seed: int | None = None) -> None:
+    def __init__(
+        self, workers: int = 4, seed: int | None = None, event_log: EventLog | None = None
+    ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self._workers = workers
         self._seed = seed
+        self._log = event_log if event_log is not None else NULL_LOG
         self._local = threading.local()
         self._deques: list[WorkDeque[Frame]] = []
         self._outstanding = 0
@@ -45,10 +55,30 @@ class ThreadedRuntime:
         self._running = False
         self._steals = 0
         self._frames = 0
+        self._parks = 0
+        self._worker_frames: list[int] = []
+        self._worker_steals: list[int] = []
+        self._worker_busy: list[float] = []
+        # Anchor the observability clock at construction: the scheduler may
+        # emit events (e.g. task_created for the sink) before execute()
+        # starts, and per-worker timestamps must stay monotonic across that
+        # boundary.
+        self._t0 = time.perf_counter()
 
     @property
     def workers(self) -> int:
         return self._workers
+
+    # -- observability surface ------------------------------------------------------
+
+    def obs_now(self) -> float:
+        """Wall-clock seconds since the runtime was created."""
+        return time.perf_counter() - self._t0
+
+    def obs_worker(self) -> int:
+        """Id of the worker the calling thread belongs to (0 outside)."""
+        wid = getattr(self._local, "wid", None)
+        return 0 if wid is None else wid
 
     # -- ExecutionContext surface ---------------------------------------------------
 
@@ -69,14 +99,19 @@ class ThreadedRuntime:
         if self._running:
             raise RuntimeError("ThreadedRuntime is not reentrant")
         self._running = True
+        self._log.bind_runtime(self)
         self._deques = [WorkDeque() for _ in range(self._workers)]
         self._outstanding = 1
         self._failure = None
         self._stop.clear()
         self._steals = 0
         self._frames = 0
+        self._parks = 0
+        self._worker_frames = [0] * self._workers
+        self._worker_steals = [0] * self._workers
+        self._worker_busy = [0.0] * self._workers
         self._deques[0].push_bottom(root)
-        t0 = time.perf_counter()
+        started = time.perf_counter()
         threads = [
             threading.Thread(target=self._worker, args=(w,), name=f"repro-worker-{w}", daemon=True)
             for w in range(self._workers)
@@ -91,36 +126,59 @@ class ThreadedRuntime:
         if self._failure is not None:
             raise self._failure
         return RunResult(
-            makespan=time.perf_counter() - t0,
+            makespan=time.perf_counter() - started,
             frames=self._frames,
             steals=self._steals,
             workers=self._workers,
+            busy_time=list(self._worker_busy),
+            worker_frames=list(self._worker_frames),
+            worker_steals=list(self._worker_steals),
+            parks=self._parks,
         )
 
     def _worker(self, wid: int) -> None:
         self._local.wid = wid
         rng = random.Random(None if self._seed is None else self._seed * 0x9E3779B1 + wid)
         my = self._deques[wid]
+        log = self._log
+        obs = log.enabled
         local_frames = 0
         local_steals = 0
+        local_parks = 0
+        local_busy = 0.0
+        idle = False
         try:
             while not self._stop.is_set():
                 frame = my.pop_bottom()
                 if frame is None and self._workers > 1:
                     victim = rng.randrange(self._workers)
                     if victim != wid:
-                        frame = self._deques[victim].steal_top()
+                        vdeque = self._deques[victim]
+                        frame = vdeque.steal_top()
                         if frame is not None:
                             local_steals += 1
+                            if obs:
+                                log.emit(EventKind.STEAL, victim=victim, depth=len(vdeque))
                 if frame is None:
                     with self._count_lock:
                         if self._outstanding == 0:
                             break
+                    if not idle:
+                        idle = True
+                        local_parks += 1
+                        if obs:
+                            log.emit(EventKind.PARK)
                     time.sleep(_PARK_SECONDS)
                     continue
+                if idle:
+                    idle = False
+                    if obs:
+                        log.emit(EventKind.UNPARK)
+                started = time.perf_counter()
                 try:
                     frame.fn()
                 finally:
+                    local_busy += time.perf_counter() - started
                     local_frames += 1
                     with self._count_lock:
                         self._outstanding -= 1
@@ -136,3 +194,7 @@ class ThreadedRuntime:
             with self._count_lock:
                 self._frames += local_frames
                 self._steals += local_steals
+                self._parks += local_parks
+                self._worker_frames[wid] = local_frames
+                self._worker_steals[wid] = local_steals
+                self._worker_busy[wid] = local_busy

@@ -64,6 +64,23 @@ class ExecutionTrace:
 
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
+    #: The scalar counters ``bump`` may touch.  A typo'd name must fail
+    #: loudly instead of silently creating a new attribute that no report
+    #: ever reads.
+    SCALAR_COUNTERS = frozenset(
+        {
+            "recovery_skips",
+            "resets",
+            "notify_reinits",
+            "reinit_scans",
+            "notifications",
+            "stale_notifications",
+            "stale_frames",
+            "faults_observed",
+            "faults_injected",
+        }
+    )
+
     # -- mutation (scheduler side) -------------------------------------------------
 
     def count_compute(self, key: Hashable) -> None:
@@ -79,8 +96,54 @@ class ExecutionTrace:
             self.recoveries[key] += 1
 
     def bump(self, field_name: str, amount: int = 1) -> None:
+        """Increment a scalar counter by name (validated; see the typed
+        ``count_*`` methods for the preferred call style)."""
+        if field_name not in self.SCALAR_COUNTERS:
+            raise ValueError(
+                f"unknown ExecutionTrace counter {field_name!r}; "
+                f"expected one of {sorted(self.SCALAR_COUNTERS)}"
+            )
         with self._lock:
             setattr(self, field_name, getattr(self, field_name) + amount)
+
+    # Typed increments: one per scalar counter, so scheduler call sites
+    # are checked at import time rather than string-matched at run time.
+
+    def count_recovery_skip(self) -> None:
+        with self._lock:
+            self.recovery_skips += 1
+
+    def count_reset(self) -> None:
+        with self._lock:
+            self.resets += 1
+
+    def count_notify_reinit(self) -> None:
+        with self._lock:
+            self.notify_reinits += 1
+
+    def count_reinit_scan(self, amount: int = 1) -> None:
+        with self._lock:
+            self.reinit_scans += amount
+
+    def count_notification(self) -> None:
+        with self._lock:
+            self.notifications += 1
+
+    def count_stale_notification(self) -> None:
+        with self._lock:
+            self.stale_notifications += 1
+
+    def count_stale_frame(self) -> None:
+        with self._lock:
+            self.stale_frames += 1
+
+    def count_fault_observed(self) -> None:
+        with self._lock:
+            self.faults_observed += 1
+
+    def count_fault_injected(self) -> None:
+        with self._lock:
+            self.faults_injected += 1
 
     # -- analysis (harness side) ---------------------------------------------------
 
@@ -122,8 +185,10 @@ class ExecutionTrace:
             "recovery_skips": self.recovery_skips,
             "resets": self.resets,
             "notify_reinits": self.notify_reinits,
+            "reinit_scans": self.reinit_scans,
             "notifications": self.notifications,
             "stale_notifications": self.stale_notifications,
+            "stale_frames": self.stale_frames,
             "faults_observed": self.faults_observed,
             "faults_injected": self.faults_injected,
         }

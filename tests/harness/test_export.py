@@ -1,9 +1,16 @@
-"""Tests for JSON result export."""
+"""Tests for JSON result export and the observability exporters."""
 
 import json
 
 from repro.analysis.stats import Summary, summarize
-from repro.harness.export import results_to_dict, write_results
+from repro.harness.export import (
+    events_to_trace_events,
+    results_to_dict,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_results,
+)
+from repro.obs.events import Event, EventKind
 
 
 class TestJsonify:
@@ -40,3 +47,67 @@ class TestJsonify:
         write_results({"figure5a": cells}, path)
         loaded = json.loads(path.read_text())
         assert loaded["figure5a"][0]["phase"] in ("before_compute", "after_compute")
+
+
+def _sample_events():
+    return [
+        Event(0, 0.0, 0, EventKind.TASK_CREATED, key="a", life=1),
+        Event(1, 1.0, 0, EventKind.COMPUTE_BEGIN, key="a", life=1),
+        Event(2, 3.0, 0, EventKind.COMPUTE_END, key="a", life=1),
+        Event(3, 3.5, 1, EventKind.STEAL, data={"victim": 0, "depth": 2}),
+        Event(4, 4.0, 1, EventKind.COMPUTE_BEGIN, key="b", life=2),
+        Event(5, 5.0, 1, EventKind.COMPUTE_FAULT, key="b", life=2,
+              data={"exc": "TaskCorruptionError", "source": "b"}),
+        Event(6, 5.5, 1, EventKind.RECOVERY, key="b", life=3),
+    ]
+
+
+class TestChromeTrace:
+    def test_workers_become_lanes(self):
+        te = events_to_trace_events(_sample_events())
+        names = [e for e in te if e["ph"] == "M"]
+        assert {e["tid"] for e in names} == {0, 1}
+        assert names[0]["args"]["name"] == "worker 0"
+
+    def test_compute_pairs_become_slices(self):
+        te = events_to_trace_events(_sample_events())
+        slices = {e["name"]: e for e in te if e["ph"] == "X"}
+        assert "'a'" in slices
+        a = slices["'a'"]
+        assert a["ts"] == 1.0 * 1e6 and a["dur"] == 2.0 * 1e6 and a["tid"] == 0
+        # The faulted incarnation is a slice too, named with its life.
+        assert "'b' #2" in slices
+        assert slices["'b' #2"]["args"]["fault"] == "TaskCorruptionError"
+
+    def test_instants_carry_key_and_life(self):
+        te = events_to_trace_events(_sample_events())
+        rec = next(e for e in te if e["ph"] == "i" and e["name"] == "recovery")
+        assert rec["args"] == {"key": "b", "life": 3}
+        assert rec["cat"] == "recovery"
+        steal = next(e for e in te if e["name"] == "steal")
+        assert steal["cat"] == "runtime"
+        assert steal["args"]["victim"] == 0
+
+    def test_unterminated_compute_marked(self):
+        events = [Event(0, 1.0, 0, EventKind.COMPUTE_BEGIN, key="x", life=1)]
+        te = events_to_trace_events(events)
+        assert any(e["name"] == "compute_unterminated" for e in te)
+
+    def test_write_chrome_trace_loads(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_chrome_trace(_sample_events(), path)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc and doc["traceEvents"]
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        write_events_jsonl(_sample_events(), path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == len(_sample_events())
+        assert records[6]["kind"] == "recovery"
+        assert records[6]["life"] == 3
+
+    def test_write_jsonl_empty(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        write_events_jsonl([], path)
+        assert path.read_text() == ""

@@ -1,0 +1,111 @@
+"""Tests for worker metrics and the recovery-timeline report."""
+
+from repro.apps import make_app
+from repro.core import FTScheduler
+from repro.faults import FaultInjector, plan_faults
+from repro.faults.model import FaultPlan
+from repro.graph.builders import chain_graph
+from repro.memory.blockstore import BlockStore
+from repro.obs import (
+    EventKind,
+    EventLog,
+    format_recovery_timeline,
+    format_worker_metrics,
+    recovery_timeline,
+    worker_metrics,
+)
+from repro.runtime import InlineRuntime, SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+def run_traced(app_name="cholesky", workers=4, count=2, seed=3, phase="after_compute"):
+    app = make_app(app_name, scale="tiny")
+    store = app.make_store(True)
+    trace = ExecutionTrace()
+    log = EventLog()
+    plan = plan_faults(app, phase=phase, task_type="v=rand", count=count, seed=seed)
+    runtime = SimulatedRuntime(workers=workers, seed=seed, event_log=log)
+    sched = FTScheduler(app, runtime, store=store,
+                        hooks=FaultInjector(plan, app, store, trace),
+                        trace=trace, event_log=log)
+    result = sched.run()
+    return trace, log, result
+
+
+class TestWorkerMetrics:
+    def test_per_worker_rows_and_totals(self):
+        trace, log, result = run_traced()
+        metrics = worker_metrics(log.events, run=result.run)
+        assert len(metrics) == 4
+        assert sum(m.computes for m in metrics) == trace.total_computes
+        assert sum(m.frames for m in metrics) == result.run.frames
+        assert sum(m.steals for m in metrics) == result.run.steals
+
+    def test_busy_idle_partition_span(self):
+        _, log, result = run_traced()
+        for m in worker_metrics(log.events, run=result.run):
+            assert m.span == result.run.makespan
+            assert 0.0 <= m.busy <= m.span + 1e-9
+            assert abs((m.busy + m.idle) - m.span) < 1e-6
+            assert 0.0 <= m.utilization <= 1.0
+
+    def test_steal_events_attribute_victims_and_depths(self):
+        _, log, result = run_traced(workers=8)
+        steals = log.by_kind(EventKind.STEAL)
+        assert steals, "an 8-worker run must steal"
+        metrics = worker_metrics(log.events, run=result.run)
+        assert sum(m.stolen_from for m in metrics) == len(steals)
+        for e in steals:
+            assert e.data["victim"] != e.worker
+            assert e.data["depth"] >= 0
+
+    def test_event_only_metrics_without_run_result(self):
+        _, log, _ = run_traced()
+        metrics = worker_metrics(log.events)
+        assert sum(m.computes for m in metrics) > 0
+        assert all(m.span >= 0 for m in metrics)
+
+    def test_format_is_a_table(self):
+        _, log, result = run_traced()
+        text = format_worker_metrics(worker_metrics(log.events, run=result.run))
+        assert "worker" in text and "steals" in text and "total" in text
+        assert len(text.splitlines()) == 4 + 3  # 4 workers + header/rule/total
+
+
+class TestRecoveryTimeline:
+    def test_cascade_reconstruction(self):
+        trace, log, _ = run_traced()
+        cascades = recovery_timeline(log.events)
+        assert cascades
+        assert sum(c.recoveries for c in cascades) == trace.total_recoveries
+        assert sum(c.scans for c in cascades) == trace.reinit_scans
+        assert sum(len(c.reenqueued) for c in cascades) == trace.notify_reinits
+        recovered = [c for c in cascades if c.recoveries]
+        assert recovered
+        for c in recovered:
+            assert c.first_fault_t is not None
+            assert c.incarnations[0] >= 2  # recoveries install life >= 2
+            assert c.completed_t is not None
+            assert c.duration is not None and c.duration >= 0
+
+    def test_single_fault_chain_names_successor(self):
+        store = BlockStore()
+        trace = ExecutionTrace()
+        log = EventLog()
+        plan = FaultPlan.single(2, "after_notify")
+        sched = FTScheduler(chain_graph(5), InlineRuntime(), store=store,
+                            hooks=FaultInjector(plan, chain_graph(5), store, trace),
+                            trace=trace, event_log=log)
+        sched.run()
+        cascades = {c.key: c for c in recovery_timeline(log.events)}
+        assert 2 in cascades
+        assert 3 in cascades[2].reenqueued  # consumer re-enqueued on producer
+
+    def test_format_mentions_tasks_and_counts(self):
+        _, log, _ = run_traced()
+        text = format_recovery_timeline(recovery_timeline(log.events))
+        assert "recoveries:" in text
+        assert "re-enqueued" in text
+
+    def test_format_empty(self):
+        assert "no faults" in format_recovery_timeline([])

@@ -1,0 +1,91 @@
+"""End-to-end tests for ``python -m repro trace`` and the exporters.
+
+Covers the acceptance criterion: a faulty Cholesky run via the CLI must
+produce a Chrome trace-event JSON with per-worker lanes and recovery
+events carrying task key + life number, with event-log-derived counters
+matching the live ExecutionTrace.
+"""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.obs.cli import main as trace_main
+
+
+class TestTraceCLI:
+    def test_faulty_cholesky_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = repro_main([
+            "trace", "cholesky", "--scale", "tiny", "--workers", "4",
+            "--seed", "0", "--chrome", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "verified ok" in printed
+        assert "event-log-derived counters match the live trace" in printed
+
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        # Per-worker lanes: several tids, each with a thread_name record.
+        tids = {e["tid"] for e in events if e["ph"] != "M"}
+        assert len(tids) >= 2
+        names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {e["tid"] for e in names} >= tids
+        # Compute slices exist and re-executed incarnations are marked.
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices
+        assert any(e["args"]["life"] > 1 for e in slices)
+        # Recovery events carry task key + life number.
+        recoveries = [e for e in events if e["ph"] == "i" and e["name"] == "recovery"]
+        assert recoveries
+        for e in recoveries:
+            assert e["args"]["key"]
+            assert e["args"]["life"] >= 2
+            assert e["cat"] == "recovery"
+
+    def test_jsonl_export_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        rc = trace_main(["lu", "--scale", "tiny", "--jsonl", str(out)])
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        kinds = {r["kind"] for r in records}
+        assert "compute_begin" in kinds
+        assert "recovery" in kinds
+        recovery = next(r for r in records if r["kind"] == "recovery")
+        assert recovery["life"] >= 2 and recovery["key"]
+
+    def test_no_faults_run(self, capsys):
+        rc = trace_main(["fw", "--scale", "tiny", "--no-faults"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults_injected: 0" in out.replace(" ", " ")
+
+    def test_baseline_scheduler(self, capsys):
+        rc = trace_main(["lcs", "--scale", "tiny", "--scheduler", "nabbit"])
+        assert rc == 0
+        assert "scheduler=nabbit" in capsys.readouterr().out
+
+    def test_threaded_runtime(self, capsys):
+        rc = trace_main(["sw", "--scale", "tiny", "--runtime", "threaded", "--workers", "2"])
+        assert rc == 0
+        assert "verified ok" in capsys.readouterr().out
+
+    def test_inline_runtime_with_report(self, capsys):
+        rc = trace_main(["lcs", "--scale", "tiny", "--runtime", "inline", "--report"])
+        assert rc == 0
+        assert "== event stream ==" in capsys.readouterr().out
+
+    def test_ring_buffer_skips_check(self, capsys):
+        rc = trace_main(["lcs", "--scale", "tiny", "--capacity", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ring buffer" in out
+
+    def test_unknown_app_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            trace_main(["nosuchapp"])

@@ -71,6 +71,59 @@ class TestExecution:
         assert len(tids) >= 2  # at least one steal occurred
 
 
+class TestRunResultCounters:
+    """The runtime's internal counters must surface in RunResult,
+    per worker, and be mutually consistent."""
+
+    def _spawn_tree(self, rt, depth=7):
+        def task(d):
+            if d:
+                rt.spawn(lambda: task(d - 1))
+                rt.spawn(lambda: task(d - 1))
+
+        return Frame(lambda: task(depth))
+
+    def test_per_worker_frames_and_steals_exposed(self):
+        rt = ThreadedRuntime(workers=4, seed=11)
+        res = rt.execute(self._spawn_tree(rt))
+        assert len(res.worker_frames) == 4
+        assert len(res.worker_steals) == 4
+        assert sum(res.worker_frames) == res.frames == 2 ** 8 - 1
+        assert sum(res.worker_steals) == res.steals
+
+    def test_per_worker_busy_time_recorded(self):
+        rt = ThreadedRuntime(workers=2, seed=12)
+
+        def root():
+            for _ in range(20):
+                def child():
+                    import time
+                    time.sleep(0.0005)
+                rt.spawn(child)
+
+        res = rt.execute(Frame(root))
+        assert len(res.busy_time) == 2
+        assert sum(res.busy_time) > 0
+        # Busy time is spent inside the makespan window.
+        assert all(b <= res.makespan + 1e-6 for b in res.busy_time)
+
+    def test_parks_counted(self):
+        # One long-running frame keeps the pool non-quiescent while the
+        # other workers find nothing to do, so they must park.
+        import time
+
+        rt = ThreadedRuntime(workers=4, seed=13)
+        res = rt.execute(Frame(lambda: time.sleep(0.02)))
+        assert res.parks >= 1
+
+    def test_single_worker_never_steals(self):
+        rt = ThreadedRuntime(workers=1, seed=14)
+        res = rt.execute(self._spawn_tree(rt, depth=4))
+        assert res.steals == 0
+        assert res.worker_steals == [0]
+        assert res.worker_frames == [res.frames]
+
+
 class TestFailure:
     def test_frame_exception_propagates(self):
         rt = ThreadedRuntime(workers=3, seed=4)

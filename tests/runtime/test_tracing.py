@@ -34,6 +34,35 @@ class TestCounters:
         t.bump("resets", 4)
         assert t.resets == 5
 
+    def test_bump_rejects_unknown_counter(self):
+        import pytest
+
+        t = ExecutionTrace()
+        with pytest.raises(ValueError, match="unknown ExecutionTrace counter"):
+            t.bump("reste")  # the typo that used to silently create an attribute
+        assert not hasattr(t, "reste")
+
+    def test_typed_increments_cover_every_scalar_counter(self):
+        t = ExecutionTrace()
+        t.count_recovery_skip()
+        t.count_reset()
+        t.count_notify_reinit()
+        t.count_reinit_scan(3)
+        t.count_notification()
+        t.count_stale_notification()
+        t.count_stale_frame()
+        t.count_fault_observed()
+        t.count_fault_injected()
+        assert t.recovery_skips == 1
+        assert t.resets == 1
+        assert t.notify_reinits == 1
+        assert t.reinit_scans == 3
+        assert t.notifications == 1
+        assert t.stale_notifications == 1
+        assert t.stale_frames == 1
+        assert t.faults_observed == 1
+        assert t.faults_injected == 1
+
     def test_summary_keys(self):
         t = ExecutionTrace()
         t.count_compute("a")
@@ -43,6 +72,18 @@ class TestCounters:
         assert s["reexecutions"] == 0
         for key in ("recoveries", "resets", "notify_reinits", "faults_observed"):
             assert key in s
+
+    def test_summary_reports_every_scalar_counter(self):
+        # Regression: reinit_scans and stale_frames used to be silently
+        # dropped from summary(), so harness reports lost them.
+        t = ExecutionTrace()
+        t.count_reinit_scan(7)
+        t.count_stale_frame()
+        s = t.summary()
+        assert s["reinit_scans"] == 7
+        assert s["stale_frames"] == 1
+        for name in ExecutionTrace.SCALAR_COUNTERS:
+            assert name in s, f"summary() omits {name}"
 
     def test_thread_safety_smoke(self):
         import threading
