@@ -48,11 +48,23 @@ from repro.runtime import (
     ThreadedRuntime,
 )
 from repro.core import (
+    CompositeHooks,
     FTScheduler,
     NabbitScheduler,
     SchedulerResult,
     TaskStatus,
     run_scheduler,
+)
+from repro.detect import (
+    ChecksumStore,
+    ReplicateAll,
+    ReplicateByCriticality,
+    ReplicateNone,
+    ReplicateSampled,
+    ReplicationDetector,
+    SilentFaultInjector,
+    account_escapes,
+    plan_silent_faults,
 )
 from repro.obs import Event, EventKind, EventLog
 
@@ -97,6 +109,17 @@ __all__ = [
     "SchedulerResult",
     "TaskStatus",
     "run_scheduler",
+    "CompositeHooks",
+    # silent-fault detection
+    "ChecksumStore",
+    "SilentFaultInjector",
+    "ReplicationDetector",
+    "ReplicateAll",
+    "ReplicateNone",
+    "ReplicateByCriticality",
+    "ReplicateSampled",
+    "plan_silent_faults",
+    "account_escapes",
     # observability
     "Event",
     "EventKind",

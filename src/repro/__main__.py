@@ -12,6 +12,9 @@ Commands:
   metrics, the recovery timeline, Chrome trace / JSONL export
   (``python -m repro trace cholesky --chrome trace.json``; see
   docs/OBSERVABILITY.md).
+* ``detect`` -- silent-fault detection: coverage and overhead tables for
+  the checksummed store and selective task replication, or the CI install
+  check (``python -m repro detect --selftest``; see docs/DETECTION.md).
 * ``about`` -- what this package reproduces and where to look next.
 """
 
@@ -99,9 +102,13 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(rest)
+    if cmd == "detect":
+        from repro.detect.cli import main as detect_main
+
+        return detect_main(rest)
     if cmd == "about":
         return _about()
-    print(f"unknown command {cmd!r}; expected selftest | harness | trace | about")
+    print(f"unknown command {cmd!r}; expected selftest | harness | trace | detect | about")
     return 2
 
 

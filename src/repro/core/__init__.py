@@ -17,7 +17,7 @@ Typical usage::
 from __future__ import annotations
 
 from repro.core.ft import FTScheduler
-from repro.core.hooks import NULL_HOOKS, NullHooks, SchedulerHooks
+from repro.core.hooks import NULL_HOOKS, CompositeHooks, NullHooks, SchedulerHooks
 from repro.core.nabbit import NabbitScheduler
 from repro.core.records import TaskRecord
 from repro.core.recovery_table import RecoveryTable
@@ -58,10 +58,9 @@ def run_scheduler(
             strict_context=strict_context,
         )
     else:
-        if hooks is not None:
-            raise ValueError("fault hooks require the fault-tolerant scheduler")
         sched = NabbitScheduler(
-            spec, runtime, store=store, cost_model=cost_model, strict_context=strict_context
+            spec, runtime, store=store, cost_model=cost_model, hooks=hooks,
+            strict_context=strict_context
         )
     return sched.run()
 
@@ -72,6 +71,7 @@ __all__ = [
     "SchedulerResult",
     "SchedulerHooks",
     "NullHooks",
+    "CompositeHooks",
     "NULL_HOOKS",
     "TaskRecord",
     "TaskMap",

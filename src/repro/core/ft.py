@@ -112,6 +112,16 @@ class FTScheduler:
             # Fault injectors accept an event_log; share ours unless the
             # caller wired their own.
             hooks.event_log = self.log
+        if self._obs and getattr(self.store, "event_log", False) is None:
+            # Detection-capable stores (repro.detect.ChecksumStore) emit
+            # SDC_DETECTED; share the run's log the same way.
+            self.store.event_log = self.log
+        if getattr(self.store, "trace", False) is None:
+            self.store.trace = self.trace
+        if getattr(self.hooks, "trace", False) is None:
+            # Detectors bump SDC_* trace counters; keep them paired with
+            # the events they emit into the shared log (replay parity).
+            self.hooks.trace = self.trace
         self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
         self.recovery_table = RecoveryTable()
         self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)

@@ -49,4 +49,68 @@ class NullHooks:
         return None
 
 
+class CompositeHooks:
+    """Fan one hook seam out to several implementations, in order.
+
+    The detection subsystem needs this: a silent-fault injector and a
+    replication detector both attach at the same lifecycle points, and
+    their order is semantic -- the injector listed first corrupts the
+    just-published outputs *before* the detector compares them, exactly
+    the window a real SDC would occupy.
+
+    The ``event_log`` / ``trace`` properties mirror the single-hook
+    convention the schedulers rely on: the getter reports ``None`` while
+    *any* child still has an unwired slot (so the scheduler shares its
+    own), and the setter fills exactly those children, leaving ones the
+    caller wired explicitly untouched.
+    """
+
+    def __init__(self, *hooks: SchedulerHooks) -> None:
+        self.hooks: tuple[SchedulerHooks, ...] = tuple(h for h in hooks if h is not None)
+
+    def on_task_waiting(self, record: TaskRecord) -> None:
+        for h in self.hooks:
+            h.on_task_waiting(record)
+
+    def on_after_compute(self, record: TaskRecord) -> None:
+        for h in self.hooks:
+            h.on_after_compute(record)
+
+    def on_after_notify(self, record: TaskRecord) -> None:
+        for h in self.hooks:
+            h.on_after_notify(record)
+
+    def _shared(self, attr: str):
+        found = None
+        for h in self.hooks:
+            if not hasattr(h, attr):
+                continue
+            value = getattr(h, attr)
+            if value is None:
+                return None  # at least one child still needs wiring
+            if found is None:
+                found = value
+        return found
+
+    @property
+    def event_log(self):
+        return self._shared("event_log")
+
+    @event_log.setter
+    def event_log(self, log) -> None:
+        for h in self.hooks:
+            if hasattr(h, "event_log") and h.event_log is None:
+                h.event_log = log
+
+    @property
+    def trace(self):
+        return self._shared("trace")
+
+    @trace.setter
+    def trace(self, trace) -> None:
+        for h in self.hooks:
+            if hasattr(h, "trace") and h.trace is None:
+                h.trace = trace
+
+
 NULL_HOOKS = NullHooks()

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.core.hooks import NULL_HOOKS, SchedulerHooks
 from repro.core.records import TaskRecord
 from repro.core.result import SchedulerResult
 from repro.core.status import TaskStatus
@@ -57,6 +58,7 @@ class NabbitScheduler:
         runtime: Runtime,
         store: BlockStore | None = None,
         cost_model: CostModel | None = None,
+        hooks: SchedulerHooks | None = None,
         trace: ExecutionTrace | None = None,
         strict_context: bool = True,
         event_log: EventLog | None = None,
@@ -65,6 +67,13 @@ class NabbitScheduler:
         self.runtime = runtime
         self.store = store if store is not None else BlockStore()
         self.cost_model = cost_model or CostModel()
+        self.hooks = hooks if hooks is not None else NULL_HOOKS
+        """Lifecycle hooks (:mod:`repro.core.hooks`).  The baseline has no
+        recovery path, so hooks here serve *measurement*: a silent-fault
+        injector or detector (:mod:`repro.detect`) can attach to quantify
+        what an unprotected scheduler lets through.  Any corruption a
+        hook marks will surface as an uncaught fault -- honest behavior
+        for a fault-oblivious scheduler."""
         self.trace = trace or ExecutionTrace()
         self.strict_context = strict_context
         self.log = event_log if event_log is not None else NULL_LOG
@@ -73,6 +82,14 @@ class NabbitScheduler:
         completed / notify) -- it has no fault path."""
         self._obs = self.log.enabled
         self.log.bind_runtime(runtime)
+        if self._obs and getattr(self.hooks, "event_log", False) is None:
+            hooks.event_log = self.log
+        if self._obs and getattr(self.store, "event_log", False) is None:
+            self.store.event_log = self.log
+        if getattr(self.store, "trace", False) is None:
+            self.store.trace = self.trace
+        if getattr(self.hooks, "trace", False) is None:
+            self.hooks.trace = self.trace
         self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
         self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
 
@@ -105,6 +122,7 @@ class NabbitScheduler:
                 lambda pk=pkey: self._try_init_compute(A, key, pk),
                 label=f"try:{key!r}<-{pkey!r}",
             )
+        self.hooks.on_task_waiting(A)
         self._notify_once(A, key, key)
 
     def _try_init_compute(self, A: TaskRecord, key: Key, pkey: Key) -> None:
@@ -149,6 +167,7 @@ class NabbitScheduler:
         self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
         ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
         self.spec.compute(key, ctx)
+        self.hooks.on_after_compute(A)
         if self._obs:
             self.log.emit(EventKind.COMPUTE_END, key, 1)
         self.runtime.spawn(
@@ -177,11 +196,14 @@ class NabbitScheduler:
             notified += len(batch)
             self.runtime.charge(cm.lock_cost)
             with A.lock:
-                if len(A.notify_array) == notified:
+                done = len(A.notify_array) == notified
+                if done:
                     A.status = TaskStatus.COMPLETED
-                    if self._obs:
-                        self.log.emit(EventKind.TASK_COMPLETED, key, 1)
-                    return
+            if done:
+                if self._obs:
+                    self.log.emit(EventKind.TASK_COMPLETED, key, 1)
+                self.hooks.on_after_notify(A)
+                return
 
     def _notify_successor(self, key: Key, skey: Key) -> None:
         """NOTIFYSUCCESSOR: forward a completion notification."""

@@ -1,0 +1,121 @@
+"""Pluggable block fingerprints for silent-fault detection.
+
+A fingerprint is ``digest(canonical_bytes(value))``.  Canonicalization
+matters more than the digest: two *equal* payloads must serialize to the
+same bytes regardless of which object produced them (the replication
+detector compares a replica's freshly computed outputs against the stored
+originals), and two *different* payloads must not collide structurally
+(an array and the list of its elements are different data).  Every
+encoder therefore emits a one-byte type tag plus length-prefixed fields.
+
+Two digest families, both stdlib (no new dependencies):
+
+* ``crc32`` / ``adler32`` -- :mod:`zlib` checksums.  Fast (C loop over
+  the buffer), 32-bit.  Fine against the random bit flips of the soft
+  -error threat model; not collision-resistant against adversaries.
+* ``blake2b`` / ``sha256`` -- :mod:`hashlib`.  Slower, cryptographic;
+  ``blake2b`` is truncated to 128 bits, plenty for detection.
+
+``DEFAULT_DIGEST`` is ``crc32``: the threat model is hardware bit flips,
+and the paper's overhead discipline (Section VI's "bounded overhead")
+argues for the cheapest sufficient check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+import zlib
+from typing import Any, Callable
+
+Digest = Callable[[bytes], int | bytes]
+
+_LEN = struct.Struct("<q")
+
+
+def _tagged(tag: bytes, payload: bytes) -> bytes:
+    return tag + _LEN.pack(len(payload)) + payload
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic, type-discriminating byte encoding of a payload.
+
+    Handles the payload shapes the bundled applications produce (numpy
+    arrays, numbers, strings, and nested tuples/lists/dicts of those);
+    anything else falls back to :mod:`pickle`, which is deterministic for
+    equal built-in values within one process -- sufficient, since
+    fingerprints never leave the run that computed them.
+    """
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return _tagged(b"i", str(value).encode("ascii"))
+    if isinstance(value, float):
+        return b"f" + struct.pack("<d", value)
+    if isinstance(value, str):
+        return _tagged(b"s", value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return _tagged(b"b", bytes(value))
+    np = _numpy()
+    if np is not None and isinstance(value, np.ndarray):
+        arr = np.ascontiguousarray(value)
+        head = repr((arr.dtype.str, arr.shape)).encode("ascii")
+        return _tagged(b"a", _tagged(b"h", head) + _tagged(b"d", arr.tobytes()))
+    if np is not None and isinstance(value, np.generic):
+        return _tagged(b"g", value.dtype.str.encode("ascii") + value.tobytes())
+    if isinstance(value, (tuple, list)):
+        tag = b"t" if isinstance(value, tuple) else b"l"
+        return _tagged(tag, b"".join(canonical_bytes(v) for v in value))
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in value.items()
+        )
+        return _tagged(b"m", b"".join(k + v for k, v in items))
+    return _tagged(b"p", pickle.dumps(value, protocol=4))
+
+
+def _numpy():
+    try:
+        import numpy
+
+        return numpy
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        return None
+
+
+def _blake2b(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=16).digest()
+
+
+def _sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+#: name -> digest callable over canonical bytes.
+DIGESTS: dict[str, Digest] = {
+    "crc32": zlib.crc32,
+    "adler32": zlib.adler32,
+    "blake2b": _blake2b,
+    "sha256": _sha256,
+}
+
+DEFAULT_DIGEST = "crc32"
+
+
+def digest_from_name(name: str) -> Digest:
+    """Resolve a digest by name; raises ``ValueError`` on unknown names."""
+    try:
+        return DIGESTS[name.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown digest {name!r}; expected one of {sorted(DIGESTS)}"
+        ) from None
+
+
+def fingerprint(value: Any, digest: str | Digest = DEFAULT_DIGEST) -> int | bytes:
+    """Fingerprint one payload: ``digest(canonical_bytes(value))``."""
+    fn = digest_from_name(digest) if isinstance(digest, str) else digest
+    return fn(canonical_bytes(value))

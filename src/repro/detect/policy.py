@@ -1,0 +1,108 @@
+"""Selective-replication policies: which tasks earn a duplicate run.
+
+Full duplication detects every SDC but doubles the work; the related
+work (Reitz & Fohry's selective task replication) replicates only where
+it pays.  A :class:`DetectionPolicy` answers ``should_replicate(spec,
+key, life)`` per task incarnation:
+
+* :class:`ReplicateAll` -- full duplication, the coverage ceiling.
+* :class:`ReplicateByCriticality` -- replicate tasks whose corruption
+  spreads widest: out-degree (many consumers inherit the bad value)
+  and/or compute cost (expensive to regenerate late) thresholds.
+* :class:`ReplicateSampled` -- probabilistic spot-checking at a fixed
+  rate; selection is a seeded hash of ``(key, life)``, so a given seed
+  replicates the same incarnations on every runtime and schedule.
+
+``policy_from_name`` parses CLI spellings: ``all``, ``none``,
+``sampled:0.25``, ``critical:3`` (minimum out-degree).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.graph.taskspec import TaskGraphSpec
+
+
+@dataclass(frozen=True)
+class ReplicateAll:
+    """Duplicate every task (coverage ceiling, ~2x compute)."""
+
+    name: str = "all"
+
+    def should_replicate(self, spec: TaskGraphSpec, key: Hashable, life: int) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ReplicateNone:
+    """Never replicate (checksum-only or unprotected configurations)."""
+
+    name: str = "none"
+
+    def should_replicate(self, spec: TaskGraphSpec, key: Hashable, life: int) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ReplicateByCriticality:
+    """Replicate tasks whose failure would spread or cost the most."""
+
+    min_successors: int = 2
+    """Replicate when out-degree >= this (0 disables the criterion)."""
+
+    min_cost: float = float("inf")
+    """Replicate when ``spec.cost(key)`` >= this (inf disables)."""
+
+    name: str = "criticality"
+
+    def should_replicate(self, spec: TaskGraphSpec, key: Hashable, life: int) -> bool:
+        if self.min_successors and len(tuple(spec.successors(key))) >= self.min_successors:
+            return True
+        return float(spec.cost(key)) >= self.min_cost
+
+
+@dataclass(frozen=True)
+class ReplicateSampled:
+    """Replicate a deterministic pseudo-random ``rate`` of incarnations."""
+
+    rate: float = 0.25
+    seed: int = 0
+    name: str = "sampled"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate {self.rate} outside [0, 1]")
+
+    def should_replicate(self, spec: TaskGraphSpec, key: Hashable, life: int) -> bool:
+        if self.rate <= 0.0:
+            return False
+        if self.rate >= 1.0:
+            return True
+        digest = hashlib.blake2b(
+            repr((self.seed, key, life)).encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") / float(1 << 64) < self.rate
+
+
+DetectionPolicy = ReplicateAll | ReplicateNone | ReplicateByCriticality | ReplicateSampled
+
+
+def policy_from_name(name: str, seed: int = 0) -> DetectionPolicy:
+    """Parse ``all`` / ``none`` / ``sampled:RATE`` / ``critical:MIN_DEG``."""
+    spec = name.strip().lower()
+    head, _, arg = spec.partition(":")
+    if head == "all":
+        return ReplicateAll()
+    if head == "none":
+        return ReplicateNone()
+    if head == "sampled":
+        return ReplicateSampled(rate=float(arg) if arg else 0.25, seed=seed)
+    if head in ("critical", "criticality"):
+        return ReplicateByCriticality(min_successors=int(arg) if arg else 2)
+    raise ValueError(
+        f"unknown detection policy {name!r}; expected all | none | "
+        "sampled[:rate] | critical[:min_successors]"
+    )

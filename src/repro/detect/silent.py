@@ -1,0 +1,198 @@
+"""Silent-fault injection: corrupt payloads, set no flags.
+
+The ordinary :class:`~repro.faults.injector.FaultInjector` follows the
+paper's methodology -- set a corruption flag, let the next access observe
+it.  That presumes a detector exists.  ``SilentFaultInjector`` models the
+fault *before* detection: at the planned lifecycle point it mutates the
+victim's published block payloads in place
+(:meth:`~repro.memory.blockstore.BlockStore.corrupt_data`) and walks
+away.  Nothing raises.  The run completes either way; whether the result
+is correct depends entirely on whether a detector
+(:class:`~repro.detect.checksum.ChecksumStore` or
+:class:`~repro.detect.replicate.ReplicationDetector`) catches the
+mutation first.
+
+Only the two post-compute phases make sense here (``BEFORE_COMPUTE``
+victims have produced nothing to corrupt); plans containing
+before-compute events are rejected.
+
+The default mutator perturbs every numeric leaf of the payload by one
+unit (bit-flip semantics at value granularity): large enough to survive
+any verification tolerance, silent enough that no consumer crashes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.core.records import TaskRecord
+from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
+from repro.graph.taskspec import BlockRef, TaskGraphSpec
+from repro.memory.blockstore import BlockStore
+from repro.obs.events import EventKind, EventLog
+from repro.runtime.tracing import ExecutionTrace
+
+Mutator = Callable[[Any], Any]
+
+
+def default_mutator(value: Any) -> Any:
+    """Perturb every numeric leaf by one unit; flip first char of strings.
+
+    Tuples/lists/dicts are rebuilt with mutated leaves; unrecognized
+    payloads are wrapped in an ``("sdc", ...)`` marker tuple (still
+    silent: only a detector or a result comparison can tell).
+    """
+    if isinstance(value, np.ndarray):
+        out = value.copy()
+        if out.size == 0:
+            return out
+        if out.dtype == bool:
+            return ~out
+        if np.issubdtype(out.dtype, np.number):
+            return out + out.dtype.type(1)
+        return out
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, (int, float, complex, np.generic)):
+        return value + type(value)(1)
+    if isinstance(value, str):
+        return (chr(ord(value[0]) ^ 1) + value[1:]) if value else "\x01"
+    if isinstance(value, tuple):
+        return tuple(default_mutator(v) for v in value)
+    if isinstance(value, list):
+        return [default_mutator(v) for v in value]
+    if isinstance(value, dict):
+        return {k: default_mutator(v) for k, v in value.items()}
+    return ("sdc", value)
+
+
+class SilentFaultInjector:
+    """SchedulerHooks implementation that mutates block bytes without
+    marking corruption -- faults are caught only if a detector finds them."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        spec: TaskGraphSpec,
+        store: BlockStore,
+        mutator: Mutator | None = None,
+        trace: ExecutionTrace | None = None,
+        event_log: EventLog | None = None,
+    ) -> None:
+        for event in plan:
+            if event.phase is FaultPhase.BEFORE_COMPUTE:
+                raise ValueError(
+                    "silent faults corrupt computed outputs; a "
+                    "before-compute victim has produced nothing to "
+                    f"corrupt (event: {event!r})"
+                )
+        self.plan = plan
+        self.spec = spec
+        self.store = store
+        self.mutator = mutator or default_mutator
+        self.trace = trace
+        self.event_log = event_log
+        """Observability log for SDC_INJECTED events (the schedulers
+        share theirs at construction time when left ``None``)."""
+        self._lock = threading.Lock()
+        self._pending: dict[tuple[Hashable, FaultPhase], list[FaultEvent]] = {}
+        for event in plan:
+            self._pending.setdefault((event.key, event.phase), []).append(event)
+        for events in self._pending.values():
+            events.sort(key=lambda e: e.life)
+        self.fired: list[FaultEvent] = []
+        self.mutated: dict[FaultEvent, tuple[BlockRef, ...]] = {}
+        """Ground truth per fired event: which resident refs were mutated."""
+
+    # -- hook dispatch ---------------------------------------------------------
+
+    def on_task_waiting(self, record: TaskRecord) -> None:
+        return None  # before-compute events are rejected at construction
+
+    def on_after_compute(self, record: TaskRecord) -> None:
+        self._maybe_fire(record, FaultPhase.AFTER_COMPUTE)
+
+    def on_after_notify(self, record: TaskRecord) -> None:
+        self._maybe_fire(record, FaultPhase.AFTER_NOTIFY)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _maybe_fire(self, record: TaskRecord, phase: FaultPhase) -> None:
+        slot = (record.key, phase)
+        with self._lock:
+            events = self._pending.get(slot)
+            if not events or events[0].life != record.life:
+                return
+            event = events.pop(0)
+            if not events:
+                del self._pending[slot]
+            self.fired.append(event)
+        hit: list[BlockRef] = []
+        for raw in self.spec.outputs(record.key):
+            ref = BlockRef(*raw)
+            if self.store.corrupt_data(ref, self.mutator):
+                hit.append(ref)
+        with self._lock:
+            self.mutated[event] = tuple(hit)
+        if self.trace is not None:
+            self.trace.count_sdc_injected()
+        if self.event_log is not None and self.event_log.enabled:
+            self.event_log.emit(
+                EventKind.SDC_INJECTED,
+                record.key,
+                record.life,
+                phase=phase.value,
+                blocks=len(hit),
+            )
+
+    # -- verification ---------------------------------------------------------------
+
+    @property
+    def unfired(self) -> list[FaultEvent]:
+        """Planned events whose lifecycle point was never reached."""
+        with self._lock:
+            return [e for events in self._pending.values() for e in events]
+
+    def all_fired(self) -> bool:
+        return not self.unfired
+
+
+def plan_silent_faults(
+    spec: TaskGraphSpec,
+    count: int = 1,
+    seed: int = 0,
+    phase: str | FaultPhase = "after_compute",
+    task_type: str = "v=last",
+    exclude_sink: bool = True,
+) -> FaultPlan:
+    """Sample ``count`` victims for a silent-corruption scenario.
+
+    Defaults to ``v=last`` victims (their output versions are what the
+    final result reads, so an escaped fault is visible in the answer)
+    at after-compute time (successors will re-read the mutated outputs,
+    giving detectors their access window).
+    """
+    import random
+
+    from repro.faults.selectors import VersionIndex, normalize_task_type, sample_victims
+
+    phase = FaultPhase.from_name(phase)
+    if phase is FaultPhase.BEFORE_COMPUTE:
+        raise ValueError("silent faults require a post-compute phase")
+    index = VersionIndex(spec)
+    pool = index.pool(normalize_task_type(task_type), exclude_sink=exclude_sink)
+    if not pool:
+        raise ValueError(f"no {task_type} victims available")
+    victims = sample_victims(pool, random.Random(seed))[:count]
+    if len(victims) < count:
+        raise ValueError(
+            f"pool has only {len(victims)} {task_type} victims, need {count}"
+        )
+    events = [
+        FaultEvent(key, phase, corrupt_descriptor=False, corrupt_outputs=True)
+        for key in victims
+    ]
+    return FaultPlan(events=events, implied_reexecutions=len(events), task_type=task_type)

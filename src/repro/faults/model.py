@@ -82,6 +82,22 @@ class FaultPlan:
     task_type: str = "v=rand"
     """Victim classification used to build the plan (v=0 / v=rand / v=last)."""
 
+    def __post_init__(self) -> None:
+        # Two events with the same (key, phase, life) can never both fire:
+        # the injector pops the first match and the second then heads the
+        # pending list with a life number the record will never carry
+        # again.  Silently ordering by life used to hide this; reject it.
+        seen: set[tuple] = set()
+        for e in self.events:
+            sig = (e.key, e.phase, e.life)
+            if sig in seen:
+                raise ValueError(
+                    f"duplicate fault event for key={e.key!r} "
+                    f"phase={e.phase.value} life={e.life}; at most one "
+                    "event may target a given (key, phase, life)"
+                )
+            seen.add(sig)
+
     def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self.events)
 

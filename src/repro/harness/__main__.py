@@ -23,7 +23,7 @@ from repro.harness.figure7 import figure7, format_figure7
 from repro.harness.table1 import format_table1, table1
 from repro.harness.table2 import after_notify_study, format_figure6, format_table2
 
-EXPERIMENTS = ("table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b")
+EXPERIMENTS = ("table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b", "detect")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -116,6 +116,23 @@ def main(argv: list[str] | None = None) -> int:
         run("Figure 7(b)", _fig7(
             "Figure 7(b): overhead vs P, 5% loss, after compute, v=rand",
             paper_loss=None, fraction=0.05))
+    if "detect" in wanted:
+        from repro.harness.detection import (
+            detection_coverage,
+            detection_overhead,
+            format_coverage,
+            format_overhead,
+        )
+
+        det_scale = "tiny" if args.quick or args.scale == "default" else args.scale
+        det_apps = apps  # None -> the detection defaults (lcs, cholesky)
+
+        def _detect():
+            cov = detection_coverage(det_apps, reps=reps, scale=det_scale)
+            ovh = detection_overhead(det_apps, reps=reps, scale=det_scale)
+            collected["detection"] = {"coverage": cov, "overhead": ovh}
+            return format_coverage(cov) + "\n\n" + format_overhead(ovh)
+        run("Detection", _detect)
     if args.json:
         from repro.harness.export import write_results
 

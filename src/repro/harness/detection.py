@@ -1,0 +1,234 @@
+"""Detection coverage / overhead experiment (``--only detect``).
+
+Two questions the paper leaves open, answered empirically:
+
+1. **Coverage** -- of ``count`` silent faults injected per run, how many
+   does each detector configuration catch (and does the final result
+   survive)?  Configurations: no detection, checksummed store,
+   selective replication (policy sweep), and checksum + replication.
+2. **Overhead** -- what does detection cost when nothing goes wrong?
+   Checksum overhead is wall-clock (digest work is real CPU time the
+   virtual clock would not charge); replication overhead is reported
+   both as wall-clock slowdown and as the re-executed work fraction.
+
+Replication needs a task's input versions resident at after-compute
+time; on apps whose FT policy is single-buffer in-place reuse
+(``keep == 1``) the experiment widens the ring to two buffers for the
+replication rows (see docs/DETECTION.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.apps import make_app
+from repro.core import CompositeHooks, FTScheduler
+from repro.detect import (
+    ChecksumStore,
+    ReplicationDetector,
+    SilentFaultInjector,
+    account_escapes,
+    plan_silent_faults,
+    policy_from_name,
+)
+from repro.memory.allocator import KeepK
+from repro.memory.blockstore import BlockStore
+from repro.obs.events import EventLog
+from repro.runtime import InlineRuntime, SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+DEFAULT_APPS = ("lcs", "cholesky")
+COVERAGE_MODES = ("off", "checksum", "replicate:all", "replicate:sampled:0.5", "both")
+
+
+def _store_for(app, mode: str, digest: str):
+    """Build the store a detection mode needs (checksummed and/or with a
+    ring wide enough for replicas to re-read inputs)."""
+    policy = app.ft_policy
+    if "replicate" in mode or mode == "both":
+        keep = policy.keep
+        if keep is not None and keep < 2:
+            policy = KeepK(2)
+    if mode in ("checksum", "both"):
+        return ChecksumStore(policy, digest=digest)
+    return BlockStore(policy)
+
+
+def _detector_for(app, store, mode: str, seed: int):
+    if mode.startswith("replicate") or mode == "both":
+        spec = mode.partition(":")[2] if mode.startswith("replicate:") else "all"
+        return ReplicationDetector(app, store, policy=policy_from_name(spec, seed=seed))
+    return None
+
+
+def coverage_run(
+    app_name: str,
+    mode: str,
+    count: int = 2,
+    seed: int = 0,
+    scale: str = "tiny",
+    digest: str = "crc32",
+    workers: int = 4,
+) -> dict:
+    """One silent-fault run under one detector configuration."""
+    app = make_app(app_name, scale=scale)
+    store = _store_for(app, mode, digest)
+    app.seed_store(store)
+    plan = plan_silent_faults(app, count=count, seed=seed)
+    trace = ExecutionTrace()
+    log = EventLog()
+    injector = SilentFaultInjector(plan, app, store, trace=trace)
+    detector = _detector_for(app, store, mode, seed)
+    hooks = CompositeHooks(injector, detector) if detector else injector
+    crashed = False
+    try:
+        FTScheduler(
+            app,
+            SimulatedRuntime(workers=workers, seed=seed),
+            store=store,
+            hooks=hooks,
+            trace=trace,
+            event_log=log,
+        ).run()
+    except Exception:
+        # An escaped SDC can also surface as a downstream kernel crash
+        # (e.g. a perturbed Cholesky tile is no longer positive
+        # definite).  That is a failed, undetected run -- count it, don't
+        # abort the sweep.
+        crashed = True
+    report = account_escapes(injector, log, trace)
+    correct = False
+    if not crashed:
+        try:
+            app.verify(store)
+            correct = True
+        except AssertionError:
+            correct = False
+    out = report.summary()
+    out.update(
+        app=app_name,
+        mode=mode,
+        correct=correct,
+        crashed=crashed,
+        replica_skips=detector.skipped if detector else 0,
+    )
+    return out
+
+
+def detection_coverage(
+    apps: Sequence[str] | None = None,
+    modes: Sequence[str] = COVERAGE_MODES,
+    count: int = 2,
+    reps: int = 3,
+    scale: str = "tiny",
+    digest: str = "crc32",
+) -> list[dict]:
+    """Coverage table: one aggregated row per (app, detector mode)."""
+    rows: list[dict] = []
+    for app_name in apps or DEFAULT_APPS:
+        for mode in modes:
+            runs = [
+                coverage_run(app_name, mode, count=count, seed=rep, scale=scale, digest=digest)
+                for rep in range(reps)
+            ]
+            rows.append(
+                {
+                    "app": app_name,
+                    "mode": mode,
+                    "reps": reps,
+                    "injected": sum(r["sdc_injected"] for r in runs),
+                    "detected": sum(r["sdc_detected"] for r in runs),
+                    "escaped": sum(r["sdc_escaped"] for r in runs),
+                    "replica_runs": sum(r["replica_runs"] for r in runs),
+                    "replica_skips": sum(r["replica_skips"] for r in runs),
+                    "correct_runs": sum(r["correct"] for r in runs),
+                    "crashed_runs": sum(r["crashed"] for r in runs),
+                }
+            )
+    return rows
+
+
+def _timed_run(app, store) -> float:
+    t0 = time.perf_counter()
+    FTScheduler(app, InlineRuntime(), store=store).run()
+    return time.perf_counter() - t0
+
+
+def detection_overhead(
+    apps: Sequence[str] | None = None,
+    reps: int = 3,
+    scale: str = "tiny",
+    digests: Sequence[str] = ("crc32", "blake2b"),
+) -> list[dict]:
+    """Fault-free overhead: wall-clock slowdown of each detector layer.
+
+    Times are the per-variant minimum over ``reps`` inline runs (minimum,
+    not mean: scheduling noise only ever adds time).
+    """
+    rows: list[dict] = []
+    for app_name in apps or DEFAULT_APPS:
+        app = make_app(app_name, scale=scale)
+
+        def best(mk_store, hooks_factory=None) -> tuple[float, ExecutionTrace]:
+            best_t, last_trace = float("inf"), None
+            for _ in range(reps):
+                store = mk_store()
+                app.seed_store(store)
+                trace = ExecutionTrace()
+                detector = hooks_factory(store) if hooks_factory else None
+                t0 = time.perf_counter()
+                FTScheduler(
+                    app, InlineRuntime(), store=store, hooks=detector, trace=trace
+                ).run()
+                best_t = min(best_t, time.perf_counter() - t0)
+                last_trace = trace
+            return best_t, last_trace
+
+        base_t, _ = best(lambda: BlockStore(app.ft_policy))
+        row = {"app": app_name, "reps": reps, "baseline_s": base_t}
+        for digest in digests:
+            t, trace = best(lambda d=digest: ChecksumStore(app.ft_policy, digest=d))
+            row[f"checksum_{digest}_x"] = t / base_t if base_t else float("nan")
+        policy = app.ft_policy if (app.ft_policy.keep or 2) >= 2 else KeepK(2)
+        t, trace = best(
+            lambda: BlockStore(policy),
+            lambda store: ReplicationDetector(app, store),
+        )
+        row["replicate_all_x"] = t / base_t if base_t else float("nan")
+        computed = trace.tasks_computed or 1
+        row["replica_work_x"] = 1.0 + trace.replica_runs / computed
+        rows.append(row)
+    return rows
+
+
+def format_coverage(rows: Sequence[dict]) -> str:
+    head = (
+        f"{'app':<9} {'mode':<22} {'inj':>4} {'det':>4} {'esc':>4} "
+        f"{'coverage':>8} {'replicas':>8} {'skips':>6} {'correct':>8} {'crashed':>8}"
+    )
+    lines = ["Detection coverage (silent faults, simulated runtime)", head, "-" * len(head)]
+    for r in rows:
+        cov = r["detected"] / r["injected"] if r["injected"] else 1.0
+        lines.append(
+            f"{r['app']:<9} {r['mode']:<22} {r['injected']:>4} {r['detected']:>4} "
+            f"{r['escaped']:>4} {cov:>8.2f} {r['replica_runs']:>8} "
+            f"{r['replica_skips']:>6} {r['correct_runs']:>4}/{r['reps']} "
+            f"{r['crashed_runs']:>4}/{r['reps']}"
+        )
+    return "\n".join(lines)
+
+
+def format_overhead(rows: Sequence[dict]) -> str:
+    if not rows:
+        return "Detection overhead: no rows"
+    digest_cols = [k for k in rows[0] if k.startswith("checksum_")]
+    head = f"{'app':<9} {'base(s)':>8} " + " ".join(f"{c[:-2] + ' x':>16}" for c in digest_cols)
+    head += f" {'replicate x':>12} {'work x':>7}"
+    lines = ["Detection overhead (fault-free, wall-clock, inline runtime)", head, "-" * len(head)]
+    for r in rows:
+        line = f"{r['app']:<9} {r['baseline_s']:>8.3f} "
+        line += " ".join(f"{r[c]:>16.2f}" for c in digest_cols)
+        line += f" {r['replicate_all_x']:>12.2f} {r['replica_work_x']:>7.2f}"
+        lines.append(line)
+    return "\n".join(lines)

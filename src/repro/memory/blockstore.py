@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro.exceptions import DataCorruptionError, OverwrittenError
 from repro.graph.taskspec import BlockRef
@@ -41,6 +41,7 @@ class StoreStats:
     corrupted_reads: int = 0
     overwritten_reads: int = 0
     corruptions_marked: int = 0
+    silent_corruptions: int = 0
     peak_resident: int = 0
 
     def snapshot(self) -> dict[str, int]:
@@ -217,6 +218,29 @@ class BlockStore:
             if not entry.corrupted:
                 entry.corrupted = True
                 self.stats.corruptions_marked += 1
+            return True
+
+    def corrupt_data(self, ref: BlockRef, mutate: Callable[[Any], Any]) -> bool:
+        """Silently replace ``ref``'s payload with ``mutate(payload)``.
+
+        This is the *silent data corruption* primitive of
+        :mod:`repro.detect`: no corruption flag is set and no error will
+        ever be raised by the store itself, so the fault is observable
+        only through a detector (checksum verification or task
+        replication) -- or through a wrong final result.  Returns False
+        when the version is pinned (resilient input data) or not
+        resident.  ``stats.silent_corruptions`` is ground truth for the
+        injector, not a detection counter.
+        """
+        slot = self._slot(ref.block)
+        with slot.lock:
+            if ref.version in slot.pinned:
+                return False
+            entry = slot.versions.get(ref.version)
+            if entry is None:
+                return False
+            entry.data = mutate(entry.data)
+            self.stats.silent_corruptions += 1
             return True
 
     # -- introspection ----------------------------------------------------------

@@ -86,6 +86,19 @@ class EventKind(str, Enum):
     STALE_FRAME = "stale_frame"
     """A frame of a replaced incarnation was dropped (life mismatch)."""
 
+    # -- silent-fault detection (repro.detect) -------------------------------
+    SDC_INJECTED = "sdc_injected"
+    """A silent-fault injector mutated block payloads without setting any
+    corruption flag; only a detector can surface it."""
+    SDC_DETECTED = "sdc_detected"
+    """A detector (checksum verification or task replication) caught a
+    silent corruption and converted it into the detected-fault path."""
+    SDC_ESCAPED = "sdc_escaped"
+    """Post-run accounting: an injected silent fault was never detected
+    (the run may have produced a wrong result)."""
+    REPLICA_RUN = "replica_run"
+    """The replication detector re-executed a task for output comparison."""
+
     # -- runtime substrate ---------------------------------------------------
     STEAL = "steal"
     """A thief took a frame from a victim's deque top."""

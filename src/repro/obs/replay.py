@@ -32,6 +32,10 @@ _SCALAR_KINDS: dict[str, EventKind] = {
     "stale_frames": EventKind.STALE_FRAME,
     "faults_observed": EventKind.FAULT_OBSERVED,
     "faults_injected": EventKind.FAULT_INJECTED,
+    "sdc_injected": EventKind.SDC_INJECTED,
+    "sdc_detected": EventKind.SDC_DETECTED,
+    "sdc_escaped": EventKind.SDC_ESCAPED,
+    "replica_runs": EventKind.REPLICA_RUN,
 }
 
 

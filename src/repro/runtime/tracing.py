@@ -62,6 +62,20 @@ class ExecutionTrace:
     faults_injected: int = 0
     """Fault events actually fired by the injector."""
 
+    sdc_injected: int = 0
+    """Silent corruptions injected (block payloads mutated, no flag set)."""
+
+    sdc_detected: int = 0
+    """Silent corruptions surfaced by a detector (checksum or replication)
+    and handed to the ordinary detected-fault recovery path."""
+
+    sdc_escaped: int = 0
+    """Injected silent corruptions never caught by any detector (post-run
+    accounting; the result may be wrong)."""
+
+    replica_runs: int = 0
+    """Detector-issued duplicate executions (replication overhead)."""
+
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     #: The scalar counters ``bump`` may touch.  A typo'd name must fail
@@ -78,6 +92,10 @@ class ExecutionTrace:
             "stale_frames",
             "faults_observed",
             "faults_injected",
+            "sdc_injected",
+            "sdc_detected",
+            "sdc_escaped",
+            "replica_runs",
         }
     )
 
@@ -145,6 +163,22 @@ class ExecutionTrace:
         with self._lock:
             self.faults_injected += 1
 
+    def count_sdc_injected(self) -> None:
+        with self._lock:
+            self.sdc_injected += 1
+
+    def count_sdc_detected(self) -> None:
+        with self._lock:
+            self.sdc_detected += 1
+
+    def count_sdc_escaped(self) -> None:
+        with self._lock:
+            self.sdc_escaped += 1
+
+    def count_replica_run(self) -> None:
+        with self._lock:
+            self.replica_runs += 1
+
     # -- analysis (harness side) ---------------------------------------------------
 
     def executions(self) -> dict[Hashable, int]:
@@ -191,4 +225,8 @@ class ExecutionTrace:
             "stale_frames": self.stale_frames,
             "faults_observed": self.faults_observed,
             "faults_injected": self.faults_injected,
+            "sdc_injected": self.sdc_injected,
+            "sdc_detected": self.sdc_detected,
+            "sdc_escaped": self.sdc_escaped,
+            "replica_runs": self.replica_runs,
         }

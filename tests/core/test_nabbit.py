@@ -86,8 +86,22 @@ class TestGuards:
         with pytest.raises(SchedulerError, match="single-use"):
             sched.run()
 
-    def test_hooks_rejected_for_baseline(self):
-        from repro.core.hooks import NullHooks
+    def test_hooks_called_for_baseline(self):
+        # The baseline accepts lifecycle hooks (the repro.detect seam);
+        # it has no recovery path, so hooks serve measurement only.
+        calls = []
 
-        with pytest.raises(ValueError):
-            run_scheduler(chain_graph(2), fault_tolerant=False, hooks=NullHooks())
+        class Recorder:
+            def on_task_waiting(self, record):
+                calls.append(("waiting", record.key))
+
+            def on_after_compute(self, record):
+                calls.append(("after_compute", record.key))
+
+            def on_after_notify(self, record):
+                calls.append(("after_notify", record.key))
+
+        run_scheduler(chain_graph(3), fault_tolerant=False, hooks=Recorder())
+        phases = {phase for phase, _ in calls}
+        assert phases == {"waiting", "after_compute", "after_notify"}
+        assert len([c for c in calls if c[0] == "after_compute"]) == 3

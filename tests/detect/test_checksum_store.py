@@ -1,0 +1,155 @@
+"""ChecksumStore: verify-on-access and the single-count discipline."""
+
+import numpy as np
+import pytest
+
+from repro.detect.checksum import ChecksumStore
+from repro.exceptions import DataCorruptionError
+from repro.graph.taskspec import BlockRef
+from repro.obs.events import EventKind, EventLog
+from repro.runtime.tracing import ExecutionTrace
+
+
+def ref(v, block="b"):
+    return BlockRef(block, v)
+
+
+def bump(value):
+    return value + 1
+
+
+class TestCleanPath:
+    def test_write_read_roundtrip(self):
+        s = ChecksumStore()
+        s.write(ref(0), np.arange(4))
+        np.testing.assert_array_equal(s.read(ref(0)), np.arange(4))
+        assert s.detection.fingerprints == 1
+        assert s.detection.verifications == 1
+        assert s.detection.mismatches == 0
+
+    def test_status_and_availability(self):
+        s = ChecksumStore()
+        s.write(ref(0), 5)
+        assert s.status_of(ref(0)) == "ok"
+        assert s.is_available(ref(0))
+
+    def test_pinned_versions_unverified(self):
+        s = ChecksumStore()
+        s.pin(ref(0), "input")
+        assert s.read(ref(0)) == "input"
+        assert s.detection.unverified_reads >= 1
+        assert s.detection.mismatches == 0
+
+
+class TestDetection:
+    def test_read_detects_silent_mutation(self):
+        s = ChecksumStore()
+        s.write(ref(0), 10)
+        assert s.corrupt_data(ref(0), bump)
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+        assert s.detection.mismatches == 1
+        assert s.stats.corruptions_marked == 1
+        assert s.status_of(ref(0)) == "corrupted"
+
+    def test_status_of_detects_without_raising(self):
+        s = ChecksumStore()
+        s.write(ref(0), np.ones(3))
+        s.corrupt_data(ref(0), lambda a: a + 1)
+        assert s.status_of(ref(0)) == "corrupted"
+        assert not s.is_available(ref(0))
+
+    def test_rewrite_clears_detection(self):
+        s = ChecksumStore()
+        s.write(ref(0), 1)
+        s.corrupt_data(ref(0), bump)
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+        s.write(ref(0), 99)  # recovery regenerates the version
+        assert s.read(ref(0)) == 99
+        assert s.status_of(ref(0)) == "ok"
+
+    def test_verify_disabled(self):
+        s = ChecksumStore(verify_on_read=False)
+        s.write(ref(0), 1)
+        s.corrupt_data(ref(0), bump)
+        assert s.read(ref(0)) == 2  # silently wrong, by request
+        assert s.detection.mismatches == 0
+
+    @pytest.mark.parametrize("digest", ["crc32", "adler32", "blake2b", "sha256"])
+    def test_all_digests_detect(self, digest):
+        s = ChecksumStore(digest=digest)
+        s.write(ref(0), np.linspace(0, 1, 16))
+        s.corrupt_data(ref(0), lambda a: a + 1e-12)
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+
+    def test_audit_sweeps_unread_versions(self):
+        s = ChecksumStore()
+        s.write(ref(0), 1)
+        s.write(ref(0, block="c"), 2)
+        s.corrupt_data(ref(0, block="c"), bump)
+        bad = s.audit()
+        assert bad == [ref(0, block="c")]
+        assert s.status_of(ref(0, block="c")) == "corrupted"
+        assert s.status_of(ref(0)) == "ok"
+
+
+class TestSingleCountRegression:
+    """A version both checksum-mismatched and flag-corrupted is one
+    corruption, not two (ISSUE satellite: StoreStats audit)."""
+
+    def test_checksum_then_flag_counts_once(self):
+        s = ChecksumStore()
+        s.write(ref(0), 7)
+        s.corrupt_data(ref(0), bump)
+        assert s.status_of(ref(0)) == "corrupted"  # checksum marks the flag
+        assert s.mark_corrupted(ref(0))  # a flag injector hits the same version
+        assert s.stats.corruptions_marked == 1
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+        # The read took the base-class flag path: one corrupted_read, and
+        # no second mismatch was recorded.
+        assert s.stats.corrupted_reads == 1
+        assert s.detection.mismatches == 1
+
+    def test_flag_then_checksum_counts_once(self):
+        s = ChecksumStore()
+        s.write(ref(0), 7)
+        s.mark_corrupted(ref(0))
+        s.corrupt_data(ref(0), bump)
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+        assert s.stats.corruptions_marked == 1
+        assert s.stats.corrupted_reads == 1
+        # Flag was observed before verification ever ran.
+        assert s.detection.mismatches == 0
+
+    def test_repeated_detection_accesses_emit_once(self):
+        trace = ExecutionTrace()
+        log = EventLog()
+        s = ChecksumStore(trace=trace, event_log=log)
+        s.write(ref(0), 3)
+        s.corrupt_data(ref(0), bump)
+        assert s.status_of(ref(0)) == "corrupted"
+        assert not s.is_available(ref(0))
+        assert s.status_of(ref(0)) == "corrupted"
+        events = log.by_kind(EventKind.SDC_DETECTED)
+        assert len(events) == 1
+        assert trace.sdc_detected == 1
+        assert events[0].data["block"] == "b"
+        assert events[0].data["method"] == "checksum"
+
+    def test_redetection_after_regeneration_counts_again(self):
+        trace = ExecutionTrace()
+        log = EventLog()
+        s = ChecksumStore(trace=trace, event_log=log)
+        s.write(ref(0), 3)
+        s.corrupt_data(ref(0), bump)
+        assert s.status_of(ref(0)) == "corrupted"
+        s.write(ref(0), 3)  # regenerated
+        s.corrupt_data(ref(0), bump)  # struck again
+        with pytest.raises(DataCorruptionError):
+            s.read(ref(0))
+        assert trace.sdc_detected == 2
+        assert len(log.by_kind(EventKind.SDC_DETECTED)) == 2

@@ -1,0 +1,80 @@
+"""Canonical encoding and fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.detect.digest import (
+    DEFAULT_DIGEST,
+    DIGESTS,
+    canonical_bytes,
+    digest_from_name,
+    fingerprint,
+)
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        v = {"a": (1, 2.5, "x"), "b": np.arange(6).reshape(2, 3)}
+        assert canonical_bytes(v) == canonical_bytes(
+            {"a": (1, 2.5, "x"), "b": np.arange(6).reshape(2, 3)}
+        )
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (1, 2),
+            (1, 1.0),  # int vs float must not collide
+            (1.0, "1.0"),
+            ("ab", b"ab"),
+            (True, 1),  # bool vs int must not collide
+            ((1, 2), [1, 2]),  # tuple vs list
+            (None, 0),
+            ([1, 2], [2, 1]),
+            ({"k": 1}, {"k": 2}),
+        ],
+    )
+    def test_type_and_value_distinctions(self, a, b):
+        assert canonical_bytes(a) != canonical_bytes(b)
+
+    def test_ndarray_value_sensitivity(self):
+        a = np.arange(8, dtype=np.float64)
+        b = a.copy()
+        b[3] += 1
+        assert canonical_bytes(a) != canonical_bytes(b)
+
+    def test_ndarray_dtype_and_shape_sensitivity(self):
+        a = np.zeros(4, dtype=np.float64)
+        assert canonical_bytes(a) != canonical_bytes(np.zeros(4, dtype=np.float32))
+        assert canonical_bytes(a) != canonical_bytes(np.zeros((2, 2), dtype=np.float64))
+
+    def test_nested_containers(self):
+        v = [("x", {"n": np.ones(3)}), None, 7]
+        w = [("x", {"n": np.ones(3)}), None, 8]
+        assert canonical_bytes(v) != canonical_bytes(w)
+
+
+class TestFingerprint:
+    @pytest.mark.parametrize("name", sorted(DIGESTS))
+    def test_all_digests_catch_a_flip(self, name):
+        a = np.linspace(0.0, 1.0, 64)
+        b = a.copy()
+        b[17] += 1e-9
+        assert fingerprint(a, name) == fingerprint(a.copy(), name)
+        assert fingerprint(a, name) != fingerprint(b, name)
+
+    def test_default_digest_registered(self):
+        assert DEFAULT_DIGEST in DIGESTS
+
+    def test_unknown_digest_rejected(self):
+        with pytest.raises(ValueError, match="digest"):
+            digest_from_name("md5ish")
+
+    def test_callable_digest_passthrough(self):
+        calls = []
+
+        def mydigest(data: bytes) -> int:
+            calls.append(len(data))
+            return len(data)
+
+        assert fingerprint((1, 2, 3), mydigest) == len(canonical_bytes((1, 2, 3)))
+        assert calls

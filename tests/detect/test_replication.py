@@ -1,0 +1,216 @@
+"""ReplicationDetector: duplicate-and-compare, voting, and abstention."""
+
+import pytest
+
+from repro.core import CompositeHooks, FTScheduler
+from repro.detect.policy import (
+    ReplicateAll,
+    ReplicateByCriticality,
+    ReplicateNone,
+    ReplicateSampled,
+    policy_from_name,
+)
+from repro.detect.replicate import ReplicaContext, ReplicationDetector
+from repro.detect.silent import SilentFaultInjector, plan_silent_faults
+from repro.exceptions import SchedulerError
+from repro.graph.builders import grid_graph
+from repro.graph.taskspec import BlockRef
+from repro.memory.allocator import KeepK
+from repro.memory.blockstore import BlockStore
+from repro.obs.events import EventKind, EventLog
+from repro.runtime import InlineRuntime, SimulatedRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+class TestPolicies:
+    def test_all_and_none(self):
+        assert ReplicateAll().should_replicate(None, "k", 1)
+        assert not ReplicateNone().should_replicate(None, "k", 1)
+
+    def test_criticality_by_out_degree(self):
+        spec = grid_graph(4, 4)
+        policy = ReplicateByCriticality(min_successors=2)
+        # Interior nodes have two successors; the sink has none.
+        assert policy.should_replicate(spec, (0, 0), 1)
+        assert not policy.should_replicate(spec, (3, 3), 1)
+
+    def test_sampled_deterministic_and_rate_bounded(self):
+        spec = grid_graph(6, 6)
+        policy = ReplicateSampled(rate=0.5, seed=3)
+        picks = [policy.should_replicate(spec, (i, j), 1)
+                 for i in range(6) for j in range(6)]
+        again = [policy.should_replicate(spec, (i, j), 1)
+                 for i in range(6) for j in range(6)]
+        assert picks == again
+        assert 0 < sum(picks) < len(picks)
+
+    def test_sampled_rate_validated(self):
+        with pytest.raises(ValueError):
+            ReplicateSampled(rate=1.5)
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("all", ReplicateAll()),
+            ("none", ReplicateNone()),
+            ("sampled:0.25", ReplicateSampled(rate=0.25, seed=9)),
+            ("critical:3", ReplicateByCriticality(min_successors=3)),
+        ],
+    )
+    def test_policy_from_name(self, name, expected):
+        assert policy_from_name(name, seed=9) == expected
+
+    def test_policy_from_name_unknown(self):
+        with pytest.raises(ValueError, match="policy"):
+            policy_from_name("quorum")
+
+
+class TestReplicaContext:
+    def test_footprint_enforced(self):
+        spec = grid_graph(3, 3)
+        store = BlockStore()
+        ctx = ReplicaContext(spec, store, (1, 1))
+        with pytest.raises(SchedulerError, match="undeclared input"):
+            ctx.read(BlockRef(("g", 9, 9), 0))
+        with pytest.raises(SchedulerError, match="undeclared output"):
+            ctx.write(BlockRef(("g", 9, 9), 0), 1)
+
+    def test_writes_captured_not_published(self):
+        spec = grid_graph(2, 2)
+        store = BlockStore()
+        out = BlockRef(*spec.outputs((0, 0))[0])
+        ctx = ReplicaContext(spec, store, (0, 0))
+        ctx.write(out, 42)
+        assert ctx.written[out] == 42
+        assert not store.is_available(out)
+
+
+def run_with_detection(app_or_spec, store, detector, plan=None, runtime=None,
+                       trace=None, log=None):
+    trace = trace or ExecutionTrace()
+    log = log or EventLog()
+    injector = None
+    hooks = detector
+    if plan is not None:
+        injector = SilentFaultInjector(plan, app_or_spec, store, trace=trace)
+        hooks = CompositeHooks(injector, detector)
+    FTScheduler(
+        app_or_spec, runtime or InlineRuntime(), store=store,
+        hooks=hooks, trace=trace, event_log=log,
+    ).run()
+    return injector, trace, log
+
+
+class TestDetection:
+    def test_votes_validated(self):
+        with pytest.raises(ValueError, match="votes"):
+            ReplicationDetector(grid_graph(2, 2), BlockStore(), votes=1)
+
+    def test_clean_run_no_detections(self):
+        spec = grid_graph(4, 4)
+        store = BlockStore()
+        detector = ReplicationDetector(spec, store)
+        _, trace, log = run_with_detection(spec, store, detector)
+        assert detector.detections == []
+        assert trace.sdc_detected == 0
+        assert trace.replica_runs > 0
+        assert len(log.by_kind(EventKind.REPLICA_RUN)) == trace.replica_runs
+
+    def test_detects_and_recovers_silent_fault(self):
+        from repro.apps import make_app
+
+        app = make_app("lcs", scale="tiny")
+        store = BlockStore(app.ft_policy)
+        app.seed_store(store)
+        detector = ReplicationDetector(app, store)
+        plan = plan_silent_faults(app, count=2, seed=1)
+        injector, trace, log = run_with_detection(app, store, detector, plan=plan)
+        app.verify(store)  # detected, condemned, recovered: result correct
+        assert len(detector.detections) == 2
+        assert {k for k, _, _ in detector.detections} == set(plan.keys())
+        assert trace.sdc_detected == 2
+        assert trace.total_recoveries >= 2
+
+    def test_triple_vote_detects(self):
+        from repro.apps import make_app
+
+        app = make_app("lcs", scale="tiny")
+        store = BlockStore(app.ft_policy)
+        app.seed_store(store)
+        detector = ReplicationDetector(app, store, votes=3)
+        plan = plan_silent_faults(app, count=1, seed=4)
+        _, trace, _ = run_with_detection(app, store, detector, plan=plan)
+        app.verify(store)
+        assert trace.sdc_detected == 1
+        # Two replicas per verified task.
+        assert trace.replica_runs >= 2 * trace.sdc_detected
+
+    def test_policy_none_detects_nothing(self):
+        from repro.apps import make_app
+        from repro.detect.report import account_escapes
+
+        app = make_app("lcs", scale="tiny")
+        store = BlockStore(app.ft_policy)
+        app.seed_store(store)
+        detector = ReplicationDetector(app, store, policy=ReplicateNone())
+        plan = plan_silent_faults(app, count=1, seed=4)
+        injector, trace, log = run_with_detection(app, store, detector, plan=plan)
+        assert trace.sdc_detected == 0
+        assert trace.replica_runs == 0
+        report = account_escapes(injector, log, trace)
+        assert report.escaped == 1
+
+
+class TestVoting:
+    def detector(self, votes):
+        return ReplicationDetector(grid_graph(2, 2), BlockStore(), votes=votes)
+
+    def test_duplicate_agreement_trusts(self):
+        assert self.detector(2)._published_wins("fp", ["fp"])
+
+    def test_duplicate_disagreement_condemns(self):
+        assert not self.detector(2)._published_wins("fp", ["other"])
+
+    def test_triple_vote_majority_saves_published(self):
+        # One replica corrupted, stored copy + other replica agree.
+        assert self.detector(3)._published_wins("fp", ["fp", "bad"])
+
+    def test_triple_vote_majority_condemns_published(self):
+        assert not self.detector(3)._published_wins("bad", ["fp", "fp"])
+
+    def test_no_majority_condemns(self):
+        assert not self.detector(3)._published_wins("a", ["b", "c"])
+
+
+class TestAbstention:
+    """Regression: a replica that cannot re-read its inputs must abstain,
+    not feed OverwrittenError into recovery (detection-induced livelock)."""
+
+    def test_inplace_reuse_terminates_and_skips(self):
+        from repro.apps import make_app
+
+        # Cholesky under single-buffer reuse: every task overwrites its
+        # own input, so after-compute replicas cannot re-read it.
+        app = make_app("cholesky", scale="tiny")
+        store = BlockStore(app.ft_policy)  # keep == 1
+        app.seed_store(store)
+        detector = ReplicationDetector(app, store)
+        _, trace, _ = run_with_detection(
+            app, store, detector, runtime=SimulatedRuntime(workers=4, seed=2))
+        app.verify(store)
+        assert detector.skipped > 0
+        assert trace.total_recoveries == 0  # abstention caused no fault traffic
+
+    def test_widened_ring_restores_coverage(self):
+        from repro.apps import make_app
+
+        app = make_app("cholesky", scale="tiny")
+        store = BlockStore(KeepK(2))
+        app.seed_store(store)
+        detector = ReplicationDetector(app, store)
+        plan = plan_silent_faults(app, count=2, seed=3)
+        _, trace, _ = run_with_detection(
+            app, store, detector, plan=plan,
+            runtime=SimulatedRuntime(workers=4, seed=2))
+        app.verify(store)
+        assert trace.sdc_detected == 2

@@ -1,0 +1,136 @@
+"""SilentFaultInjector and the silent-fault planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import FTScheduler
+from repro.detect.silent import SilentFaultInjector, default_mutator, plan_silent_faults
+from repro.faults.model import FaultEvent, FaultPhase, FaultPlan
+from repro.obs.events import EventKind, EventLog
+from repro.runtime import InlineRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+
+class TestDefaultMutator:
+    def test_numeric_array_perturbed(self):
+        a = np.arange(4, dtype=np.float64)
+        m = default_mutator(a)
+        assert not np.array_equal(a, m)
+        assert m.shape == a.shape
+
+    def test_bool_array_inverted(self):
+        a = np.array([True, False])
+        np.testing.assert_array_equal(default_mutator(a), np.array([False, True]))
+
+    def test_scalars_and_strings(self):
+        assert default_mutator(5) == 6
+        assert default_mutator(2.5) == 3.5
+        assert default_mutator(True) is False
+        assert default_mutator("abc") != "abc"
+        assert default_mutator("") == "\x01"
+
+    def test_containers_rebuilt(self):
+        assert default_mutator((1, 2)) == (2, 3)
+        assert default_mutator([1.0]) == [2.0]
+        assert default_mutator({"k": 1}) == {"k": 2}
+
+    def test_opaque_payload_wrapped(self):
+        marker = default_mutator(object())
+        assert isinstance(marker, tuple) and marker[0] == "sdc"
+
+    def test_original_not_aliased(self):
+        a = np.zeros(3)
+        m = default_mutator(a)
+        m[0] = 99.0
+        assert a[0] == 0.0
+
+
+class TestInjector:
+    def test_before_compute_rejected(self):
+        plan = FaultPlan.single("k", "before_compute")
+        with pytest.raises(ValueError, match="before-compute"):
+            SilentFaultInjector(plan, spec=None, store=None)
+
+    def test_fires_silently_and_tracks_ground_truth(self):
+        # LCS: integer payloads, so an escaped mutation cannot crash a
+        # downstream kernel -- the run completes, silently wrong.
+        from repro.apps import make_app
+
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True)
+        app.seed_store(store)
+        plan = plan_silent_faults(app, count=2, seed=5)
+        trace = ExecutionTrace()
+        log = EventLog()
+        injector = SilentFaultInjector(plan, app, store, trace=trace, event_log=log)
+        FTScheduler(
+            app, InlineRuntime(), store=store, hooks=injector, trace=trace, event_log=log
+        ).run()
+        assert injector.all_fired()
+        assert len(injector.fired) == 2
+        assert trace.sdc_injected == 2
+        assert len(log.by_kind(EventKind.SDC_INJECTED)) == 2
+        assert store.stats.silent_corruptions >= 1
+        assert store.stats.corruptions_marked == 0  # silent: no flags
+        assert trace.total_recoveries == 0  # nothing detected, nothing recovered
+        for event in injector.fired:
+            assert event in injector.mutated
+
+    def test_fires_once_per_event(self):
+        plan = FaultPlan(
+            events=[FaultEvent("k", FaultPhase.AFTER_COMPUTE)], implied_reexecutions=1
+        )
+
+        class OneTaskSpec:
+            def outputs(self, key):
+                return ()
+
+        class Record:
+            key = "k"
+            life = 1
+
+        injector = SilentFaultInjector(plan, OneTaskSpec(), store=None)
+        injector.on_after_compute(Record())
+        injector.on_after_compute(Record())
+        assert len(injector.fired) == 1
+        assert injector.all_fired()
+
+    def test_wrong_life_does_not_fire(self):
+        plan = FaultPlan(
+            events=[FaultEvent("k", FaultPhase.AFTER_COMPUTE, life=2)],
+            implied_reexecutions=1,
+        )
+
+        class Record:
+            key = "k"
+            life = 1
+
+        injector = SilentFaultInjector(plan, spec=None, store=None)
+        injector.on_after_compute(Record())
+        assert not injector.fired
+        assert injector.unfired == list(plan)
+
+
+class TestPlanner:
+    def test_defaults_are_post_compute_nonsink(self, tiny_app):
+        plan = plan_silent_faults(tiny_app, count=2, seed=0)
+        assert len(plan) == 2
+        sink = tiny_app.sink_key()
+        for event in plan:
+            assert event.phase is FaultPhase.AFTER_COMPUTE
+            assert not event.corrupt_descriptor
+            assert event.corrupt_outputs
+            assert event.key != sink
+
+    def test_before_compute_rejected(self, tiny_app):
+        with pytest.raises(ValueError, match="post-compute"):
+            plan_silent_faults(tiny_app, phase="before_compute")
+
+    def test_oversized_count_rejected(self, tiny_app):
+        with pytest.raises(ValueError, match="victims"):
+            plan_silent_faults(tiny_app, count=10**9)
+
+    def test_deterministic_for_seed(self, tiny_app):
+        a = plan_silent_faults(tiny_app, count=3, seed=11)
+        b = plan_silent_faults(tiny_app, count=3, seed=11)
+        assert a.keys() == b.keys()

@@ -61,6 +61,23 @@ class TestPlan:
         assert plan.events[0].life == 2
         assert plan.implied_reexecutions == 1
 
+    def test_duplicate_key_phase_life_rejected(self):
+        events = [
+            FaultEvent("k", FaultPhase.AFTER_COMPUTE),
+            FaultEvent("k", FaultPhase.AFTER_COMPUTE),
+        ]
+        with pytest.raises(ValueError, match="duplicate fault event"):
+            FaultPlan(events=events, implied_reexecutions=2)
+
+    def test_same_key_distinct_phase_or_life_allowed(self):
+        events = [
+            FaultEvent("k", FaultPhase.AFTER_COMPUTE),
+            FaultEvent("k", FaultPhase.AFTER_NOTIFY),
+            FaultEvent("k", FaultPhase.AFTER_COMPUTE, life=2),
+        ]
+        plan = FaultPlan(events=events, implied_reexecutions=3)
+        assert len(plan) == 3
+
 
 class TestPlanSerialization:
     def test_round_trip(self):

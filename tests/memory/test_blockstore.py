@@ -180,3 +180,28 @@ class TestIntrospection:
             s.write(BlockRef(b, 0), b)
             s.write(BlockRef(b, 1), b)
         assert s.stats.peak_resident == 4
+
+
+class TestCorruptData:
+    """The silent-corruption primitive used by repro.detect."""
+
+    def test_mutates_without_flag_or_error(self):
+        s = BlockStore()
+        s.write(ref(0), 10)
+        assert s.corrupt_data(ref(0), lambda v: v + 1)
+        assert s.read(ref(0)) == 11  # no DataCorruptionError: it is silent
+        assert s.status_of(ref(0)) == "ok"
+        assert s.stats.silent_corruptions == 1
+        assert s.stats.corruptions_marked == 0
+
+    def test_pinned_version_refused(self):
+        s = BlockStore()
+        s.pin(ref(0), "input")
+        assert not s.corrupt_data(ref(0), lambda v: v + "!")
+        assert s.read(ref(0)) == "input"
+        assert s.stats.silent_corruptions == 0
+
+    def test_missing_version_refused(self):
+        s = BlockStore()
+        assert not s.corrupt_data(ref(5), lambda v: v)
+        assert s.stats.silent_corruptions == 0

@@ -40,6 +40,11 @@ class TestExamples:
         assert "Online soft-error rate sweep" in out
         assert "Worker occupancy" in out
 
+    def test_silent_fault_study(self):
+        out = run_example("silent_fault_study.py", "--reps", "1")
+        assert "Coverage by detection policy and fault count" in out
+        assert "Fault-free checksum overhead" in out
+
     @pytest.mark.slow
     def test_scalability_study(self):
         out = run_example("scalability_study.py", "--app", "fw", "--reps", "1",
