@@ -15,6 +15,13 @@ Commands:
 * ``detect`` -- silent-fault detection: coverage and overhead tables for
   the checksummed store and selective task replication, or the CI install
   check (``python -m repro detect --selftest``; see docs/DETECTION.md).
+* ``verify`` -- static analysis and protocol verification of the
+  scheduler itself: concurrency lints, the Guarantee 1-4 trace-invariant
+  checker, and bounded schedule exploration with seeded-bug mutation
+  testing (``python -m repro verify --selftest``; see
+  docs/VERIFICATION.md).
+* ``validate`` -- structural validation of one benchmark's task graph
+  (acyclicity, dependency closure, sink reachability) without running it.
 * ``about`` -- what this package reproduces and where to look next.
 """
 
@@ -73,6 +80,40 @@ def _selftest() -> int:
     return 1 if failures else 0
 
 
+def _validate(argv: list[str]) -> int:
+    import argparse
+
+    from repro.apps import APP_NAMES, make_app
+    from repro.apps.registry import AppConfig
+    from repro.graph.validate import GraphValidationError, validate_spec
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro validate",
+        description="Validate one benchmark's task graph structurally "
+        "(acyclicity, dependency closure, sink reachability) without running it.",
+    )
+    ap.add_argument("app", choices=APP_NAMES)
+    ap.add_argument("--n", type=int, default=None, help="problem size (app-specific)")
+    ap.add_argument("--block", type=int, default=None, help="block/tile size")
+    ap.add_argument("--scale", choices=("tiny", "default", "large"), default="tiny",
+                    help="preset instance scale (ignored when --n is given)")
+    ap.add_argument("--max-tasks", type=int, default=None,
+                    help="abort if the reachable graph exceeds this many tasks")
+    args = ap.parse_args(argv)
+
+    config = None
+    if args.n is not None:
+        config = AppConfig(n=args.n, block=args.block) if args.block else AppConfig(n=args.n)
+    app = make_app(args.app, config=config, scale=args.scale)
+    try:
+        tasks = validate_spec(app, max_tasks=args.max_tasks)
+    except GraphValidationError as exc:
+        print(f"{args.app}: INVALID -- {exc}")
+        return 1
+    print(f"{args.app}: valid task graph, {tasks} reachable tasks from sink {app.sink_key()!r}")
+    return 0
+
+
 def _about() -> int:
     print(__doc__)
     print(
@@ -106,9 +147,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.detect.cli import main as detect_main
 
         return detect_main(rest)
+    if cmd == "verify":
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(rest)
+    if cmd == "validate":
+        return _validate(rest)
     if cmd == "about":
         return _about()
-    print(f"unknown command {cmd!r}; expected selftest | harness | trace | detect | about")
+    print(
+        f"unknown command {cmd!r}; expected "
+        "selftest | harness | trace | detect | verify | validate | about"
+    )
     return 2
 
 

@@ -15,7 +15,7 @@ low and similar for all task types" -- Table II discussion).
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 import numpy as np
 

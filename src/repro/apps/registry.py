@@ -10,8 +10,6 @@ seconds.  ``scaled_loss`` converts the paper's absolute loss sizes (1, 8,
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.apps.base import AppConfig, Application
 from repro.apps.cholesky import CholeskyApp
 from repro.apps.floyd_warshall import FloydWarshallApp

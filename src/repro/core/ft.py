@@ -164,10 +164,11 @@ class FTScheduler:
         root = Frame(lambda: self._init_and_compute(sink, skey, life), label=f"init:{skey!r}")
         run = self.runtime.execute(root)
         final, _ = self.map.get(skey)
-        if final is None or final.status is not TaskStatus.COMPLETED:
+        status = final.status if final is not None else None  # verify: ok=lock-discipline (post-quiescence read; every worker has drained)
+        if status is not TaskStatus.COMPLETED:
             raise SchedulerError(
                 f"execution quiesced but sink {skey!r} is "
-                f"{final.status.name if final else 'missing'} -- hung task graph"
+                f"{status.name if status else 'missing'} -- hung task graph"
             )
         return SchedulerResult(run=run, trace=self.trace, store=self.store, scheduler=self.name)
 
@@ -212,6 +213,7 @@ class FTScheduler:
             # would misread a *legal* post-consumption overwrite of its
             # outputs as a failure and trigger a spurious recovery cascade.
             ind = self.spec.pred_index(key, pkey)
+            self.runtime.charge(self.cost_model.lock_cost)
             with A.lock:
                 waiting = bool(A.bit_vector & (1 << ind))
             if not waiting:
@@ -415,12 +417,12 @@ class FTScheduler:
         self.runtime.charge(self.cost_model.reinit_scan_cost)
         try:
             S.check()
-            # Ignore Computed and Completed successors.
-            if S.status is not TaskStatus.VISITED:
-                return
             ind = self.spec.pred_index(skey, key)
             with S.lock:
-                waiting = bool(S.bit_vector & (1 << ind))
+                # Ignore Computed and Completed successors; peeking the
+                # status under the same lock as the bit keeps the pair
+                # coherent (a successor cannot publish between the two).
+                waiting = S.status is TaskStatus.VISITED and bool(S.bit_vector & (1 << ind))
             if waiting:
                 with T.lock:
                     T.notify_array.append(skey)

@@ -106,10 +106,11 @@ class NabbitScheduler:
         root = Frame(lambda: self._init_and_compute(sink, skey), label=f"init:{skey!r}")
         run = self.runtime.execute(root)
         final, _ = self.map.get(skey)
-        if final is None or final.status is not TaskStatus.COMPLETED:
+        status = final.status if final is not None else None  # verify: ok=lock-discipline (post-quiescence read; every worker has drained)
+        if status is not TaskStatus.COMPLETED:
             raise SchedulerError(
                 f"execution quiesced but sink {skey!r} is "
-                f"{final.status.name if final else 'missing'} -- hung task graph"
+                f"{status.name if status else 'missing'} -- hung task graph"
             )
         return SchedulerResult(run=run, trace=self.trace, store=self.store, scheduler=self.name)
 

@@ -23,7 +23,8 @@ from repro.harness.figure7 import figure7, format_figure7
 from repro.harness.table1 import format_table1, table1
 from repro.harness.table2 import after_notify_study, format_figure6, format_table2
 
-EXPERIMENTS = ("table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b", "detect")
+EXPERIMENTS = ("table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b",
+               "detect", "verify")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,6 +134,17 @@ def main(argv: list[str] | None = None) -> int:
             collected["detection"] = {"coverage": cov, "overhead": ovh}
             return format_coverage(cov) + "\n\n" + format_overhead(ovh)
         run("Detection", _detect)
+    if "verify" in wanted:
+        from repro.harness.verification import format_verification, verification_study
+
+        ver_apps = apps
+        ver_seeds = 2 if args.quick else 4
+
+        def _verify():
+            study = verification_study(ver_apps, seeds=ver_seeds)
+            collected["verification"] = study
+            return format_verification(study)
+        run("Verification", _verify)
     if args.json:
         from repro.harness.export import write_results
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from repro.analysis.stats import Summary, summarize
 from repro.apps.registry import APP_NAMES, make_app
 from repro.harness.experiment import makespans
-from repro.harness.report import pm, render_table
+from repro.harness.report import render_table
 from repro.runtime.costmodel import CostModel
 
 DEFAULT_WORKERS = (1, 2, 4, 8, 16, 32, 44)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.registry import PAPER_CONFIGS, make_app
+from repro.apps.registry import make_app
 from repro.graph.analysis import graph_stats
 from repro.harness.report import render_table
 

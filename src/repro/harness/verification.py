@@ -1,0 +1,124 @@
+"""Harness experiment: schedule exploration + invariant audit per benchmark.
+
+Not a figure from the paper -- this is the reproduction auditing itself.
+For each benchmark and fault phase it explores a bounded schedule space
+(:mod:`repro.verify.explore`), checks Guarantees 1-4 on every trace, and
+reports what the exploration actually exercised (recoveries, resets,
+stale notifications); a final mutation row shows the seeded protocol
+bugs being convicted, which is the evidence the zeros in the violation
+column are earned rather than vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import EventKind
+from repro.verify.explore import (
+    ExplorationReport,
+    explore_app,
+    make_app_case,
+    mutation_study,
+)
+
+_APPS = ("lcs", "sw", "fw", "lu", "cholesky")
+_PHASES = ("before_compute", "after_compute", "after_notify")
+
+#: Protocol paths whose exercise counts the table reports.
+_PATH_KINDS = (
+    ("recov", EventKind.RECOVERY),
+    ("reset", EventKind.RESET),
+    ("reinit", EventKind.REINIT),
+    ("stale", EventKind.NOTIFY_STALE),
+)
+
+
+@dataclass
+class VerificationRow:
+    """One (app, phase) exploration outcome."""
+
+    app: str
+    phase: str
+    schedules: int
+    violations: int
+    errors: int
+    exercised: dict[str, int]
+
+
+def verification_study(
+    apps: tuple[str, ...] | None = None,
+    *,
+    seeds: int = 4,
+    perturbations: int = 1,
+    branch_budget: int = 8,
+) -> dict:
+    """Run the exploration audit; returns ``{"rows": ..., "mutations": ...}``."""
+    rows: list[VerificationRow] = []
+    for app in apps or _APPS:
+        for phase in _PHASES:
+            report: ExplorationReport = explore_app(
+                app,
+                fault_phase=phase,
+                seeds=range(seeds),
+                perturbations=perturbations,
+                branch_budget=branch_budget,
+            )
+            exercised = {}
+            for label, kind in _PATH_KINDS:
+                exercised[label] = sum(
+                    1 for o in report.outcomes if o.kinds.get(kind)
+                )
+            rows.append(
+                VerificationRow(
+                    app=app,
+                    phase=phase,
+                    schedules=report.schedules_run,
+                    violations=report.violations,
+                    errors=sum(1 for o in report.outcomes if o.error is not None),
+                    exercised=exercised,
+                )
+            )
+
+    case = make_app_case("lcs", fault_phase="before_compute")
+    results = mutation_study(
+        case, seeds=range(seeds), perturbations=perturbations, branch_budget=branch_budget
+    )
+    mutations = {
+        name: {
+            "detected": r.detected,
+            "schedules": r.report.schedules_run,
+            "via": (
+                "; ".join(sorted({v.invariant for v in r.first_counterexample.violations}))
+                if r.first_counterexample and r.first_counterexample.violations
+                else (r.first_counterexample.error if r.first_counterexample else "")
+            ),
+        }
+        for name, r in results.items()
+    }
+    return {"rows": rows, "mutations": mutations}
+
+
+def format_verification(study: dict) -> str:
+    rows: list[VerificationRow] = study["rows"]
+    head = (
+        f"{'app':<9} {'phase':<15} {'scheds':>6} {'viol':>5} {'errs':>5} "
+        + " ".join(f"{label:>6}" for label, _ in _PATH_KINDS)
+    )
+    lines = [
+        "Verification study: bounded schedule exploration, invariants checked per trace",
+        "(exercise columns: schedules in which that protocol path occurred)",
+        "",
+        head,
+        "-" * len(head),
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.app:<9} {r.phase:<15} {r.schedules:>6} {r.violations:>5} {r.errors:>5} "
+            + " ".join(f"{r.exercised[label]:>6}" for label, _ in _PATH_KINDS)
+        )
+    lines.append("")
+    lines.append("Seeded-bug mutation study (the checker checking itself):")
+    for name, m in study["mutations"].items():
+        verdict = f"detected via {m['via']}" if m["detected"] else "NOT DETECTED"
+        lines.append(f"  {name:<18} {verdict}  ({m['schedules']} schedules)")
+    return "\n".join(lines)

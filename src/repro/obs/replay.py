@@ -39,6 +39,42 @@ _SCALAR_KINDS: dict[str, EventKind] = {
 }
 
 
+#: Kinds replayed through the per-key ``count_*`` methods (they feed the
+#: derived aggregates in ``summary()``, not a scalar counter).
+_PER_KEY_KINDS = frozenset(
+    {EventKind.COMPUTE_BEGIN, EventKind.COMPUTE_FAULT, EventKind.RECOVERY}
+)
+
+#: Kinds deliberately *not* replayed into any counter.  Each entry is a
+#: conscious decision, enforced two ways: statically by the
+#: ``eventkind-coverage`` lint (``python -m repro verify lint``) and at
+#: test time by ``tests/obs/test_replay_parity.py`` -- a new EventKind
+#: member must be routed into a counter here or listed below, or both
+#: checks fail.
+#:
+#: * TASK_CREATED / COMPUTE_END / TASK_COMPUTED / TASK_COMPLETED are
+#:   lifecycle *milestones*: their counts are implied by the counters
+#:   already replayed (created tasks == map inserts, ends == begins minus
+#:   faults) and ExecutionTrace never tracked them.
+#: * STEAL / PARK / UNPARK belong to the work-stealing substrate; the
+#:   runtime reports them in :class:`~repro.runtime.api.RunResult`, which
+#:   has its own event parity check in ``repro.obs.metrics``.
+REPLAY_IGNORED = frozenset(
+    {
+        EventKind.TASK_CREATED,
+        EventKind.COMPUTE_END,
+        EventKind.TASK_COMPUTED,
+        EventKind.TASK_COMPLETED,
+        EventKind.STEAL,
+        EventKind.PARK,
+        EventKind.UNPARK,
+    }
+)
+
+#: Every kind the replay accounts for, one way or another.
+REPLAY_HANDLED = _PER_KEY_KINDS | frozenset(_SCALAR_KINDS.values())
+
+
 def replay_trace(events: Iterable[Event]) -> ExecutionTrace:
     """Reconstruct an :class:`ExecutionTrace` equivalent to the one the
     instrumented run mutated, purely from its event log."""

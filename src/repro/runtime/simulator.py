@@ -101,6 +101,17 @@ class SimulatedRuntime:
         """Virtual worker the current frame is attributed to."""
         return self._current_worker
 
+    # -- schedule decision points --------------------------------------------------
+
+    def _choose_victim(self, rng: random.Random, stealable: list[int]) -> int:
+        """Index into ``stealable`` of the victim a random-policy steal
+        takes.  This is the simulator's one genuinely free interleaving
+        choice (owners always pop their own bottom), so it is factored out
+        as an overridable decision point: ``repro.verify.explore`` derives
+        a runtime that enumerates alternatives here to explore the
+        schedule space systematically."""
+        return rng.randrange(len(stealable))
+
     # -- ExecutionContext surface (valid only while a frame runs) -----------------
 
     def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
@@ -240,7 +251,7 @@ class SimulatedRuntime:
                         continue
                     failed_steals += k - 1
                     start = now + (k - 1) * cm.failed_steal_cost + cm.steal_cost
-                    victim = stealable[rng.randrange(len(stealable))]
+                    victim = stealable[self._choose_victim(rng, stealable)]
                 _, frame = deques[victim].popleft()  # thief: top, FIFO
                 steals += 1
                 worker_steals[w] += 1

@@ -1,0 +1,37 @@
+"""Static analysis and protocol verification for the scheduler itself.
+
+The FT scheduler's correctness rests on four machine-checkable paper
+guarantees (docs/ALGORITHM.md §§1-4) plus two coding disciplines the
+implementation relies on (every ``TaskRecord`` mutation under its lock;
+every lock acquisition accounted in the cost model).  Tests exercise
+happy paths; this package checks the *rules*:
+
+* :mod:`repro.verify.lint` -- AST lints run over ``src/repro`` itself:
+  lock discipline, cost-accounting discipline, raw-threading bans, and
+  EventKind <-> replay coverage.
+* :mod:`repro.verify.invariants` -- replays a structured event log
+  (:mod:`repro.obs`) and asserts Guarantees 1-4 as trace invariants.
+* :mod:`repro.verify.explore` -- bounded schedule exploration on the
+  discrete-event runtime (seed sweep, priority perturbation, DPOR-lite
+  branching at steal points), running the invariant checker on every
+  explored schedule; its mutation mode seeds known protocol bugs and
+  must catch them.
+
+CLI: ``python -m repro verify [lint|invariants|explore] [--selftest]``.
+"""
+
+from repro.verify.invariants import INVARIANTS, Violation, check_events
+from repro.verify.lint import Finding, run_lint
+from repro.verify.explore import ExplorationReport, explore, explore_app, mutation_study
+
+__all__ = [
+    "INVARIANTS",
+    "Violation",
+    "check_events",
+    "Finding",
+    "run_lint",
+    "ExplorationReport",
+    "explore",
+    "explore_app",
+    "mutation_study",
+]

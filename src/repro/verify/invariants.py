@@ -1,0 +1,351 @@
+"""Trace-invariant checker: Guarantees 1-4 as machine-checkable predicates.
+
+The structured event log (:mod:`repro.obs`) records every protocol step
+of one execution -- worker-attributed, timestamped, and life-numbered.
+That makes the paper's correctness guarantees *decidable on the trace*:
+instead of trusting that the recovery table, the notification bit
+vector, and the notify-array reconstruction did their jobs, we replay
+the log through a small state machine and flag every way the protocol
+could have gone wrong.
+
+Invariant catalogue (names are stable identifiers; see
+docs/VERIFICATION.md for the full mapping to the paper):
+
+=====================  ====  ====================================================
+``unique-recovery``     G1   at most one RECOVERY event per (key, life)
+``monotone-recovery``   G1   recoveries of a key install strictly increasing lives
+``justified-recovery``  G1   every RECOVERY of life L follows observed fault
+                             evidence for incarnation L-1 (no spurious recovery)
+``life-provenance``     G1   no event names an incarnation that no recovery
+                             installed (life 1 excepted)
+``no-double-notify``    G3   within one arming of an incarnation's bit vector
+                             (between RESETs), at most one NOTIFY per predecessor
+``join-conservation``   G3   an incarnation computes exactly when preds+self
+                             notifications have arrived in the current arming
+                             (needs the graph spec; catches premature compute)
+``status-monotone``     G2   per incarnation: at most one TASK_COMPUTED and one
+                             TASK_COMPLETED, in that order; no RESET afterwards
+``status-rederivation`` G2   TASK_COMPUTED only after a COMPUTE_END in the same
+                             arming -- status is re-derived, never restored
+``balanced-compute``    --   per worker, COMPUTE_BEGIN closes with COMPUTE_END or
+                             COMPUTE_FAULT before the next begin (sanity of the
+                             log itself; all other invariants lean on it)
+=====================  ====  ====================================================
+
+``strict`` gates the evidence-matching invariants (``justified-recovery``)
+that assume frame-granular interleaving; they hold on the simulated and
+inline runtimes, while on the threaded runtime an observer can race a
+replacement and attribute its evidence to a life it read a microsecond
+stale.  ``partial=True`` relaxes end-of-trace checks for runs that
+crashed mid-flight (the explorer checks the prefix up to the crash).
+
+The checker accepts live :class:`~repro.obs.events.Event` streams or a
+JSONL dump re-read by :func:`events_from_jsonl` (keys come back as their
+``repr`` there, so pass ``spec=None`` -- spec lookups need real keys).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.graph.taskspec import TaskGraphSpec
+from repro.obs.events import Event, EventKind, events_in_order
+
+#: invariant name -> (guarantee, one-line description); the catalogue the
+#: reports and docs render.
+INVARIANTS: dict[str, tuple[str, str]] = {
+    "unique-recovery": ("G1", "at most one RECOVERY per (key, life)"),
+    "monotone-recovery": ("G1", "recovery lives strictly increase per key"),
+    "justified-recovery": ("G1", "every recovery follows fault evidence for the prior life"),
+    "life-provenance": ("G1", "no incarnation appears without a recovery installing it"),
+    "no-double-notify": ("G3", "at most one NOTIFY per predecessor per bit-vector arming"),
+    "join-conservation": ("G3", "compute fires exactly at preds+self notifications"),
+    "status-monotone": ("G2", "COMPUTED then COMPLETED, once each, never reset after"),
+    "status-rederivation": ("G2", "published status is re-derived by a compute, not restored"),
+    "balanced-compute": ("--", "per-worker COMPUTE_BEGIN/END|FAULT bracketing"),
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, anchored at the offending event."""
+
+    invariant: str
+    message: str
+    key: Any = None
+    life: int = 0
+    seq: int = -1
+
+    @property
+    def guarantee(self) -> str:
+        return INVARIANTS.get(self.invariant, ("?", ""))[0]
+
+    def __str__(self) -> str:
+        where = f" at seq {self.seq}" if self.seq >= 0 else ""
+        return f"[{self.invariant}/{self.guarantee}]{where}: {self.message}"
+
+
+#: Evidence kinds that justify a subsequent recovery of the same incarnation.
+_FAULT_EVIDENCE = frozenset(
+    {EventKind.FAULT_OBSERVED, EventKind.COMPUTE_FAULT, EventKind.SDC_DETECTED}
+)
+
+
+class _IncarnationState:
+    """Per-(key, life) protocol state."""
+
+    __slots__ = ("epoch", "notified", "computing", "computed_epoch", "published", "completed")
+
+    def __init__(self) -> None:
+        self.epoch = 0          # bumped by RESET: one arming of the bit vector
+        self.notified: dict[int, set] = {0: set()}  # epoch -> predecessor srcs seen
+        self.computing: dict[int, int] = {}  # epoch -> COMPUTE_BEGIN count
+        self.computed_epoch: int | None = None  # epoch of the last COMPUTE_END
+        self.published = False  # TASK_COMPUTED seen
+        self.completed = False  # TASK_COMPLETED seen
+
+
+def check_events(
+    events: Iterable[Event],
+    spec: TaskGraphSpec | None = None,
+    strict: bool = True,
+    partial: bool = False,
+) -> list[Violation]:
+    """Replay ``events`` through the invariant state machine.
+
+    ``spec`` enables the graph-aware checks (``join-conservation``);
+    ``strict`` enables evidence matching (``justified-recovery``);
+    ``partial`` skips end-of-trace completeness checks for truncated logs.
+    Returns all violations found (empty list == trace is clean).
+    """
+    out: list[Violation] = []
+    add = out.append
+
+    recovered: set[tuple[Hashable, int]] = set()
+    last_recovery_life: dict[Hashable, int] = {}
+    evidence: set[tuple[Hashable, int]] = set()
+    known_lives: dict[Hashable, set[int]] = {}
+    incarnations: dict[tuple[Hashable, int], _IncarnationState] = {}
+    open_compute: dict[int, tuple[Hashable, int]] = {}
+
+    def state(key: Hashable, life: int) -> _IncarnationState:
+        st = incarnations.get((key, life))
+        if st is None:
+            st = incarnations[(key, life)] = _IncarnationState()
+        return st
+
+    n_preds_cache: dict[Hashable, int] = {}
+
+    def expected_notifications(key: Hashable) -> int | None:
+        if spec is None:
+            return None
+        if key not in n_preds_cache:
+            try:
+                n_preds_cache[key] = len(tuple(spec.predecessors(key)))
+            except Exception:
+                n_preds_cache[key] = -1  # key not resolvable (e.g. JSONL reprs)
+        n = n_preds_cache[key]
+        return None if n < 0 else n + 1
+
+    for e in events_in_order(events):
+        key, life, kind = e.key, e.life, e.kind
+
+        # -- life provenance (G1): lives exist only once installed ----------
+        if key is not None and life >= 1:
+            lives = known_lives.setdefault(key, {1})
+            if kind is EventKind.RECOVERY:
+                prev = last_recovery_life.get(key, 1)
+                if (key, life) in recovered:
+                    add(Violation(
+                        "unique-recovery",
+                        f"second RECOVERY installing {key!r} life {life}",
+                        key, life, e.seq,
+                    ))
+                recovered.add((key, life))
+                if life <= prev:
+                    add(Violation(
+                        "monotone-recovery",
+                        f"RECOVERY installed life {life} of {key!r} after life {prev}",
+                        key, life, e.seq,
+                    ))
+                last_recovery_life[key] = max(prev, life)
+                if strict and life > 1 and (key, life - 1) not in evidence:
+                    add(Violation(
+                        "justified-recovery",
+                        f"RECOVERY of {key!r} life {life} without observed fault "
+                        f"evidence for life {life - 1} (double recovery of an old "
+                        "failure, or recovery without a fault)",
+                        key, life, e.seq,
+                    ))
+                lives.add(life)
+            elif life not in lives:
+                add(Violation(
+                    "life-provenance",
+                    f"{kind.value} names {key!r} life {life}, which no RECOVERY "
+                    "installed",
+                    key, life, e.seq,
+                ))
+                lives.add(life)  # report once per phantom incarnation
+
+        if kind in _FAULT_EVIDENCE and key is not None:
+            evidence.add((key, life))
+
+        # -- per-incarnation protocol state ---------------------------------
+        if key is not None and life >= 1:
+            st = state(key, life)
+            if kind is EventKind.RESET:
+                if st.published:
+                    add(Violation(
+                        "status-monotone",
+                        f"RESET of {key!r} life {life} after it published Computed",
+                        key, life, e.seq,
+                    ))
+                st.epoch += 1
+                st.notified[st.epoch] = set()
+            elif kind is EventKind.NOTIFY:
+                src = e.data.get("src")
+                seen = st.notified.setdefault(st.epoch, set())
+                if src in seen:
+                    add(Violation(
+                        "no-double-notify",
+                        f"duplicate NOTIFY of {key!r} life {life} from {src!r} in "
+                        f"arming {st.epoch} (join-counter double decrement)",
+                        key, life, e.seq,
+                    ))
+                seen.add(src)
+                expected = expected_notifications(key)
+                if expected is not None and len(seen) > expected:
+                    add(Violation(
+                        "join-conservation",
+                        f"{len(seen)} notifications of {key!r} life {life} in one "
+                        f"arming; joins allow only {expected}",
+                        key, life, e.seq,
+                    ))
+            elif kind is EventKind.COMPUTE_BEGIN:
+                begun = st.computing.get(st.epoch, 0)
+                if begun:
+                    add(Violation(
+                        "join-conservation",
+                        f"{key!r} life {life} began computing twice in arming "
+                        f"{st.epoch} (join counter reached zero twice)",
+                        key, life, e.seq,
+                    ))
+                st.computing[st.epoch] = begun + 1
+                expected = expected_notifications(key)
+                got = len(st.notified.get(st.epoch, ()))
+                if expected is not None and got != expected and not begun:
+                    add(Violation(
+                        "join-conservation",
+                        f"{key!r} life {life} began computing after {got} "
+                        f"notifications; protocol requires exactly {expected} "
+                        "(premature compute)",
+                        key, life, e.seq,
+                    ))
+                prev_open = open_compute.get(e.worker)
+                if prev_open is not None:
+                    add(Violation(
+                        "balanced-compute",
+                        f"worker {e.worker} began computing {key!r} life {life} "
+                        f"while {prev_open[0]!r} life {prev_open[1]} is still open",
+                        key, life, e.seq,
+                    ))
+                open_compute[e.worker] = (key, life)
+            elif kind in (EventKind.COMPUTE_END, EventKind.COMPUTE_FAULT):
+                if kind is EventKind.COMPUTE_END:
+                    st.computed_epoch = st.epoch
+                if open_compute.get(e.worker) == (key, life):
+                    del open_compute[e.worker]
+            elif kind is EventKind.TASK_COMPUTED:
+                if st.published:
+                    add(Violation(
+                        "status-monotone",
+                        f"{key!r} life {life} published Computed twice",
+                        key, life, e.seq,
+                    ))
+                if st.computed_epoch != st.epoch:
+                    add(Violation(
+                        "status-rederivation",
+                        f"{key!r} life {life} published Computed without a "
+                        "COMPUTE_END in its current arming (status restored, "
+                        "not re-derived)",
+                        key, life, e.seq,
+                    ))
+                st.published = True
+            elif kind is EventKind.TASK_COMPLETED:
+                if not st.published:
+                    add(Violation(
+                        "status-monotone",
+                        f"{key!r} life {life} completed without publishing Computed",
+                        key, life, e.seq,
+                    ))
+                if st.completed:
+                    add(Violation(
+                        "status-monotone",
+                        f"{key!r} life {life} completed twice",
+                        key, life, e.seq,
+                    ))
+                st.completed = True
+
+    if not partial:
+        for worker, (key, life) in sorted(open_compute.items()):
+            add(Violation(
+                "balanced-compute",
+                f"worker {worker} ended the trace still computing {key!r} life {life}",
+                key, life,
+            ))
+    return out
+
+
+def check_log(log, spec: TaskGraphSpec | None = None, **kw: Any) -> list[Violation]:
+    """Convenience: check an :class:`~repro.obs.events.EventLog`, refusing
+    lossy ring buffers (a dropped prefix would fake violations)."""
+    dropped = getattr(log, "dropped", 0)
+    if dropped:
+        raise ValueError(
+            f"event log dropped {dropped} events (ring buffer); invariants are "
+            "only decidable on a complete trace"
+        )
+    return check_events(log.events, spec=spec, **kw)
+
+
+def events_from_jsonl(path: str | Path) -> list[Event]:
+    """Re-read a ``python -m repro trace --jsonl`` dump.
+
+    Keys/srcs come back as their JSON form (``repr`` strings for tuple
+    keys), which is sufficient for every spec-free invariant.
+    """
+    events: list[Event] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            data = {
+                k: v
+                for k, v in d.items()
+                if k not in ("seq", "t", "worker", "kind", "key", "life")
+            }
+            events.append(
+                Event(
+                    seq=d["seq"],
+                    t=d["t"],
+                    worker=d["worker"],
+                    kind=EventKind(d["kind"]),
+                    key=d.get("key"),
+                    life=d.get("life", 0),
+                    data=data,
+                )
+            )
+    return events
+
+
+def summarize(violations: Sequence[Violation]) -> dict[str, int]:
+    """Violation counts per invariant (all catalogue entries, zeros kept)."""
+    counts = {name: 0 for name in INVARIANTS}
+    for v in violations:
+        counts[v.invariant] = counts.get(v.invariant, 0) + 1
+    return counts

@@ -1,0 +1,495 @@
+"""Concurrency lints: AST rules the scheduler sources must obey.
+
+These are not style checks -- each rule encodes an invariant the
+implementation *relies on* but which no test can establish exhaustively:
+
+* ``lock-discipline`` -- the mutable :class:`~repro.core.records.TaskRecord`
+  fields (``join``, ``bit_vector``, ``notify_array``, ``status``) and the
+  methods that mutate them (``try_unset_bit``, ``reset_for_reuse``) may
+  only be touched inside ``with <record>.lock`` in the scheduler modules.
+  On CPython the record lock stands in for the paper's atomics; an
+  unlocked access is a lost-update bug waiting for the threaded runtime.
+* ``charge-discipline`` -- every ``with X.lock`` in ``core/`` must be
+  preceded (in the same function) by a ``runtime.charge(...)`` call, so
+  the virtual-time cost model never silently under-counts a lock
+  acquisition and the simulator's makespans stay honest.
+* ``raw-threading`` -- outside ``runtime/``, code may create
+  ``threading.Lock`` objects (the blessed atomic stand-in) but nothing
+  else from :mod:`threading`, and may never call ``.acquire()`` /
+  ``.release()`` directly: all lock use goes through ``with`` so no
+  exception path can leak a held lock.
+* ``eventkind-coverage`` -- every :class:`~repro.obs.events.EventKind`
+  member is emitted somewhere in the package and is either replayed into
+  an :class:`~repro.runtime.tracing.ExecutionTrace` counter or explicitly
+  listed in ``repro.obs.replay.REPLAY_IGNORED``; scalar replay targets
+  must be real ``ExecutionTrace`` counters.  This keeps the event log,
+  the counters, and the replay derivation from drifting apart (the
+  "one source of truth" contract of :mod:`repro.obs`).
+
+A finding can be waived line-by-line with an inline pragma naming the
+rule, e.g. ``x = rec.status  # verify: ok=lock-discipline (reason)``;
+waivers are for provably-quiescent accesses only and should carry the
+proof in the comment.
+
+Run via :func:`run_lint`, ``python -m repro verify lint``, or the CI lint
+job.  Every rule has a seeded-violation fixture in
+``tests/verify/test_lint.py`` proving it actually fires.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: TaskRecord fields mutated during execution (``corrupted`` is excluded
+#: deliberately: it is a monotonic one-way flag, set by injectors and read
+#: by ``check()`` without a lock *by design* -- the paper's "a flag is
+#: set ... observed by a thread accessing that task").
+MUTABLE_RECORD_FIELDS = frozenset({"join", "bit_vector", "notify_array", "status"})
+
+#: TaskRecord methods that mutate the fields above on the caller's behalf.
+MUTATING_RECORD_METHODS = frozenset({"try_unset_bit", "reset_for_reuse"})
+
+#: Modules whose record accesses the lock-discipline rule audits (the two
+#: schedulers -- everywhere else records are opaque handles).
+SCHEDULER_MODULES = frozenset({"core/ft.py", "core/nabbit.py"})
+
+#: threading attributes banned outside ``runtime/``.  ``Lock`` is allowed
+#: (the blessed stand-in for the paper's atomics); everything that can
+#: block, signal, or spawn belongs to the runtime layer.
+BANNED_THREADING = frozenset(
+    {"Thread", "Event", "Condition", "Semaphore", "BoundedSemaphore", "Barrier", "Timer"}
+)
+
+_PRAGMA = re.compile(r"#\s*verify:\s*ok=([a-z0-9-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Module:
+    """A parsed source file, addressed relative to the package root."""
+
+    relpath: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str) -> "Module":
+        return cls(relpath=relpath, tree=ast.parse(source), lines=source.splitlines())
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> "Module":
+        return cls.from_source(path.read_text(), path.relative_to(root).as_posix())
+
+    def waived(self, line: int, rule: str) -> bool:
+        """True iff ``line`` carries a pragma waiving ``rule``."""
+        if 1 <= line <= len(self.lines):
+            m = _PRAGMA.search(self.lines[line - 1])
+            if m and m.group(1) == rule:
+                return True
+        return False
+
+
+class Rule:
+    """A per-module lint rule."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: Module) -> list[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _finding(self, module: Module, node: ast.AST, message: str) -> list[Finding]:
+        line = getattr(node, "lineno", 0)
+        if module.waived(line, self.name):
+            return []
+        return [Finding(self.name, module.relpath, line, message)]
+
+
+class ProjectRule(Rule):
+    """A rule that needs to see several modules at once."""
+
+    def check(self, module: Module) -> list[Finding]:
+        return []
+
+    def check_project(self, modules: Sequence[Module]) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+
+
+def _lock_names(with_node: ast.With) -> list[str]:
+    """Names ``X`` for context managers of the form ``X.lock``."""
+    out = []
+    for item in with_node.items:
+        cm = item.context_expr
+        if isinstance(cm, ast.Attribute) and cm.attr == "lock" and isinstance(cm.value, ast.Name):
+            out.append(cm.value.id)
+    return out
+
+
+class LockDisciplineRule(Rule):
+    """Mutable TaskRecord state only under ``with <record>.lock``."""
+
+    name = "lock-discipline"
+    description = (
+        "mutable TaskRecord fields (join/bit_vector/notify_array/status) and "
+        "mutating record methods accessed only inside `with record.lock`"
+    )
+
+    def __init__(self, paths: frozenset[str] = SCHEDULER_MODULES) -> None:
+        self.paths = paths
+
+    def check(self, module: Module) -> list[Finding]:
+        if module.relpath not in self.paths:
+            return []
+        findings: list[Finding] = []
+        self._walk(module, module.tree, frozenset(), findings)
+        return findings
+
+    def _walk(
+        self, module: Module, node: ast.AST, held: frozenset[str], findings: list[Finding]
+    ) -> None:
+        if isinstance(node, ast.With):
+            held = held | frozenset(_lock_names(node))
+        elif isinstance(node, ast.Attribute):
+            obj = node.value
+            if (
+                isinstance(obj, ast.Name)
+                and obj.id != "self"
+                and node.attr in MUTABLE_RECORD_FIELDS
+                and obj.id not in held
+            ):
+                findings.extend(
+                    self._finding(
+                        module,
+                        node,
+                        f"`{obj.id}.{node.attr}` accessed outside `with {obj.id}.lock`",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            fn = node.func
+            if (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in MUTATING_RECORD_METHODS
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id != "self"
+                and fn.value.id not in held
+            ):
+                findings.extend(
+                    self._finding(
+                        module,
+                        node,
+                        f"`{fn.value.id}.{fn.attr}()` mutates record state outside "
+                        f"`with {fn.value.id}.lock`",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._walk(module, child, held, findings)
+
+
+# ---------------------------------------------------------------------------
+# charge-discipline
+
+
+def _is_charge_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "charge"
+    )
+
+
+class ChargeDisciplineRule(Rule):
+    """Every ``with X.lock`` in core/ has an earlier ``*.charge(...)``."""
+
+    name = "charge-discipline"
+    description = (
+        "in core/, every `with X.lock` is preceded in the same function by a "
+        "runtime.charge(...) call (lock acquisitions are cost-model events)"
+    )
+
+    def __init__(self, prefix: str = "core/") -> None:
+        self.prefix = prefix
+
+    def check(self, module: Module) -> list[Finding]:
+        if not module.relpath.startswith(self.prefix):
+            return []
+        findings: list[Finding] = []
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            charge_lines = [n.lineno for n in ast.walk(fn) if _is_charge_call(n)]
+            first_charge = min(charge_lines, default=None)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.With) and _lock_names(node):
+                    if first_charge is None or first_charge > node.lineno:
+                        findings.extend(
+                            self._finding(
+                                module,
+                                node,
+                                f"`with {_lock_names(node)[0]}.lock` in "
+                                f"{fn.name}() has no preceding runtime.charge() "
+                                "-- unaccounted lock acquisition",
+                            )
+                        )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# raw-threading
+
+
+class RawThreadingRule(Rule):
+    """Only runtime/ may use threading beyond ``Lock``; no bare acquire/release."""
+
+    name = "raw-threading"
+    description = (
+        "outside runtime/, only threading.Lock is allowed (no Thread/Event/"
+        "Condition/Semaphore/Barrier/Timer, no direct .acquire()/.release())"
+    )
+
+    def __init__(self, allowed_prefix: str = "runtime/") -> None:
+        self.allowed_prefix = allowed_prefix
+
+    def check(self, module: Module) -> list[Finding]:
+        if module.relpath.startswith(self.allowed_prefix):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "threading":
+                for alias in node.names:
+                    if alias.name in BANNED_THREADING:
+                        findings.extend(
+                            self._finding(
+                                module,
+                                node,
+                                f"`from threading import {alias.name}` outside runtime/",
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "threading"
+                and node.attr in BANNED_THREADING
+            ):
+                findings.extend(
+                    self._finding(
+                        module, node, f"`threading.{node.attr}` outside runtime/"
+                    )
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("acquire", "release")
+            ):
+                findings.extend(
+                    self._finding(
+                        module,
+                        node,
+                        f"direct `.{node.func.attr}()` call -- use `with <lock>:` so "
+                        "exception paths cannot leak a held lock",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# eventkind-coverage
+
+
+def _eventkind_attrs(node: ast.AST) -> set[str]:
+    """EventKind member names referenced anywhere under ``node``."""
+    return {
+        n.attr
+        for n in ast.walk(node)
+        if isinstance(n, ast.Attribute)
+        and isinstance(n.value, ast.Name)
+        and n.value.id == "EventKind"
+    }
+
+
+def _string_constants(node: ast.AST) -> set[str]:
+    return {
+        n.value
+        for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+class EventKindCoverageRule(ProjectRule):
+    """EventKind members are emitted and replayed (or explicitly ignored)."""
+
+    name = "eventkind-coverage"
+    description = (
+        "every EventKind member is emitted somewhere and is handled by "
+        "obs.replay (counter or explicit REPLAY_IGNORED entry); replay's "
+        "scalar targets exist in ExecutionTrace.SCALAR_COUNTERS"
+    )
+
+    EVENTS_MODULE = "obs/events.py"
+    REPLAY_MODULE = "obs/replay.py"
+    TRACING_MODULE = "runtime/tracing.py"
+
+    def check_project(self, modules: Sequence[Module]) -> list[Finding]:
+        by_path = {m.relpath: m for m in modules}
+        events_mod = by_path.get(self.EVENTS_MODULE)
+        replay_mod = by_path.get(self.REPLAY_MODULE)
+        if events_mod is None or replay_mod is None:
+            return [
+                Finding(
+                    self.name,
+                    self.EVENTS_MODULE if events_mod is None else self.REPLAY_MODULE,
+                    0,
+                    "module missing from lint scan; cannot check event coverage",
+                )
+            ]
+
+        members = self._members(events_mod)
+        scalar_keys, handled, ignored = self._replay_sets(replay_mod)
+        emitted = set()
+        for m in modules:
+            emitted |= self._emitted(m)
+
+        findings: list[Finding] = []
+
+        def flag(module: Module, message: str) -> None:
+            findings.append(Finding(self.name, module.relpath, 0, message))
+
+        for name in sorted(members):
+            if name not in emitted:
+                flag(events_mod, f"EventKind.{name} is never emitted anywhere in the package")
+            if name not in handled and name not in ignored:
+                flag(
+                    replay_mod,
+                    f"EventKind.{name} neither replayed into a counter nor listed "
+                    "in REPLAY_IGNORED (counter drift)",
+                )
+            if name in handled and name in ignored:
+                flag(replay_mod, f"EventKind.{name} both replayed and REPLAY_IGNORED")
+        for name in sorted((handled | ignored) - members):
+            flag(replay_mod, f"obs.replay references unknown EventKind.{name}")
+
+        tracing_mod = by_path.get(self.TRACING_MODULE)
+        if tracing_mod is not None:
+            counters = self._scalar_counters(tracing_mod)
+            for key in sorted(scalar_keys - counters):
+                flag(
+                    replay_mod,
+                    f"_SCALAR_KINDS target {key!r} is not an "
+                    "ExecutionTrace.SCALAR_COUNTERS member",
+                )
+        return findings
+
+    def _members(self, events_mod: Module) -> set[str]:
+        for node in ast.walk(events_mod.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "EventKind":
+                return {
+                    t.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.Assign)
+                    for t in stmt.targets
+                    if isinstance(t, ast.Name)
+                }
+        return set()
+
+    def _replay_sets(self, replay_mod: Module) -> tuple[set[str], set[str], set[str]]:
+        scalar_keys: set[str] = set()
+        handled: set[str] = set()
+        ignored: set[str] = set()
+        for node in replay_mod.tree.body:
+            targets: list[str] = []
+            if isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target.id]
+            if not targets or node.value is None:
+                continue
+            name = targets[0]
+            if name == "_SCALAR_KINDS":
+                scalar_keys |= _string_constants(node.value)
+                handled |= _eventkind_attrs(node.value)
+            elif name in ("_PER_KEY_KINDS", "REPLAY_HANDLED"):
+                handled |= _eventkind_attrs(node.value)
+            elif name == "REPLAY_IGNORED":
+                ignored |= _eventkind_attrs(node.value)
+        return scalar_keys, handled, ignored
+
+    def _emitted(self, module: Module) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("emit", "emit_at")
+            ):
+                for arg in node.args:
+                    out |= _eventkind_attrs(arg)
+        return out
+
+    def _scalar_counters(self, tracing_mod: Module) -> set[str]:
+        for node in ast.walk(tracing_mod.tree):
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "SCALAR_COUNTERS" for t in node.targets
+            ):
+                return _string_constants(node.value)
+        return set()
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+ALL_RULES: tuple[Rule, ...] = (
+    LockDisciplineRule(),
+    ChargeDisciplineRule(),
+    RawThreadingRule(),
+    EventKindCoverageRule(),
+)
+
+
+def package_root() -> Path:
+    """The ``src/repro`` directory of the imported package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def load_modules(root: Path | None = None) -> list[Module]:
+    root = root or package_root()
+    return [Module.from_path(p, root) for p in sorted(root.rglob("*.py"))]
+
+
+def run_lint(
+    root: Path | None = None,
+    rules: Iterable[Rule] = ALL_RULES,
+    modules: Sequence[Module] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over the package (or an explicit module list) and
+    return all findings, sorted by location."""
+    if modules is None:
+        modules = load_modules(root)
+    findings: list[Finding] = []
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                findings.extend(rule.check(module))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

@@ -30,7 +30,7 @@ class TestCLI:
     def test_experiment_names_registered(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig5a", "fig5b", "table2", "fig6", "fig7a", "fig7b",
-            "detect",
+            "detect", "verify",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -112,3 +112,20 @@ class TestReport:
 
     def test_pm(self):
         assert pm(1.234, 0.5) == "1.23 ± 0.50"
+
+
+class TestVerification:
+    def test_study_rows_and_mutations(self):
+        from repro.harness.verification import format_verification, verification_study
+
+        study = verification_study(("lcs",), seeds=2, perturbations=1, branch_budget=4)
+        assert len(study["rows"]) == 3  # one per fault phase
+        for row in study["rows"]:
+            assert row.app == "lcs"
+            assert row.violations == 0
+            assert row.errors == 0
+            assert row.exercised["recov"] > 0
+        assert all(m["detected"] for m in study["mutations"].values())
+        out = format_verification(study)
+        assert "before_compute" in out
+        assert "double_recovery" in out

@@ -45,6 +45,12 @@ class TestExamples:
         assert "Coverage by detection policy and fault count" in out
         assert "Fault-free checksum overhead" in out
 
+    def test_verify_study(self):
+        out = run_example("verify_study.py", "--apps", "lcs", "--seeds", "2",
+                          "--branch-budget", "4")
+        assert "All benchmarks clean: True" in out
+        assert "Seeded bugs detected: 2/2" in out
+
     @pytest.mark.slow
     def test_scalability_study(self):
         out = run_example("scalability_study.py", "--app", "fw", "--reps", "1",

@@ -25,3 +25,25 @@ class TestTopLevelCLI:
     def test_harness_forwarding(self, capsys):
         assert main(["harness", "--quick", "--only", "table1", "--apps", "lcs"]) == 0
         assert "Table I" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "lcs"]) == 0
+        out = capsys.readouterr().out
+        assert "valid task graph" in out
+        assert "reachable tasks" in out
+
+    def test_validate_explicit_size(self, capsys):
+        assert main(["validate", "fw", "--n", "12", "--block", "4"]) == 0
+        assert "valid task graph" in capsys.readouterr().out
+
+    def test_validate_max_tasks_budget(self, capsys):
+        assert main(["validate", "cholesky", "--max-tasks", "1"]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_verify_lint(self, capsys):
+        assert main(["verify", "lint"]) == 0
+        assert "verify lint: clean" in capsys.readouterr().out
+
+    def test_verify_invariants(self, capsys):
+        assert main(["verify", "invariants", "--app", "lcs"]) == 0
+        assert "clean over" in capsys.readouterr().out

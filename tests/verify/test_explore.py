@@ -1,0 +1,96 @@
+"""Bounded schedule exploration: determinism, coverage, and the seeded-bug
+mutation study that proves the checker can convict a broken scheduler."""
+
+import pytest
+
+from repro.obs.events import EventKind
+from repro.verify.explore import (
+    MUTATIONS,
+    Schedule,
+    explore,
+    make_app_case,
+    mutation_study,
+    run_schedule,
+)
+
+CASE = make_app_case("lcs", fault_phase="before_compute")
+
+
+class TestRunSchedule:
+    def test_replay_is_deterministic(self):
+        app, plan = CASE(0)
+        sched = Schedule(seed=5, workers=3)
+        first = run_schedule(app, sched, plan=plan)
+        app2, plan2 = CASE(0)
+        second = run_schedule(app2, sched, plan=plan2)
+        assert first.trail == second.trail
+        assert first.events == second.events
+        assert first.kinds == second.kinds
+
+    def test_trail_entries_are_valid_choices(self):
+        app, plan = CASE(1)
+        outcome = run_schedule(app, Schedule(seed=1, workers=3), plan=plan)
+        assert outcome.error is None
+        for n, choice in outcome.trail:
+            assert 0 <= choice < n
+
+    def test_forced_decisions_are_replayed(self):
+        app, plan = CASE(2)
+        base = run_schedule(app, Schedule(seed=2, workers=3), plan=plan)
+        forced = tuple(choice for _, choice in base.trail[:4])
+        app2, plan2 = CASE(2)
+        again = run_schedule(app2, Schedule(seed=2, workers=3, decisions=forced), plan=plan2)
+        assert tuple(c for _, c in again.trail[: len(forced)]) == forced
+
+    def test_single_worker_schedules_run(self):
+        app, plan = CASE(0)
+        outcome = run_schedule(app, Schedule(seed=0, workers=1), plan=plan)
+        assert outcome.error is None
+        assert outcome.clean
+
+
+class TestExplore:
+    def test_real_scheduler_survives_exploration(self):
+        report = explore(CASE, seeds=range(3), perturbations=1, branch_budget=6)
+        assert report.clean, [str(o.schedule) for o in report.counterexamples()]
+        # Both worker widths actually ran.
+        widths = {o.schedule.workers for o in report.outcomes}
+        assert widths == {1, 3}
+        # The fault plans exercised the recovery path, so the G1 checks bit.
+        assert report.coverage().get(EventKind.RECOVERY.value)
+
+    def test_summary_shape(self):
+        report = explore(CASE, seeds=range(2), perturbations=0, branch_budget=0)
+        s = report.summary()
+        assert s["schedules"] == report.schedules_run
+        assert s["clean"] is True
+        assert s["errors"] == 0
+
+
+class TestMutationStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return mutation_study(CASE, seeds=range(4), perturbations=1, branch_budget=8)
+
+    def test_every_seeded_bug_is_convicted(self, results):
+        for name, r in results.items():
+            assert r.detected, f"mutation {name} escaped the explorer"
+
+    def test_double_decrement_caught_by_notify_invariants(self, results):
+        cx = results["double_decrement"].first_counterexample
+        got = {v.invariant for v in cx.violations}
+        assert got & {"no-double-notify", "join-conservation"} or cx.error
+
+    def test_double_recovery_caught_by_recovery_invariants(self, results):
+        cx = results["double_recovery"].first_counterexample
+        got = {v.invariant for v in cx.violations}
+        assert got & {"justified-recovery", "unique-recovery"} or cx.error
+
+    def test_describe_names_the_schedule(self, results):
+        for name, r in results.items():
+            text = r.describe()
+            assert name in text
+            assert "detected" in text
+
+    def test_catalogue_matches_results(self, results):
+        assert set(results) == set(MUTATIONS)

@@ -1,0 +1,70 @@
+"""Each concurrency lint fires on a seeded violation and stays quiet
+otherwise; the shipped package itself must be clean."""
+
+from repro.verify.lint import ALL_RULES, Module, run_lint
+
+
+def lint_source(source, relpath, rule_name, extra=()):
+    rules = [r for r in ALL_RULES if r.name == rule_name]
+    assert rules, f"no such rule {rule_name}"
+    modules = [Module.from_source(source, relpath), *extra]
+    return [f for f in run_lint(rules=rules, modules=modules) if f.rule == rule_name]
+
+
+class TestSeededViolations:
+    def test_lock_discipline_fires_in_scheduler_module(self):
+        src = (
+            "def f(rec, runtime):\n"
+            "    runtime.charge(1.0)\n"
+            "    rec.join -= 1\n"
+        )
+        findings = lint_source(src, "core/ft.py", "lock-discipline")
+        assert findings
+        assert findings[0].line == 3
+
+    def test_lock_discipline_ignores_non_scheduler_modules(self):
+        src = "def f(rec):\n    rec.join -= 1\n"
+        assert not lint_source(src, "apps/seeded.py", "lock-discipline")
+
+    def test_charge_discipline_fires(self):
+        src = "def f(rec):\n    with rec.lock:\n        pass\n"
+        assert lint_source(src, "core/seeded.py", "charge-discipline")
+
+    def test_raw_threading_fires(self):
+        src = "import threading\nt = threading.Thread(target=print)\n"
+        assert lint_source(src, "apps/seeded.py", "raw-threading")
+
+    def test_eventkind_coverage_fires_on_unrouted_member(self):
+        src = "class EventKind(str, Enum):\n    PHANTOM = 'phantom'\n"
+        replay = Module.from_source("_SCALAR_KINDS = {}\n", "obs/replay.py")
+        assert lint_source(src, "obs/events.py", "eventkind-coverage", extra=[replay])
+
+
+class TestWaivers:
+    def test_pragma_waives_exactly_its_rule(self):
+        src = (
+            "def f(rec, runtime):\n"
+            "    runtime.charge(1.0)\n"
+            "    rec.join -= 1  # verify: ok=lock-discipline (test waiver)\n"
+        )
+        assert not lint_source(src, "core/ft.py", "lock-discipline")
+
+    def test_pragma_for_other_rule_does_not_waive(self):
+        src = (
+            "def f(rec, runtime):\n"
+            "    runtime.charge(1.0)\n"
+            "    rec.join -= 1  # verify: ok=raw-threading\n"
+        )
+        assert lint_source(src, "core/ft.py", "lock-discipline")
+
+
+class TestRealPackage:
+    def test_package_is_clean(self):
+        findings = run_lint()
+        assert not findings, "\n".join(str(f) for f in findings)
+
+    def test_finding_str_is_greppable(self):
+        src = "def f(rec):\n    with rec.lock:\n        pass\n"
+        (f,) = lint_source(src, "core/seeded.py", "charge-discipline")
+        assert "core/seeded.py" in str(f)
+        assert "charge-discipline" in str(f)
