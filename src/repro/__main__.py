@@ -20,6 +20,11 @@ Commands:
   checker, and bounded schedule exploration with seeded-bug mutation
   testing (``python -m repro verify --selftest``; see
   docs/VERIFICATION.md).
+* ``perf`` -- the statistical microbenchmark suite: scheduler structure
+  ops, tracing-on/off throughput, threaded contention, simulator
+  events/sec, end-to-end runs; writes ``BENCH_<n>.json`` and gates
+  against a committed baseline (``python -m repro perf --baseline
+  BENCH_seed.json``; see docs/PERFORMANCE.md).
 * ``validate`` -- structural validation of one benchmark's task graph
   (acyclicity, dependency closure, sink reachability) without running it.
 * ``about`` -- what this package reproduces and where to look next.
@@ -151,13 +156,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import main as verify_main
 
         return verify_main(rest)
+    if cmd == "perf":
+        from repro.perf.cli import main as perf_main
+
+        return perf_main(rest)
     if cmd == "validate":
         return _validate(rest)
     if cmd == "about":
         return _about()
     print(
         f"unknown command {cmd!r}; expected "
-        "selftest | harness | trace | detect | verify | validate | about"
+        "selftest | harness | trace | detect | verify | perf | validate | about"
     )
     return 2
 

@@ -106,7 +106,23 @@ class FTScheduler:
         legacy ``record_events=True`` -- to record the run's lifecycle:
         every event carries the task key and life number, timestamped and
         worker-attributed by the runtime."""
-        self._obs = self.log.enabled
+        # Identity-fast observability guard: NULL_LOG is the one shared
+        # disabled log, so `is not NULL_LOG` short-circuits without even a
+        # class-attribute read; `enabled` still covers custom disabled logs.
+        self._obs = self.log is not NULL_LOG and self.log.enabled
+        # Same idiom for the two other per-task overheads nobody pays for
+        # by default: hook dispatch (NULL_HOOKS is the shared no-op) and
+        # frame-label formatting, whose f-strings repr task keys on every
+        # spawn but are only ever read by timeline-recording runtimes.
+        self._hooked = self.hooks is not NULL_HOOKS
+        self._lbl = bool(getattr(runtime, "record_timeline", False))
+        # Serial runtimes (inline, simulated) execute frames one at a
+        # time, so trace-counter bumps need no lock; threaded runtimes
+        # re-arm it.  Unknown runtimes default to the safe locked path.
+        if getattr(runtime, "concurrent_frames", True):
+            self.trace.assume_concurrent()
+        else:
+            self.trace.assume_serial()
         self.log.bind_runtime(runtime)
         if self._obs and getattr(self.hooks, "event_log", False) is None:
             # Fault injectors accept an event_log; share ours unless the
@@ -125,6 +141,23 @@ class FTScheduler:
         self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
         self.recovery_table = RecoveryTable()
         self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
+        # The cost model is frozen; hoist the per-charge constants the hot
+        # paths read on every task out of the attribute chain.
+        cm = self.cost_model
+        self._c_init = cm.ft_init_cost
+        self._c_lock = cm.lock_cost
+        self._c_atomic = cm.atomic_cost
+        self._c_notify = cm.atomic_cost + cm.ft_notify_cost
+        self._c_recovery = cm.recovery_table_cost
+        self._c_reinit = cm.reinit_scan_cost
+        # consumer key -> {producer key -> [BlockRefs consumed from it]},
+        # built lazily; the spec's footprint is immutable, so the scan in
+        # _ensure_outputs_available only ever needs to happen once per key.
+        self._needs_cache: dict[Key, dict[Key, list[BlockRef]]] = {}
+        # key -> (inputs, outputs) as frozensets, shared between compute
+        # contexts and the needs scan above so each task's footprint is
+        # pulled from the spec at most once per run.
+        self._fp_cache: dict[Key, tuple[frozenset, frozenset]] = {}
 
     @property
     def events(self) -> list[tuple]:
@@ -182,13 +215,14 @@ class FTScheduler:
         """
         if self._stale(A, key, life):
             return
-        self.runtime.charge(self.cost_model.ft_init_cost)
+        self.runtime.charge(self._c_init)
         for pkey in self.spec.predecessors(key):
             self.runtime.spawn(
                 lambda pk=pkey: self._try_init_compute(A, key, life, pk),
-                label=f"try:{key!r}<-{pkey!r}",
+                label=f"try:{key!r}<-{pkey!r}" if self._lbl else "",
             )
-        self.hooks.on_task_waiting(A)
+        if self._hooked:
+            self.hooks.on_task_waiting(A)
         self._notify_once(A, key, key, life)
 
     def _try_init_compute(self, A: TaskRecord, key: Key, life: int, pkey: Key) -> None:
@@ -202,7 +236,7 @@ class FTScheduler:
                 self.log.emit(EventKind.TASK_CREATED, pkey, blife)
             self.runtime.spawn(
                 lambda: self._init_and_compute(B, pkey, blife),
-                label=f"init:{pkey!r}",
+                label=f"init:{pkey!r}" if self._lbl else "",
             )
         finished = True
         try:
@@ -213,7 +247,7 @@ class FTScheduler:
             # would misread a *legal* post-consumption overwrite of its
             # outputs as a failure and trigger a spurious recovery cascade.
             ind = self.spec.pred_index(key, pkey)
-            self.runtime.charge(self.cost_model.lock_cost)
+            self.runtime.charge(self._c_lock)
             with A.lock:
                 waiting = bool(A.bit_vector & (1 << ind))
             if not waiting:
@@ -221,8 +255,11 @@ class FTScheduler:
                 if self._obs:
                     self.log.emit(EventKind.NOTIFY_STALE, key, life, src=pkey)
                 return
-            B.check()
-            self.runtime.charge(self.cost_model.lock_cost)
+            # check() raises iff corrupted; testing the flag first keeps
+            # the fault-free path to one attribute load per observation.
+            if B.corrupted:
+                B.check()
+            self.runtime.charge(self._c_lock)
             with B.lock:
                 if B.status < TaskStatus.COMPUTED:
                     # B must notify A once computed.
@@ -245,9 +282,10 @@ class FTScheduler:
         """NOTIFYONCE: decrement the join counter only if ``pkey``'s bit in
         the notification bit vector was still set (Guarantee 3)."""
         try:
-            A.check()
+            if A.corrupted:
+                A.check()
             ind = self.spec.pred_index(key, pkey)
-            self.runtime.charge(self.cost_model.atomic_cost + self.cost_model.ft_notify_cost)
+            self.runtime.charge(self._c_notify)
             with A.lock:
                 success = A.try_unset_bit(ind)
                 if success:
@@ -281,20 +319,29 @@ class FTScheduler:
         operating on task B").
         """
         try:
-            A.check()
+            if A.corrupted:
+                A.check()
             self.trace.count_compute(key)
             if self._obs:
                 self.log.emit(EventKind.COMPUTE_BEGIN, key, life)
             self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
-            ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
+            fp = self._fp_cache.get(key)
+            if fp is None:
+                fp = (frozenset(self.spec.inputs(key)), frozenset(self.spec.outputs(key)))
+                self._fp_cache[key] = fp
+            ctx = StoreComputeContext(
+                self.spec, self.store, key, strict=self.strict_context, footprint=fp
+            )
             self.spec.compute(key, ctx)
-            self.hooks.on_after_compute(A)
-            A.check()
+            if self._hooked:
+                self.hooks.on_after_compute(A)
+            if A.corrupted:
+                A.check()
             if self._obs:
                 self.log.emit(EventKind.COMPUTE_END, key, life)
             self.runtime.spawn(
                 lambda: self._publish_and_notify(A, key, life),
-                label=f"publish:{key!r}",
+                label=f"publish:{key!r}" if self._lbl else "",
             )
         except FaultError as exc:
             self.trace.count_compute_failure(key)
@@ -314,7 +361,8 @@ class FTScheduler:
         recovered")."""
         cm = self.cost_model
         try:
-            A.check()
+            if A.corrupted:
+                A.check()
             self.runtime.charge(cm.atomic_cost)
             with A.lock:
                 A.status = TaskStatus.COMPUTED
@@ -327,7 +375,7 @@ class FTScheduler:
                 for skey in batch:
                     self.runtime.spawn(
                         lambda sk=skey: self._notify_successor(key, sk),
-                        label=f"notify:{key!r}->{skey!r}",
+                        label=f"notify:{key!r}->{skey!r}" if self._lbl else "",
                     )
                 notified += len(batch)
                 self.runtime.charge(cm.lock_cost)
@@ -337,7 +385,8 @@ class FTScheduler:
                         break
             if self._obs:
                 self.log.emit(EventKind.TASK_COMPLETED, key, life)
-            self.hooks.on_after_notify(A)
+            if self._hooked:
+                self.hooks.on_after_notify(A)
         except FaultError as exc:
             self.trace.count_fault_observed()
             if self._obs:
@@ -357,7 +406,7 @@ class FTScheduler:
     def _recover_task_once(self, key: Key, life: int) -> None:
         """RECOVERTASKONCE: recover ``(key, life)`` unless some thread
         already owns that incarnation's recovery (Guarantee 1)."""
-        self.runtime.charge(self.cost_model.recovery_table_cost)
+        self.runtime.charge(self._c_recovery)
         if self.recovery_table.check_and_claim(key, life):
             self._recover_task(key)
         else:
@@ -394,7 +443,7 @@ class FTScheduler:
                     self._reinit_notify_entry(T, key, S, skey, slife)
                 self.runtime.spawn(
                     lambda: self._init_and_compute(T, key, life),
-                    label=f"recover:{key!r}#{life}",
+                    label=f"recover:{key!r}#{life}" if self._lbl else "",
                 )
                 return
             except FaultError as exc:
@@ -414,7 +463,7 @@ class FTScheduler:
     ) -> None:
         """REINITNOTIFYENTRY: re-enqueue successor ``skey`` if it is still
         waiting on a notification from ``key`` (Guarantee 4)."""
-        self.runtime.charge(self.cost_model.reinit_scan_cost)
+        self.runtime.charge(self._c_reinit)
         try:
             S.check()
             ind = self.spec.pred_index(skey, key)
@@ -445,7 +494,7 @@ class FTScheduler:
         producer (Guarantee 5)."""
         try:
             A.check()
-            self.runtime.charge(self.cost_model.lock_cost)
+            self.runtime.charge(self._c_lock)
             with A.lock:
                 A.reset_for_reuse()
             self.trace.count_reset()
@@ -507,10 +556,16 @@ class FTScheduler:
     def _ensure_outputs_available(self, consumer: Key, pkey: Key) -> None:
         """Raise if any block version ``consumer`` needs from predecessor
         ``pkey`` is corrupted or no longer resident."""
-        for raw in self.spec.inputs(consumer):
-            ref = BlockRef(*raw)
-            if self.spec.producer(ref) != pkey:
-                continue
+        needs = self._needs_cache.get(consumer)
+        if needs is None:
+            fp = self._fp_cache.get(consumer)
+            raws = fp[0] if fp is not None else self.spec.inputs(consumer)
+            needs = {}
+            for raw in raws:
+                ref = raw if type(raw) is BlockRef else BlockRef(*raw)
+                needs.setdefault(self.spec.producer(ref), []).append(ref)
+            self._needs_cache[consumer] = needs
+        for ref in needs.get(pkey, ()):
             status = self.store.status_of(ref)
             if status == "ok":
                 continue

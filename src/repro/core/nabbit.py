@@ -80,7 +80,19 @@ class NabbitScheduler:
         """Structured observability log (:mod:`repro.obs`); the baseline
         emits the task-lifecycle subset (created / compute / computed /
         completed / notify) -- it has no fault path."""
-        self._obs = self.log.enabled
+        # Identity-fast observability guard; see FTScheduler.__init__.
+        self._obs = self.log is not NULL_LOG and self.log.enabled
+        # Hot-path guards, mirroring FTScheduler: skip no-op hook dispatch
+        # and build frame labels only for timeline-recording runtimes.
+        self._hooked = self.hooks is not NULL_HOOKS
+        self._lbl = bool(getattr(runtime, "record_timeline", False))
+        # Serial runtimes (inline, simulated) execute frames one at a
+        # time, so trace-counter bumps need no lock; threaded runtimes
+        # re-arm it.  Unknown runtimes default to the safe locked path.
+        if getattr(runtime, "concurrent_frames", True):
+            self.trace.assume_concurrent()
+        else:
+            self.trace.assume_serial()
         self.log.bind_runtime(runtime)
         if self._obs and getattr(self.hooks, "event_log", False) is None:
             hooks.event_log = self.log
@@ -92,6 +104,9 @@ class NabbitScheduler:
             self.hooks.trace = self.trace
         self.map = TaskMap(lambda k: len(tuple(spec.predecessors(k))))
         self._compute_factor = self.cost_model.compute_factor(self.store.policy.keep)
+        # The cost model is frozen; hoist the per-charge constants.
+        self._c_lock = self.cost_model.lock_cost
+        self._c_atomic = self.cost_model.atomic_cost
 
     # -- public API -------------------------------------------------------------------
 
@@ -121,9 +136,10 @@ class NabbitScheduler:
         for pkey in self.spec.predecessors(key):
             self.runtime.spawn(
                 lambda pk=pkey: self._try_init_compute(A, key, pk),
-                label=f"try:{key!r}<-{pkey!r}",
+                label=f"try:{key!r}<-{pkey!r}" if self._lbl else "",
             )
-        self.hooks.on_task_waiting(A)
+        if self._hooked:
+            self.hooks.on_task_waiting(A)
         self._notify_once(A, key, key)
 
     def _try_init_compute(self, A: TaskRecord, key: Key, pkey: Key) -> None:
@@ -135,9 +151,9 @@ class NabbitScheduler:
                 self.log.emit(EventKind.TASK_CREATED, pkey, 1)
             self.runtime.spawn(
                 lambda: self._init_and_compute(B, pkey),
-                label=f"init:{pkey!r}",
+                label=f"init:{pkey!r}" if self._lbl else "",
             )
-        self.runtime.charge(self.cost_model.lock_cost)
+        self.runtime.charge(self._c_lock)
         finished = True
         with B.lock:
             if B.status < TaskStatus.COMPUTED:
@@ -148,7 +164,7 @@ class NabbitScheduler:
 
     def _notify_once(self, A: TaskRecord, key: Key, pkey: Key) -> None:
         """NOTIFYONCE (baseline): unconditionally decrement the join counter."""
-        self.runtime.charge(self.cost_model.atomic_cost)
+        self.runtime.charge(self._c_atomic)
         with A.lock:
             A.join -= 1
             val = A.join
@@ -168,12 +184,13 @@ class NabbitScheduler:
         self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
         ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
         self.spec.compute(key, ctx)
-        self.hooks.on_after_compute(A)
+        if self._hooked:
+            self.hooks.on_after_compute(A)
         if self._obs:
             self.log.emit(EventKind.COMPUTE_END, key, 1)
         self.runtime.spawn(
             lambda: self._publish_and_notify(A, key),
-            label=f"publish:{key!r}",
+            label=f"publish:{key!r}" if self._lbl else "",
         )
 
     def _publish_and_notify(self, A: TaskRecord, key: Key) -> None:
@@ -192,7 +209,7 @@ class NabbitScheduler:
             for skey in batch:
                 self.runtime.spawn(
                     lambda sk=skey: self._notify_successor(key, sk),
-                    label=f"notify:{key!r}->{skey!r}",
+                    label=f"notify:{key!r}->{skey!r}" if self._lbl else "",
                 )
             notified += len(batch)
             self.runtime.charge(cm.lock_cost)
@@ -203,7 +220,8 @@ class NabbitScheduler:
             if done:
                 if self._obs:
                     self.log.emit(EventKind.TASK_COMPLETED, key, 1)
-                self.hooks.on_after_notify(A)
+                if self._hooked:
+                    self.hooks.on_after_notify(A)
                 return
 
     def _notify_successor(self, key: Key, skey: Key) -> None:

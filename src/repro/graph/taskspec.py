@@ -137,13 +137,29 @@ class TaskSpecBase:
         task's *own* key maps to the extra self-notification slot at index
         ``len(predecessors)``; see the scheduler's join-counter protocol.
         """
-        preds = self.predecessors(key)
-        if pkey == key:
-            return len(preds)
-        for i, p in enumerate(preds):
-            if p == pkey:
-                return i
-        raise KeyError(f"{pkey!r} is not a predecessor of {key!r}")
+        try:
+            cache = self._pred_index_cache
+        except AttributeError:
+            # Lazily attached so subclasses need no cooperation.  Benign
+            # under concurrency: a creation race installs one of two empty
+            # dicts, an entry race computes the same value twice -- the
+            # predecessor list of a key is immutable for a spec's lifetime
+            # (the paper's graphs are *discovered* dynamically, never
+            # rewired), so every write is idempotent.
+            cache = self._pred_index_cache = {}
+        index = cache.get(key)
+        if index is None:
+            preds = self.predecessors(key)
+            index = {}
+            for i, p in enumerate(preds):
+                if p not in index:  # first occurrence wins, as the scan did
+                    index[p] = i
+            index[key] = len(preds)  # self-notification slot
+            cache[key] = index
+        try:
+            return index[pkey]
+        except KeyError:
+            raise KeyError(f"{pkey!r} is not a predecessor of {key!r}") from None
 
     def walk_from_sink(self) -> Iterator[Key]:
         """Yield every task reachable backward from the sink (BFS order)."""

@@ -126,9 +126,9 @@ class BlockStore:
             slot.pinned[ref.version] = _Entry(data)
 
     def is_pinned(self, ref: BlockRef) -> bool:
-        slot = self._slot(ref.block)
-        with slot.lock:
-            return ref.version in slot.pinned
+        # Lock-free: a single membership probe of a GIL-atomic dict; see
+        # status_of for the memory-ordering argument.
+        return ref.version in self._slot(ref.block).pinned
 
     def _bump_resident(self, delta: int) -> None:
         # Racy under threads but only feeds a statistics high-water mark.
@@ -158,29 +158,42 @@ class BlockStore:
 
     def peek(self, ref: BlockRef, default: Any = None) -> Any:
         """Non-faulting read for tests/reports: returns ``default`` when the
-        version is absent or corrupted."""
+        version is absent or corrupted.
+
+        Lock-free; same linearization argument as :meth:`status_of`.  Does
+        not bump read statistics, so skipping the lock loses nothing."""
         slot = self._slot(ref.block)
-        with slot.lock:
-            pinned = slot.pinned.get(ref.version)
-            if pinned is not None:
-                return pinned.data
-            entry = slot.versions.get(ref.version)
-            if entry is None or entry.corrupted:
-                return default
-            return entry.data
+        pinned = slot.pinned.get(ref.version)
+        if pinned is not None:
+            return pinned.data
+        entry = slot.versions.get(ref.version)
+        if entry is None or entry.corrupted:
+            return default
+        return entry.data
 
     def status_of(self, ref: BlockRef) -> str:
         """``"ok"``, ``"corrupted"``, or ``"missing"`` (never written or
         evicted) -- the non-raising form of :meth:`read` used by the
-        scheduler's predecessor-output availability check."""
+        scheduler's predecessor-output availability check.
+
+        **Lock-free.**  Memory-ordering argument (CPython): each probe
+        (``in`` / ``dict.get`` / ``entry.corrupted``) is a single GIL-atomic
+        operation against state that concurrent writers mutate only *under*
+        the slot lock, so every probe observes some consistent
+        linearization point -- never a torn entry.  The composite answer
+        can be stale by at most one concurrent write/corruption, which the
+        locked version permitted equally: a status returned under the lock
+        was stale the instant the lock was released.  Callers (the
+        scheduler's availability check) already treat the answer as a hint
+        that the subsequent faulting ``read`` re-validates authoritatively.
+        """
         slot = self._slot(ref.block)
-        with slot.lock:
-            if ref.version in slot.pinned:
-                return "ok"
-            entry = slot.versions.get(ref.version)
-            if entry is None:
-                return "missing"
-            return "corrupted" if entry.corrupted else "ok"
+        if ref.version in slot.pinned:
+            return "ok"
+        entry = slot.versions.get(ref.version)
+        if entry is None:
+            return "missing"
+        return "corrupted" if entry.corrupted else "ok"
 
     def newest_resident(self, block: Hashable) -> int | None:
         """Most recently written resident version of ``block`` (or None)."""
@@ -195,12 +208,12 @@ class BlockStore:
         from TRYINITCOMPUTE: a predecessor whose outputs are unavailable is
         treated as failed and recovered.
         """
+        # Lock-free; see status_of for the memory-ordering argument.
         slot = self._slot(ref.block)
-        with slot.lock:
-            if ref.version in slot.pinned:
-                return True
-            entry = slot.versions.get(ref.version)
-            return entry is not None and not entry.corrupted
+        if ref.version in slot.pinned:
+            return True
+        entry = slot.versions.get(ref.version)
+        return entry is not None and not entry.corrupted
 
     # -- fault injection ----------------------------------------------------------
 

@@ -27,18 +27,28 @@ class StoreComputeContext:
         store: BlockStore,
         key: Key,
         strict: bool = True,
+        footprint: tuple[frozenset, frozenset] | None = None,
     ) -> None:
         self.spec = spec
         self.store = store
         self.key = key
-        self._inputs = frozenset(BlockRef(*r) for r in spec.inputs(key))
-        self._outputs = frozenset(BlockRef(*r) for r in spec.outputs(key))
+        # BlockRef is a namedtuple, so raw (block, version) tuples from a
+        # spec hash/compare equal to wrapped refs; membership tests below
+        # need no per-element rewrapping.  Schedulers that already cache
+        # the (inputs, outputs) frozensets pass them via ``footprint`` so
+        # re-executions skip the spec round-trip.
+        if footprint is not None:
+            self._inputs, self._outputs = footprint
+        else:
+            self._inputs = frozenset(spec.inputs(key))
+            self._outputs = frozenset(spec.outputs(key))
         self.reads: list[BlockRef] = []
         self.writes: list[BlockRef] = []
         self.strict = strict
 
     def read(self, ref: BlockRef) -> Any:
-        ref = BlockRef(*ref)
+        if type(ref) is not BlockRef:
+            ref = BlockRef(*ref)
         if self.strict and ref not in self._inputs:
             raise SchedulerError(
                 f"task {self.key!r} read undeclared input {ref!r}; "
@@ -49,7 +59,8 @@ class StoreComputeContext:
         return value
 
     def write(self, ref: BlockRef, value: Any) -> None:
-        ref = BlockRef(*ref)
+        if type(ref) is not BlockRef:
+            ref = BlockRef(*ref)
         if self.strict and ref not in self._outputs:
             raise SchedulerError(
                 f"task {self.key!r} wrote undeclared output {ref!r}; "

@@ -11,9 +11,19 @@ be derived after the fact from one source of truth.
 Design constraints:
 
 * **Low overhead when off.**  Schedulers and runtimes hold a
-  :data:`NULL_LOG` by default and guard every emission with the log's
-  ``enabled`` flag, so a fault-free benchmark run pays one attribute
-  read per would-be event.
+  :data:`NULL_LOG` by default and guard every emission with a cached
+  ``log is not NULL_LOG`` identity check, so a fault-free benchmark run
+  pays one local boolean test per would-be event.
+* **Low contention when on.**  An unbounded log appends to *per-thread
+  buffers* (no lock on the emission path); ordering comes from a shared
+  sequence counter whose ``next()`` is a single GIL-atomic operation.
+  The buffers are merged back into one totally-ordered sequence -- by
+  that counter, never by timestamp (the simulator emits with
+  non-monotone virtual times) -- when the log is *read*, which analysis
+  and replay only do at quiescence.  The merged order is exactly the
+  order a single-lock log would have recorded: the counter linearizes
+  emissions, and any cross-thread happens-before edge (lock release ->
+  acquire on a task record) orders the corresponding ``next()`` calls.
 * **Worker attribution and timestamps come from the runtime.**  Each
   runtime exposes ``obs_now()`` (virtual time on the simulator,
   wall-clock seconds since ``execute()`` on the threaded runtime,
@@ -24,16 +34,17 @@ Design constraints:
   incarnation never aliases its first.
 * **Bounded memory on demand.**  ``EventLog(capacity=n)`` keeps only the
   most recent ``n`` events in a ring buffer (``dropped`` counts the
-  rest); the default is unbounded, which is what the replay/consistency
-  machinery in :mod:`repro.obs.replay` requires.
-
-Thread-safe: the threaded runtime emits from many workers; a single lock
-serializes appends, which also makes the global sequence number a total
-order consistent with each worker's program order.
+  rest); eviction needs a global view, so capacity logs keep the classic
+  single-lock append path.  The default is unbounded, which is what the
+  replay/consistency machinery in :mod:`repro.obs.replay` requires.
+  ``EventLog(buffered=False)`` forces the single-lock path on an
+  unbounded log -- the reference implementation that the buffered-log
+  parity tests compare against.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -156,21 +167,41 @@ def _json_key(key: Any) -> Any:
     return repr(key)
 
 
+def _seq_of(event: Event) -> int:
+    return event.seq
+
+
 class EventLog:
-    """Append-only, thread-safe event collector bound to a runtime clock."""
+    """Append-only, thread-safe event collector bound to a runtime clock.
+
+    Unbounded logs (the default) take the *buffered* emission path: each
+    emitting thread appends to its own list, and the only shared state an
+    emission touches is ``next()`` on an :func:`itertools.count` -- a
+    single C-level call that is atomic under the GIL and therefore a
+    linearization point.  Merging the buffers by that sequence number at
+    read time reconstructs exactly the total order a single-lock log
+    would have produced (see the module docstring for the argument).
+    Capacity-bounded logs and ``buffered=False`` use the single lock.
+    """
 
     enabled = True
-    """Emission guard: hot paths check ``log.enabled`` before building an
-    event.  Always True here; the :class:`NullEventLog` overrides it."""
+    """Emission guard: hot paths cache ``log is not NULL_LOG`` (or read
+    this flag) before building an event.  Always True here; the
+    :class:`NullEventLog` overrides it."""
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(self, capacity: int | None = None, buffered: bool = True) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.capacity = capacity
+        self._buffered = buffered and capacity is None
         self._events: deque[Event] | list[Event]
         self._events = deque(maxlen=capacity) if capacity is not None else []
         self._lock = threading.Lock()
         self._seq = 0
+        self._count = itertools.count()
+        self._local = threading.local()
+        self._buffers: list[list[Event]] = []
+        self._merged: list[Event] = []
         self._clock: Callable[[], float] = time.perf_counter
         self._worker: Callable[[], int] = _zero
         self._epoch = time.perf_counter()
@@ -192,6 +223,18 @@ class EventLog:
 
     # -- emission ----------------------------------------------------------------
 
+    def _thread_buffer(self) -> list[Event]:
+        """This thread's append buffer, created and registered on first use.
+
+        Registration takes a lock once per (thread, log) pair -- never per
+        event.  The registry holds strong references, so events survive
+        their emitting worker thread."""
+        buf: list[Event] = []
+        with self._lock:
+            self._buffers.append(buf)
+        self._local.buf = buf
+        return buf
+
     def emit(
         self,
         kind: EventKind,
@@ -200,6 +243,15 @@ class EventLog:
         **data: Any,
     ) -> None:
         """Record one event at the bound runtime's current time/worker."""
+        if self._buffered:
+            try:
+                buf = self._local.buf
+            except AttributeError:
+                buf = self._thread_buffer()
+            buf.append(
+                Event(next(self._count), self._clock(), self._worker(), kind, key, life, data)
+            )
+            return
         self.emit_at(kind, self._clock(), self._worker(), key, life, **data)
 
     def emit_at(
@@ -213,6 +265,13 @@ class EventLog:
     ) -> None:
         """Record one event with explicit attribution (used by the
         simulator's driver loop, which acts *for* a virtual worker)."""
+        if self._buffered:
+            try:
+                buf = self._local.buf
+            except AttributeError:
+                buf = self._thread_buffer()
+            buf.append(Event(next(self._count), t, worker, kind, key, life, data))
+            return
         with self._lock:
             seq = self._seq
             self._seq += 1
@@ -220,29 +279,63 @@ class EventLog:
 
     # -- inspection ---------------------------------------------------------------
 
+    def _drain(self) -> list[Event]:
+        """Merged view of every thread buffer, ordered by sequence number.
+
+        Memoized by total event count: buffers are append-only, so an
+        unchanged total means an unchanged merge.  Safe to call while
+        workers are still emitting (list snapshots are atomic under the
+        GIL); the result is simply the events emitted so far."""
+        with self._lock:
+            snap = [list(b) for b in self._buffers]
+        total = 0
+        for b in snap:
+            total += len(b)
+        if len(self._merged) != total:
+            self._merged = sorted((e for b in snap for e in b), key=_seq_of)
+        return self._merged
+
     @property
     def events(self) -> list[Event]:
         """Snapshot of retained events in emission order."""
+        if self._buffered:
+            return list(self._drain())
         with self._lock:
             return list(self._events)
 
     @property
     def total_emitted(self) -> int:
+        if self._buffered:
+            with self._lock:
+                return sum(len(b) for b in self._buffers)
         with self._lock:
             return self._seq
 
     @property
+    def buffered(self) -> bool:
+        """True when emissions take the per-thread buffered path."""
+        return self._buffered
+
+    @property
     def dropped(self) -> int:
         """Events lost to the ring buffer (0 for an unbounded log)."""
+        if self._buffered:
+            return 0
         with self._lock:
             return self._seq - len(self._events)
 
     def clear(self) -> None:
         with self._lock:
+            for buf in self._buffers:
+                buf.clear()
+            self._merged = []
+            self._count = itertools.count()
             self._events.clear()
             self._seq = 0
 
     def __len__(self) -> int:
+        if self._buffered:
+            return self.total_emitted
         with self._lock:
             return len(self._events)
 
@@ -258,9 +351,8 @@ class NullEventLog(EventLog):
     """The disabled log: every emission is a no-op.
 
     Schedulers/runtimes hold this by default so fault-free benchmark runs
-    pay only an ``enabled`` flag check (and not even that where call
-    sites guard on it, which all hot paths do).
-    """
+    pay only an identity/flag check (and not even that where call sites
+    cache the check, which all hot paths do)."""
 
     enabled = False
 

@@ -1,0 +1,50 @@
+"""Performance measurement: the BENCH trajectory's first-class citizen.
+
+The paper's headline result is a *performance* claim (fault-tolerance
+support under ~5% overhead at scale), so this reproduction treats "how
+fast is the hot path" as an invariant to be measured and defended, not a
+vibe.  This package provides:
+
+* :mod:`repro.perf.bench` -- a statistical microbenchmark runner
+  (warmup discard, min-of-k timing, bootstrap confidence intervals,
+  in-process calibration against a reference spin loop);
+* :mod:`repro.perf.suites` -- the benchmark catalogue: scheduler
+  structure ops (task-map insert/get, recovery claims, notification
+  bits), tracing-on/off scheduler throughput, threaded-runtime
+  contention at 1/4/8 workers, simulator events/sec, and end-to-end
+  LCS / Floyd-Warshall runs;
+* :mod:`repro.perf.compare` -- baseline comparison and the >15%
+  regression gate used by CI;
+* :mod:`repro.perf.cli` -- ``python -m repro perf``, which writes
+  ``BENCH_<n>.json`` files that seed the repo's perf trajectory.
+
+See docs/PERFORMANCE.md for the hot-path inventory and how to read the
+numbers.
+"""
+
+from repro.perf.bench import (
+    Benchmark,
+    BenchResult,
+    RunnerConfig,
+    bootstrap_ci,
+    calibrate,
+    run_benchmark,
+    run_suite,
+)
+from repro.perf.compare import compare_runs, load_bench_json
+from repro.perf.suites import SUITE, benchmarks, groups
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "RunnerConfig",
+    "SUITE",
+    "benchmarks",
+    "bootstrap_ci",
+    "calibrate",
+    "compare_runs",
+    "groups",
+    "load_bench_json",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,162 @@
+"""BENCH JSON files: serialization, numbering, and the regression gate.
+
+A BENCH file is one suite run: per-benchmark median + bootstrap CI +
+raw samples, plus the in-process calibration score that makes scores
+comparable across machines.  ``BENCH_seed.json`` at the repo root is the
+committed baseline; ``python -m repro perf`` emits ``BENCH_<n>.json``
+siblings, growing the repo's performance trajectory one PR at a time.
+
+The gate compares **calibrated** scores (score / reference-loop score):
+raw ops/s on a laptop and on a throttled CI container differ 3x for
+reasons that have nothing to do with the code.  A benchmark regresses
+when its calibrated median is more than ``threshold`` (default 15%)
+worse than the baseline's, with the CI overlap rule as a noise guard:
+if the current CI overlaps the baseline's CI, the difference is not
+resolvable at this sample size and is not flagged.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.perf.bench import BenchResult
+
+SCHEMA_VERSION = 1
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def bench_payload(
+    results: Mapping[str, BenchResult],
+    calibration: float,
+    config: Mapping[str, object],
+    label: str = "",
+) -> dict:
+    """The JSON document for one suite run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "host": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "calibration": calibration,
+        "config": dict(config),
+        "results": {name: r.to_dict() for name, r in results.items()},
+    }
+
+
+def write_bench_json(payload: dict, path: Path) -> Path:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: Path | str) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported BENCH schema {data.get('schema')!r}")
+    return data
+
+
+def next_bench_path(root: Path) -> Path:
+    """First free ``BENCH_<n>.json`` under ``root`` (seed excluded)."""
+    taken = set()
+    for p in root.glob("BENCH_*.json"):
+        m = _BENCH_RE.match(p.name)
+        if m:
+            taken.add(int(m.group(1)))
+    n = 1
+    while n in taken:
+        n += 1
+    return root / f"BENCH_{n}.json"
+
+
+def repo_root(start: Path | None = None) -> Path:
+    """Nearest ancestor holding pyproject.toml (fallback: cwd) -- BENCH
+    files live at the repo root regardless of where the CLI runs."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return here
+
+
+# ---------------------------------------------------------------------------
+# comparison
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One benchmark's baseline-vs-current comparison (calibrated)."""
+
+    name: str
+    unit: str
+    baseline: float
+    """Raw baseline median, in the benchmark's own units (for display)."""
+    current: float
+    """Raw current median, same units."""
+    ratio: float
+    """current / baseline in calibrated units; >1 means faster for
+    higher-is-better benchmarks."""
+    regressed: bool
+    resolvable: bool
+    """False when the CIs overlap: the difference is inside noise."""
+
+    def describe(self) -> str:
+        tag = "REGRESSED" if self.regressed else ("~" if not self.resolvable else "ok")
+        return (
+            f"{self.name:<34} {self.ratio:>6.2f}x vs baseline (calibrated; "
+            f"raw {self.current:,.0f} vs {self.baseline:,.0f} {self.unit}) [{tag}]"
+        )
+
+
+def compare_runs(
+    baseline: dict, current: dict, threshold: float = 0.15
+) -> tuple[list[Delta], list[str]]:
+    """Compare two BENCH documents; returns ``(deltas, missing)``.
+
+    ``missing`` lists benchmarks present in the baseline but absent from
+    the current run (a silently-dropped benchmark must fail the gate too,
+    otherwise deleting a slow benchmark "fixes" its regression).
+    """
+    base_cal = float(baseline.get("calibration") or 1.0)
+    cur_cal = float(current.get("calibration") or 1.0)
+    deltas: list[Delta] = []
+    missing: list[str] = []
+    base_results = baseline.get("results", {})
+    cur_results = current.get("results", {})
+    for name, base in base_results.items():
+        cur = cur_results.get(name)
+        if cur is None:
+            missing.append(name)
+            continue
+        hib = bool(base.get("higher_is_better", True))
+        b = float(base["median"]) / base_cal
+        c = float(cur["median"]) / cur_cal
+        if b <= 0 or c <= 0:
+            continue
+        ratio = (c / b) if hib else (b / c)
+        b_lo, b_hi = float(base["ci_lo"]) / base_cal, float(base["ci_hi"]) / base_cal
+        c_lo, c_hi = float(cur["ci_lo"]) / cur_cal, float(cur["ci_hi"]) / cur_cal
+        resolvable = c_hi < b_lo or c_lo > b_hi
+        regressed = resolvable and ratio < (1.0 - threshold)
+        deltas.append(
+            Delta(
+                name=name,
+                unit=str(base.get("unit", "ops/s")),
+                baseline=float(base["median"]),
+                current=float(cur["median"]),
+                ratio=ratio,
+                regressed=regressed,
+                resolvable=resolvable,
+            )
+        )
+    return deltas, missing

@@ -1,0 +1,342 @@
+"""The benchmark catalogue: what "fast" means for this scheduler.
+
+Four layers, mirroring the hot-path inventory in docs/PERFORMANCE.md:
+
+* ``structs`` -- the shared concurrent structures every scheduler
+  operation funnels through: :class:`~repro.core.taskmap.TaskMap`
+  insert/get, :class:`~repro.core.recovery_table.RecoveryTable` claims,
+  incarnation replacement (the "recover" op), and the notification
+  bit-vector protocol on a :class:`~repro.core.records.TaskRecord`.
+* ``scheduler`` -- whole-scheduler throughput on a no-op-compute grid
+  graph, where bookkeeping *is* the workload: with tracing off (the
+  number the paper's <5% overhead claim lives or dies by) and with a
+  live :class:`~repro.obs.events.EventLog` attached.
+* ``threaded`` / ``simulator`` -- the two parallel runtimes:
+  real-thread contention at 1/4/8 workers, and the discrete-event loop's
+  events/sec (every figure harness executes it millions of times).
+* ``e2e`` -- tiny real-kernel LCS and Floyd-Warshall runs through the
+  full FT stack, so a regression that hides between layers still shows.
+
+Scales: ``default`` produces the BENCH numbers; ``selftest`` shrinks
+every workload so the whole suite (and CI) finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.perf.bench import Benchmark
+
+# ---------------------------------------------------------------------------
+# workload builders
+
+
+def _noop_grid_spec(n: int):
+    """An n x n dependence grid (LCS-shaped) whose tasks write one block
+    and compute nothing: scheduler bookkeeping dominates by design."""
+    from repro.graph.explicit import ExplicitTaskGraph
+    from repro.graph.taskspec import BlockRef
+
+    def noop(key, ctx):
+        ctx.write(BlockRef(key, 0), 0)
+
+    edges = []
+    for i in range(n):
+        for j in range(n):
+            if i:
+                edges.append(((i - 1, j), (i, j)))
+            if j:
+                edges.append(((i, j - 1), (i, j)))
+    return ExplicitTaskGraph(edges, compute=noop)
+
+
+def _run_ft(spec, runtime, event_log=None) -> int:
+    from repro.core.ft import FTScheduler
+
+    sched = FTScheduler(spec, runtime, event_log=event_log)
+    sched.run()
+    return sched.trace.total_computes
+
+
+def _spawn_tree_root(runtime, depth: int):
+    """Binary spawn tree of trivial frames: the simulator loop's pure
+    overhead, undiluted by scheduler or kernel work."""
+    from repro.runtime.frames import Frame
+
+    def node(d):
+        if d <= 0:
+            return
+        runtime.spawn(lambda: node(d - 1))
+        runtime.spawn(lambda: node(d - 1))
+
+    return Frame(lambda: node(depth))
+
+
+# ---------------------------------------------------------------------------
+# structs
+
+
+def _bench_taskmap_insert(n_keys: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.core.taskmap import TaskMap
+
+        tm = TaskMap(lambda k: 2)
+        keys = list(range(n_keys))
+
+        def batch() -> int:
+            insert = tm.insert_if_absent
+            for key in keys:
+                insert(key)  # miss: allocates the record
+            for key in keys:
+                insert(key)  # hit: the common re-traversal case
+            return 2 * n_keys
+
+        return batch
+
+    return make
+
+
+def _bench_taskmap_get(n_keys: int, rounds: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.core.taskmap import TaskMap
+
+        tm = TaskMap(lambda k: 2)
+        keys = list(range(n_keys))
+        for key in keys:
+            tm.insert_if_absent(key)
+
+        def batch() -> int:
+            get = tm.get
+            for _ in range(rounds):
+                for key in keys:
+                    get(key)
+            return rounds * n_keys
+
+        return batch
+
+    return make
+
+
+def _bench_recovery_claim(n_keys: int, lives: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.core.recovery_table import RecoveryTable
+
+        def batch() -> int:
+            table = RecoveryTable()
+            claim = table.check_and_claim
+            for life in range(1, lives + 1):
+                for key in range(n_keys):
+                    claim(key, life)
+                    claim(key, life)  # duplicate observer standing down
+            return 2 * n_keys * lives
+
+        return batch
+
+    return make
+
+
+def _bench_recovery_replace(n_keys: int, lives: int) -> Callable[[], Callable[[], int]]:
+    """The RECOVERTASKONCE structure op: claim the failure, then install
+    a fresh incarnation (the paper's REPLACETASK)."""
+
+    def make():
+        from repro.core.recovery_table import RecoveryTable
+        from repro.core.taskmap import TaskMap
+
+        tm = TaskMap(lambda k: 2)
+        for key in range(n_keys):
+            tm.insert_if_absent(key)
+
+        def batch() -> int:
+            table = RecoveryTable()
+            for life in range(1, lives + 1):
+                for key in range(n_keys):
+                    if table.check_and_claim(key, life):
+                        tm.replace(key)
+            return n_keys * lives
+
+        return batch
+
+    return make
+
+
+def _bench_notify_bits(n_preds: int, rounds: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.core.records import TaskRecord
+
+        rec = TaskRecord("k", n_preds)
+
+        def batch() -> int:
+            lock = rec.lock
+            unset = rec.try_unset_bit
+            for _ in range(rounds):
+                for bit in range(n_preds + 1):
+                    with lock:
+                        unset(bit)
+                with lock:
+                    rec.reset_for_reuse()
+            return rounds * (n_preds + 1)
+
+        return batch
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# scheduler / runtimes / e2e
+
+
+def _bench_sched(n: int, traced: bool) -> Callable[[], Callable[[], int]]:
+    spec = _noop_grid_spec(n)
+
+    def make():
+        from repro.obs.events import EventLog
+        from repro.runtime.inline import InlineRuntime
+
+        log = EventLog() if traced else None
+
+        def batch() -> int:
+            return _run_ft(spec, InlineRuntime(), event_log=log)
+
+        return batch
+
+    return make
+
+
+def _bench_threaded(n: int, workers: int) -> Callable[[], Callable[[], int]]:
+    spec = _noop_grid_spec(n)
+
+    def make():
+        from repro.runtime.threadpool import ThreadedRuntime
+
+        def batch() -> int:
+            return _run_ft(spec, ThreadedRuntime(workers=workers, seed=1))
+
+        return batch
+
+    return make
+
+
+def _bench_simulator(depth: int, workers: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.runtime.simulator import SimulatedRuntime
+
+        def batch() -> int:
+            rt = SimulatedRuntime(workers=workers, seed=1)
+            return rt.execute(_spawn_tree_root(rt, depth)).frames
+
+        return batch
+
+    return make
+
+
+def _bench_e2e(app_name: str) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.apps import make_app
+        from repro.runtime.simulator import SimulatedRuntime
+
+        app = make_app(app_name, scale="tiny")
+
+        def batch() -> int:
+            from repro.core.ft import FTScheduler
+
+            store = app.make_store(True)
+            sched = FTScheduler(app, SimulatedRuntime(workers=4, seed=1), store=store)
+            sched.run()
+            app.verify(store)
+            return sched.trace.total_computes
+
+        return batch
+
+    return make
+
+
+# ---------------------------------------------------------------------------
+# the suite
+
+
+def benchmarks(scale: str = "default") -> list[Benchmark]:
+    """The full catalogue at ``scale`` ('default' or 'selftest')."""
+    if scale not in ("default", "selftest"):
+        raise ValueError(f"unknown perf scale {scale!r}")
+    tiny = scale == "selftest"
+    grid = 10 if tiny else 32
+    tgrid = 8 if tiny else 20
+    depth = 8 if tiny else 14
+    keys = 512 if tiny else 4096
+    rounds = 2 if tiny else 8
+
+    return [
+        Benchmark(
+            "taskmap_insert", "structs", _bench_taskmap_insert(keys),
+            description="TaskMap.insert_if_absent, one miss + one hit per key",
+        ),
+        Benchmark(
+            "taskmap_get", "structs", _bench_taskmap_get(keys, rounds),
+            description="TaskMap.get over resident keys (the read-only hot path)",
+        ),
+        Benchmark(
+            "recovery_claim", "structs", _bench_recovery_claim(keys // 4, 3),
+            description="RecoveryTable.check_and_claim, winner + duplicate per (key, life)",
+        ),
+        Benchmark(
+            "recovery_replace", "structs", _bench_recovery_replace(keys // 8, 3),
+            description="claim + TaskMap.replace: the recover structure op",
+        ),
+        Benchmark(
+            "notify_bits", "structs", _bench_notify_bits(12, 64 if tiny else 512),
+            description="locked ATOMICBITUNSET sweep + re-arm on one TaskRecord",
+        ),
+        Benchmark(
+            "sched_tasks_per_sec_tracing_off", "scheduler", _bench_sched(grid, traced=False),
+            unit="tasks/s",
+            description="FTScheduler + InlineRuntime on a no-op grid, NULL_LOG",
+        ),
+        Benchmark(
+            "sched_tasks_per_sec_traced", "scheduler", _bench_sched(grid, traced=True),
+            unit="tasks/s",
+            description="same grid with a live EventLog attached",
+        ),
+        Benchmark(
+            "threaded_tasks_per_sec_w1", "threaded", _bench_threaded(tgrid, 1),
+            unit="tasks/s", description="FTScheduler + ThreadedRuntime, 1 worker",
+        ),
+        Benchmark(
+            "threaded_tasks_per_sec_w4", "threaded", _bench_threaded(tgrid, 4),
+            unit="tasks/s", description="FTScheduler + ThreadedRuntime, 4 workers",
+        ),
+        Benchmark(
+            "threaded_tasks_per_sec_w8", "threaded", _bench_threaded(tgrid, 8),
+            unit="tasks/s", description="FTScheduler + ThreadedRuntime, 8 workers",
+        ),
+        Benchmark(
+            "sim_events_per_sec", "simulator", _bench_simulator(depth, 8),
+            unit="frames/s",
+            description="SimulatedRuntime inner loop on a trivial binary spawn tree",
+        ),
+        Benchmark(
+            "sim_park_storm", "simulator", _bench_simulator(max(4, depth - 4), 32),
+            unit="frames/s",
+            description="32 workers on a shallow tree: park/unpark and steal-probe storms",
+        ),
+        Benchmark(
+            "e2e_lcs", "e2e", _bench_e2e("lcs"), unit="tasks/s",
+            description="full FT stack, real LCS kernels, simulator @ 4 workers",
+        ),
+        Benchmark(
+            "e2e_fw", "e2e", _bench_e2e("fw"), unit="tasks/s",
+            description="full FT stack, real Floyd-Warshall kernels, simulator @ 4 workers",
+        ),
+    ]
+
+
+#: Default-scale suite (built lazily on first use by the CLI; importing
+#: this module never imports numpy-heavy app code).
+SUITE: tuple[str, ...] = tuple(b.name for b in benchmarks("selftest"))
+
+
+def groups(benches: Sequence[Benchmark]) -> dict[str, list[Benchmark]]:
+    out: dict[str, list[Benchmark]] = {}
+    for b in benches:
+        out.setdefault(b.group, []).append(b)
+    return out

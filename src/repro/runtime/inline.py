@@ -18,6 +18,10 @@ from repro.runtime.frames import Frame
 class InlineRuntime:
     """Depth-first serial frame executor."""
 
+    #: Frames run one at a time in the caller's thread; schedulers may
+    #: drop per-bump trace locking (``ExecutionTrace.assume_serial``).
+    concurrent_frames = False
+
     def __init__(self) -> None:
         self._stack: list[Frame] = []
         self._total = 0.0
@@ -52,13 +56,16 @@ class InlineRuntime:
         self._total = 0.0
         self._frames = 0
         self._stack = [root]
+        stack = self._stack  # spawn() appends to the same list object
+        frames = 0
         try:
-            while self._stack:
-                frame = self._stack.pop()
-                self._frames += 1
+            while stack:
+                frame = stack.pop()
+                frames += 1
                 self._total += frame.base_cost
                 frame.fn()
         finally:
+            self._frames = frames
             self._running = False
         return RunResult(
             makespan=self._total,

@@ -47,9 +47,40 @@ _INF = float("inf")
 
 
 class SimulatedRuntime:
-    """Virtual-time work-stealing executor over ``P`` simulated workers."""
+    """Virtual-time work-stealing executor over ``P`` simulated workers.
+
+    The driver loop is the single hottest function in the repo (every
+    figure-harness point executes it millions of times), so it is written
+    in deliberately flat style: hot globals and attributes bound to
+    locals, cost-model fields hoisted out of the loop, the spawn buffer
+    reused across frames, and a heap fast path that keeps a worker
+    running its own deque without a push+pop round-trip whenever it
+    strictly precedes every other scheduled event (strict inequality
+    preserves tie-breaking, so results stay bit-for-bit identical).
+    """
 
     STEAL_POLICIES = ("random", "round_robin", "richest")
+
+    #: Virtual concurrency only -- frames execute serially in the driver
+    #: thread, so schedulers may unlock trace bumps (``assume_serial``).
+    concurrent_frames = False
+
+    __slots__ = (
+        "_workers",
+        "cost_model",
+        "seed",
+        "record_timeline",
+        "steal_policy",
+        "timeline",
+        "_log",
+        "_running",
+        "_accum",
+        "_spawn_buffer",
+        "_spawn_cost",
+        "_pending",
+        "_current_worker",
+        "_frame_start",
+    )
 
     def __init__(
         self,
@@ -81,7 +112,8 @@ class SimulatedRuntime:
         self._log = event_log if event_log is not None else NULL_LOG
         self._running = False
         self._accum = 0.0
-        self._spawn_buffer: list[Frame] = []
+        self._spawn_buffer: list[tuple] = []  # (fn, base_cost, label)
+        self._spawn_cost = self.cost_model.spawn_cost
         self._pending = 0
         self._current_worker = 0
         self._frame_start = 0.0
@@ -117,8 +149,11 @@ class SimulatedRuntime:
     def spawn(self, fn: Callable[[], None], base_cost: float = 0.0, label: str = "") -> None:
         if not self._running:
             raise RuntimeError("spawn called outside execute()")
-        self._spawn_buffer.append(Frame(fn, base_cost, label))
-        self._accum += self.cost_model.spawn_cost
+        # Frames live as bare (fn, base_cost, label) tuples inside the
+        # simulator: tuple packing is a single C-level op, while a Frame
+        # __init__ is a Python call -- measurable at millions of spawns.
+        self._spawn_buffer.append((fn, base_cost, label))
+        self._accum += self._spawn_cost
 
     def charge(self, amount: float) -> None:
         self._accum += amount
@@ -141,11 +176,22 @@ class SimulatedRuntime:
         obs = log.enabled
         log.bind_runtime(self)
         rng = random.Random(self.seed)
-        # Deques hold (publication_time, Frame); publication times within a
+        # Hot bindings: every name the per-frame path touches is a local.
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        frame_overhead = cm.frame_overhead
+        steal_cost = cm.steal_cost
+        failed_steal_cost = cm.failed_steal_cost
+        self._spawn_cost = cm.spawn_cost
+        policy = self.steal_policy
+        policy_rr = policy == "round_robin"
+        policy_rich = policy == "richest"
+        rec_tl = self.record_timeline
+        # Deques hold (publication_time, (fn, base_cost, label)); publication times within a
         # deque are nondecreasing because the owner pushes at successive
         # frame-completion instants.
-        deques: list[deque[tuple[float, Frame]]] = [deque() for _ in range(P)]
-        deques[0].append((0.0, root))
+        deques: list[deque[tuple[float, tuple]]] = [deque() for _ in range(P)]
+        deques[0].append((0.0, (root.fn, root.base_cost, root.label)))
         self._pending = 1
         clocks = [0.0] * P
         busy = [0.0] * P
@@ -160,6 +206,9 @@ class SimulatedRuntime:
         worker_frames = [0] * P
         worker_steals = [0] * P
         self.timeline = []
+        timeline = self.timeline
+        buf = self._spawn_buffer
+        buf.clear()  # a frame that raised on a previous run may have left spawns
 
         def wake(count: int, at: float) -> None:
             nonlocal seq
@@ -169,18 +218,32 @@ class SimulatedRuntime:
                 clocks[pw] = max(clocks[pw], at)
                 if obs:
                     log.emit_at(EventKind.UNPARK, max(clocks[pw], at), pw)
-                heapq.heappush(heap, (clocks[pw], seq, pw))
+                heappush(heap, (clocks[pw], seq, pw))
                 seq += 1
 
+        # ``carry`` short-circuits the heappush/heappop round-trip: when the
+        # finishing worker still has local work and its completion instant
+        # *strictly* precedes every scheduled event, the pop would return the
+        # entry just pushed (strictness matters -- on a time tie the earlier
+        # pushed entry wins by seq, so ties must go through the heap).  Wake
+        # pushes happen at >= end with later seqs and so never outrank the
+        # carried worker either; results are bit-for-bit unchanged.
+        carry = -1
         while self._pending > 0:
-            if not heap:
-                raise AssertionError("pending frames but every worker parked")
-            now, _, w = heapq.heappop(heap)
-            clocks[w] = now
-            frame: Frame | None = None
+            if carry >= 0:
+                w = carry
+                now = clocks[w]
+                carry = -1
+            else:
+                if not heap:
+                    raise AssertionError("pending frames but every worker parked")
+                now, _, w = heappop(heap)
+                clocks[w] = now
+            frame: tuple | None = None
             start = now
-            if deques[w]:
-                _, frame = deques[w].pop()  # owner: bottom, LIFO
+            dq = deques[w]
+            if dq:
+                _, frame = dq.pop()  # owner: bottom, LIFO
             elif P > 1:
                 stealable = []
                 min_future = _INF
@@ -205,10 +268,10 @@ class SimulatedRuntime:
                     # Work exists but is not yet published for us: spin
                     # until the earliest publication instant.
                     clocks[w] = min_future
-                    heapq.heappush(heap, (clocks[w], seq, w))
+                    heappush(heap, (min_future, seq, w))
                     seq += 1
                     continue
-                if self.steal_policy == "round_robin":
+                if policy_rr:
                     # Deterministic scan from the thief's id: failed
                     # probes are the empty deques passed over.
                     stealable_set = set(stealable)
@@ -223,11 +286,11 @@ class SimulatedRuntime:
                             break
                         fails += 1
                     failed_steals += fails
-                    start = now + fails * cm.failed_steal_cost + cm.steal_cost
-                elif self.steal_policy == "richest":
+                    start = now + fails * failed_steal_cost + steal_cost
+                elif policy_rich:
                     # Omniscient oracle: longest stealable deque, one probe.
                     victim = max(stealable, key=lambda v: (len(deques[v]), -v))
-                    start = now + cm.steal_cost
+                    start = now + steal_cost
                 else:
                     # Batch the failed probes preceding a successful steal:
                     # attempts ~ Geometric(p), capped at the next event so
@@ -240,21 +303,22 @@ class SimulatedRuntime:
                         k = 1 + int(math.log1p(-u) / math.log1p(-p))
                     horizon = heap[0][0] if heap else _INF
                     if horizon < _INF:
-                        k_max = max(1, int((horizon - now) / cm.failed_steal_cost) + 1)
+                        k_max = max(1, int((horizon - now) / failed_steal_cost) + 1)
                     else:
                         k_max = k
                     if k > k_max:
                         failed_steals += k_max
-                        clocks[w] = now + k_max * cm.failed_steal_cost
-                        heapq.heappush(heap, (clocks[w], seq, w))
+                        clocks[w] = now + k_max * failed_steal_cost
+                        heappush(heap, (clocks[w], seq, w))
                         seq += 1
                         continue
                     failed_steals += k - 1
-                    start = now + (k - 1) * cm.failed_steal_cost + cm.steal_cost
+                    start = now + (k - 1) * failed_steal_cost + steal_cost
                     victim = stealable[self._choose_victim(rng, stealable)]
                 _, frame = deques[victim].popleft()  # thief: top, FIFO
                 steals += 1
                 worker_steals[w] += 1
+                dq = deques[w]  # children publish to the thief's own deque
                 if obs:
                     log.emit_at(
                         EventKind.STEAL, start, w, victim=victim, depth=len(deques[victim])
@@ -263,29 +327,34 @@ class SimulatedRuntime:
                 raise AssertionError("single worker idle with pending frames")
 
             # Execute the frame; its spawns are published at completion.
-            self._accum = frame.base_cost + cm.frame_overhead
-            self._spawn_buffer = []
+            fn, base_cost, label = frame
+            self._accum = base_cost + frame_overhead
             self._current_worker = w
             self._frame_start = start
-            frame.fn()
-            spawned = self._spawn_buffer
-            self._spawn_buffer = []
-            end = start + self._accum
+            fn()
+            n_spawned = len(buf)
+            acc = self._accum
+            end = start + acc
             clocks[w] = end
-            busy[w] += self._accum
+            busy[w] += acc
             frames += 1
             worker_frames[w] += 1
-            self._pending += len(spawned) - 1
+            self._pending += n_spawned - 1
             if end > makespan:
                 makespan = end
-            if self.record_timeline:
-                self.timeline.append((start, end, w, frame.label))
-            for child in spawned:
-                deques[w].append((end, child))
-            heapq.heappush(heap, (end, seq, w))
-            seq += 1
-            if spawned and parked:
-                wake(len(spawned), end)
+            if rec_tl:
+                timeline.append((start, end, w, label))
+            if n_spawned:
+                for child in buf:
+                    dq.append((end, child))
+                buf.clear()
+            if dq and (not heap or end < heap[0][0]):
+                carry = w
+            else:
+                heappush(heap, (end, seq, w))
+                seq += 1
+            if n_spawned and parked:
+                wake(n_spawned, end)
 
         return RunResult(
             makespan=makespan,

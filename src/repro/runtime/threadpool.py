@@ -31,11 +31,23 @@ from repro.runtime.api import RunResult
 from repro.runtime.deque import WorkDeque
 from repro.runtime.frames import Frame
 
-_PARK_SECONDS = 20e-6
+#: Idle-sleep bounds: a worker that finds nothing to run or steal sleeps
+#: ``_PARK_MIN_SECONDS`` on the first miss and doubles the sleep on every
+#: consecutive miss up to ``_PARK_MAX_SECONDS`` (capped exponential
+#: backoff).  Short first sleeps keep steal latency low when work is about
+#: to appear; the cap keeps long-idle workers from hammering the GIL and
+#: the deque locks with futile probes.  The backoff resets the moment a
+#: frame is found, and one idle episode still emits exactly one PARK and
+#: (when work reappears) one UNPARK regardless of how many sleeps it took.
+_PARK_MIN_SECONDS = 20e-6
+_PARK_MAX_SECONDS = 1e-3
 
 
 class ThreadedRuntime:
     """Work-stealing thread pool executing frames to quiescence."""
+
+    #: Frames genuinely race: trace counters must stay lock-protected.
+    concurrent_frames = True
 
     def __init__(
         self, workers: int = 4, seed: int | None = None, event_log: EventLog | None = None
@@ -147,6 +159,7 @@ class ThreadedRuntime:
         local_parks = 0
         local_busy = 0.0
         idle = False
+        park_delay = _PARK_MIN_SECONDS
         try:
             while not self._stop.is_set():
                 frame = my.pop_bottom()
@@ -168,12 +181,14 @@ class ThreadedRuntime:
                         local_parks += 1
                         if obs:
                             log.emit(EventKind.PARK)
-                    time.sleep(_PARK_SECONDS)
+                    time.sleep(park_delay)
+                    park_delay = min(park_delay * 2.0, _PARK_MAX_SECONDS)
                     continue
                 if idle:
                     idle = False
                     if obs:
                         log.emit(EventKind.UNPARK)
+                park_delay = _PARK_MIN_SECONDS
                 started = time.perf_counter()
                 try:
                     frame.fn()

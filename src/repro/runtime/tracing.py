@@ -78,6 +78,10 @@ class ExecutionTrace:
 
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
+    _serial: bool = field(default=False, repr=False)
+    """True when the bound runtime executes frames on a single thread
+    (``concurrent_frames = False``): counter bumps skip the lock."""
+
     #: The scalar counters ``bump`` may touch.  A typo'd name must fail
     #: loudly instead of silently creating a new attribute that no report
     #: ever reads.
@@ -101,15 +105,37 @@ class ExecutionTrace:
 
     # -- mutation (scheduler side) -------------------------------------------------
 
+    def assume_serial(self) -> None:
+        """Declare that all future bumps come from one thread at a time.
+
+        Called by schedulers whose runtime advertises
+        ``concurrent_frames = False`` (inline, simulated): frames run
+        serially in the driver thread, so the per-bump lock round-trip is
+        pure overhead on the hottest scheduler paths."""
+        self._serial = True
+
+    def assume_concurrent(self) -> None:
+        """Re-arm the lock (a threaded runtime is about to mutate)."""
+        self._serial = False
+
     def count_compute(self, key: Hashable) -> None:
+        if self._serial:
+            self.computes[key] += 1
+            return
         with self._lock:
             self.computes[key] += 1
 
     def count_compute_failure(self, key: Hashable) -> None:
+        if self._serial:
+            self.compute_failures[key] += 1
+            return
         with self._lock:
             self.compute_failures[key] += 1
 
     def count_recovery(self, key: Hashable) -> None:
+        if self._serial:
+            self.recoveries[key] += 1
+            return
         with self._lock:
             self.recoveries[key] += 1
 
@@ -128,54 +154,93 @@ class ExecutionTrace:
     # are checked at import time rather than string-matched at run time.
 
     def count_recovery_skip(self) -> None:
+        if self._serial:
+            self.recovery_skips += 1
+            return
         with self._lock:
             self.recovery_skips += 1
 
     def count_reset(self) -> None:
+        if self._serial:
+            self.resets += 1
+            return
         with self._lock:
             self.resets += 1
 
     def count_notify_reinit(self) -> None:
+        if self._serial:
+            self.notify_reinits += 1
+            return
         with self._lock:
             self.notify_reinits += 1
 
     def count_reinit_scan(self, amount: int = 1) -> None:
+        if self._serial:
+            self.reinit_scans += amount
+            return
         with self._lock:
             self.reinit_scans += amount
 
     def count_notification(self) -> None:
+        if self._serial:
+            self.notifications += 1
+            return
         with self._lock:
             self.notifications += 1
 
     def count_stale_notification(self) -> None:
+        if self._serial:
+            self.stale_notifications += 1
+            return
         with self._lock:
             self.stale_notifications += 1
 
     def count_stale_frame(self) -> None:
+        if self._serial:
+            self.stale_frames += 1
+            return
         with self._lock:
             self.stale_frames += 1
 
     def count_fault_observed(self) -> None:
+        if self._serial:
+            self.faults_observed += 1
+            return
         with self._lock:
             self.faults_observed += 1
 
     def count_fault_injected(self) -> None:
+        if self._serial:
+            self.faults_injected += 1
+            return
         with self._lock:
             self.faults_injected += 1
 
     def count_sdc_injected(self) -> None:
+        if self._serial:
+            self.sdc_injected += 1
+            return
         with self._lock:
             self.sdc_injected += 1
 
     def count_sdc_detected(self) -> None:
+        if self._serial:
+            self.sdc_detected += 1
+            return
         with self._lock:
             self.sdc_detected += 1
 
     def count_sdc_escaped(self) -> None:
+        if self._serial:
+            self.sdc_escaped += 1
+            return
         with self._lock:
             self.sdc_escaped += 1
 
     def count_replica_run(self) -> None:
+        if self._serial:
+            self.replica_runs += 1
+            return
         with self._lock:
             self.replica_runs += 1
 

@@ -169,6 +169,11 @@ _SEEDED_VIOLATIONS: dict[str, tuple[str, str]] = {
         "import threading\n"
         "t = threading.Thread(target=print)\n",
     ),
+    "emit-guard": (
+        "core/seeded.py",
+        "def f(self, key, life):\n"
+        "    self.log.emit(EventKind.NOTIFY, key, life)\n",
+    ),
     "eventkind-coverage": (
         "obs/events.py",
         "class EventKind(str, Enum):\n"

@@ -18,6 +18,11 @@ implementation *relies on* but which no test can establish exhaustively:
   else from :mod:`threading`, and may never call ``.acquire()`` /
   ``.release()`` directly: all lock use goes through ``with`` so no
   exception path can leak a held lock.
+* ``emit-guard`` -- every ``.emit()`` / ``.emit_at()`` call in ``core/``
+  must sit inside an ``if`` guarded by the scheduler's cached ``_obs``
+  flag or a direct ``log is (not) NULL_LOG`` identity check, so the
+  tracing-off hot path pays one boolean test per would-be event instead
+  of an attribute chain plus a no-op call.
 * ``eventkind-coverage`` -- every :class:`~repro.obs.events.EventKind`
   member is emitted somewhere in the package and is either replayed into
   an :class:`~repro.runtime.tracing.ExecutionTrace` counter or explicitly
@@ -312,6 +317,87 @@ class RawThreadingRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# emit-guard
+
+
+def _is_obs_guard(test: ast.AST) -> bool:
+    """True iff ``test`` (an ``if`` condition) establishes that tracing is
+    live: it references a cached ``_obs`` flag or performs a ``NULL_LOG``
+    identity comparison anywhere in the expression."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "_obs":
+            return True
+        if isinstance(node, ast.Name) and node.id in ("_obs", "obs"):
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+        ):
+            names = {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+            names |= {n.attr for n in ast.walk(node) if isinstance(n, ast.Attribute)}
+            if "NULL_LOG" in names:
+                return True
+    return False
+
+
+class EmitGuardRule(Rule):
+    """Every ``*.emit(...)`` / ``*.emit_at(...)`` in core/ sits under a
+    tracing guard.
+
+    The schedulers' fault-free hot path must cost one cached boolean test
+    per would-be event, not an attribute chain plus a no-op method call:
+    every emission must be inside an ``if`` whose condition references the
+    scheduler's cached ``_obs`` flag (itself derived from a ``log is not
+    NULL_LOG`` identity check) or performs the identity check directly.
+    An unguarded emit is a silent per-task slowdown that no test fails on.
+    """
+
+    name = "emit-guard"
+    description = (
+        "in core/, every EventLog .emit()/.emit_at() call is inside an "
+        "`if` guarded by the cached _obs flag or a NULL_LOG identity check "
+        "(unguarded emission re-pays the disabled-log overhead per task)"
+    )
+
+    def __init__(self, prefix: str = "core/") -> None:
+        self.prefix = prefix
+
+    def check(self, module: Module) -> list[Finding]:
+        if not module.relpath.startswith(self.prefix):
+            return []
+        findings: list[Finding] = []
+        self._walk(module, module.tree, False, findings)
+        return findings
+
+    def _walk(
+        self, module: Module, node: ast.AST, guarded: bool, findings: list[Finding]
+    ) -> None:
+        if isinstance(node, ast.If) and _is_obs_guard(node.test):
+            self._walk(module, node.test, guarded, findings)
+            for child in node.body:
+                self._walk(module, child, True, findings)
+            for child in node.orelse:
+                self._walk(module, child, guarded, findings)
+            return
+        if (
+            not guarded
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("emit", "emit_at")
+        ):
+            findings.extend(
+                self._finding(
+                    module,
+                    node,
+                    f"`.{node.func.attr}()` not guarded by `_obs` / NULL_LOG "
+                    "identity check -- unconditional per-event overhead on "
+                    "the tracing-off hot path",
+                )
+            )
+        for child in ast.iter_child_nodes(node):
+            self._walk(module, child, guarded, findings)
+
+
+# ---------------------------------------------------------------------------
 # eventkind-coverage
 
 
@@ -460,6 +546,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     ChargeDisciplineRule(),
     RawThreadingRule(),
+    EmitGuardRule(),
     EventKindCoverageRule(),
 )
 

@@ -1,6 +1,8 @@
 """The one-source-of-truth invariant: ExecutionTrace counters must be
 derivable from the structured event log, exactly, on every runtime."""
 
+import os
+
 import pytest
 
 from repro.apps import make_app
@@ -105,24 +107,36 @@ class TestThreadedStress:
         must produce an event log with no lost/duplicated events
         (counters replay exactly) and monotonic per-worker ordering."""
         app = make_app("cholesky", scale="tiny")
-        store = app.make_store(True)
-        trace = ExecutionTrace()
-        log = EventLog()
         plan = plan_faults(app, phase="after_compute", task_type="v=rand", count=3, seed=9)
-        runtime = ThreadedRuntime(workers=8, seed=7, event_log=log)
-        FTScheduler(app, runtime, store=store,
-                    hooks=FaultInjector(plan, app, store, trace),
-                    trace=trace, event_log=log).run()
-        app.verify(store)
-        events = log.events
-        # Completeness: gap-free sequence, counters replay exactly.
-        assert [e.seq for e in events] == list(range(len(events)))
-        assert verify_consistency(events, trace) == {}
-        # Per-worker ordering: each worker's timestamps are nondecreasing
-        # in emission order (one wall clock, serialized appends).
-        per_worker: dict[int, list[float]] = {}
-        for e in events:
-            per_worker.setdefault(e.worker, []).append(e.t)
-        assert len(per_worker) >= 2  # work actually distributed
-        for w, times in per_worker.items():
-            assert times == sorted(times), f"worker {w} emitted out of order"
+        # On a single-CPU host the OS may let one worker drain the whole
+        # graph before the others wake; the invariants below must hold on
+        # every run, but the work-distribution check gets a few attempts.
+        for attempt in range(3):
+            store = app.make_store(True)
+            trace = ExecutionTrace()
+            log = EventLog()
+            runtime = ThreadedRuntime(workers=8, seed=7, event_log=log)
+            FTScheduler(app, runtime, store=store,
+                        hooks=FaultInjector(plan, app, store, trace),
+                        trace=trace, event_log=log).run()
+            app.verify(store)
+            events = log.events
+            # Completeness: gap-free sequence, counters replay exactly.
+            assert [e.seq for e in events] == list(range(len(events)))
+            assert verify_consistency(events, trace) == {}
+            # Per-worker ordering: each worker's timestamps are
+            # nondecreasing in emission order (one wall clock,
+            # serialized appends).
+            per_worker: dict[int, list[float]] = {}
+            for e in events:
+                per_worker.setdefault(e.worker, []).append(e.t)
+            for w, times in per_worker.items():
+                assert times == sorted(times), f"worker {w} emitted out of order"
+            if len(per_worker) >= 2:  # work actually distributed
+                break
+        else:
+            if (os.cpu_count() or 1) == 1:
+                # One hardware thread: a worker can legitimately drain
+                # the whole graph before any sibling gets a GIL slice.
+                pytest.skip("work never distributed on a single-CPU host")
+            raise AssertionError("work never distributed across workers")

@@ -1,0 +1,179 @@
+"""Contended property tests for the lock-striped structures.
+
+The sharded :class:`TaskMap` and :class:`RecoveryTable` replace a single
+mutex with ``hash(key) % n_stripes`` stripe locks plus lock-free read
+paths, so the exactly-once guarantees the schedulers lean on must now be
+re-proven *under contention*: with >= 8 threads racing through a start
+barrier, exactly one caller per key observes ``inserted=True`` from
+``insert_if_absent`` (Guarantee-1 insert side) and at most one caller
+per (key, life) wins ``check_and_claim`` (Guarantee-3 recovery side).
+Integer keys are used deliberately: ``hash(int) == int`` in CPython, so
+``k`` and ``k + n_stripes`` provably collide on one stripe, exercising
+both same-stripe serialization and cross-stripe parallelism.
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.recovery_table import RecoveryTable
+from repro.core.taskmap import TaskMap
+
+N_THREADS = 8  # the contention floor every racing test must meet
+
+
+def race(n_threads, fn):
+    """Run ``fn(i)`` on n_threads threads through a start barrier; return
+    the list of results."""
+    barrier = threading.Barrier(n_threads)
+    results = [None] * n_threads
+
+    def runner(i):
+        barrier.wait()
+        results[i] = fn(i)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+class TestStripedTaskMapInsert:
+    @given(n_threads=st.integers(N_THREADS, 16), n_stripes=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_exactly_one_inserter_per_key(self, n_threads, n_stripes):
+        """All threads hammer one key: one ``inserted=True``, everyone
+        sees the same fully initialized record at life 1."""
+        tmap = TaskMap(lambda key: 3, n_stripes=n_stripes)
+        results = race(n_threads, lambda i: tmap.insert_if_absent("k"))
+        assert sum(inserted for _, _, inserted in results) == 1
+        records = {id(rec) for rec, _, _ in results}
+        assert len(records) == 1, "racing inserters saw different records"
+        assert all(life == 1 for _, life, _ in results)
+        assert tmap.inserts == 1
+        assert len(tmap) == 1
+
+    @given(
+        n_threads=st.integers(N_THREADS, 12),
+        n_keys=st.integers(1, 6),
+        n_stripes=st.integers(1, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_thread_inserts_every_key(self, n_threads, n_keys, n_stripes):
+        """All threads sweep the same key set (integer keys force stripe
+        collisions for any n_stripes < n_keys): per key, exactly one
+        winner across the whole race."""
+        tmap = TaskMap(lambda key: 1, n_stripes=n_stripes)
+        keys = list(range(n_keys))
+
+        def sweep(i):
+            # Stagger start offsets so threads collide on different keys.
+            wins = []
+            for j in range(n_keys):
+                key = keys[(i + j) % n_keys]
+                _, _, inserted = tmap.insert_if_absent(key)
+                if inserted:
+                    wins.append(key)
+            return wins
+
+        results = race(n_threads, sweep)
+        all_wins = [k for wins in results for k in wins]
+        assert sorted(all_wins) == keys, "a key was inserted twice or never"
+        assert tmap.inserts == n_keys
+        assert len(tmap) == n_keys
+
+    @given(n_threads=st.integers(N_THREADS, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_lock_free_get_is_consistent_under_racing_inserts(self, n_threads):
+        """Half the threads insert, half read lock-free: every non-None
+        ``get`` must return an internally consistent ``(rec, rec.life)``
+        pair with the record fully initialized."""
+        tmap = TaskMap(lambda key: 5)
+
+        def work(i):
+            if i % 2 == 0:
+                return tmap.insert_if_absent("k")
+            rec, life = tmap.get("k")
+            if rec is None:
+                return None
+            # Published-fully-initialized: join/bits are armed, and the
+            # pair is consistent because life is immutable per record.
+            return (rec.life == life, rec.join, rec.bit_vector)
+
+        results = race(n_threads, work)
+        for r in results:
+            if isinstance(r, tuple) and isinstance(r[0], bool):
+                consistent, join, bits = r
+                assert consistent
+                assert join == 6  # 5 preds + self bit, armed at construction
+                assert bits == (1 << 6) - 1
+
+    @given(n_replaces=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_concurrent_replace_of_distinct_keys_keeps_per_key_lives(self, n_replaces):
+        """Threads replacing *different* keys in parallel never perturb
+        each other's life sequences, even when keys share a stripe."""
+        tmap = TaskMap(lambda key: 0, n_stripes=4)
+        for key in range(N_THREADS):
+            tmap.insert_if_absent(key)  # keys 0..7 over 4 stripes: collisions
+
+        def churn(i):
+            lives = []
+            for _ in range(n_replaces):
+                _, life = tmap.replace(i)
+                lives.append(life)
+            return lives
+
+        results = race(N_THREADS, churn)
+        for lives in results:
+            assert lives == list(range(2, 2 + n_replaces))
+        assert tmap.replacements == N_THREADS * n_replaces
+
+
+class TestStripedRecoveryTableClaim:
+    @given(n_threads=st.integers(N_THREADS, 16), n_stripes=st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_at_most_one_recovery_owner_per_incarnation(self, n_threads, n_stripes):
+        table = RecoveryTable(n_stripes=n_stripes)
+        wins = race(n_threads, lambda i: table.check_and_claim("k", 1))
+        assert sum(wins) == 1
+        assert table.claims == 1
+        assert table.rejections == n_threads - 1
+        assert table.recovering_life("k") == 1
+
+    @given(n_threads=st.integers(N_THREADS, 12), n_stripes=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_one_owner_per_key_on_colliding_stripes(self, n_threads, n_stripes):
+        """Threads race claims over a key range wider than the stripe
+        count: per key at most one winner, and every key gets one."""
+        table = RecoveryTable(n_stripes=n_stripes)
+        n_keys = n_stripes * 2  # guarantees same-stripe key collisions
+
+        def sweep(i):
+            return [table.check_and_claim((i + j) % n_keys, 1) for j in range(n_keys)]
+
+        results = race(n_threads, sweep)
+        per_key = [0] * n_keys
+        for i, wins in enumerate(results):
+            for j, won in enumerate(wins):
+                per_key[(i + j) % n_keys] += won
+        assert per_key == [1] * n_keys
+        assert table.claims == n_keys
+        assert table.rejections == n_threads * n_keys - n_keys
+
+    @given(n_threads=st.integers(N_THREADS, 12), life=st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_successive_incarnations_still_single_file(self, n_threads, life):
+        """The life-(L-1) precondition survives striping: after lives
+        1..L-1 were claimed in order, a contended race on life L admits
+        exactly one owner and a gapped life L+2 race admits none."""
+        table = RecoveryTable()
+        for prior in range(1, life):
+            assert table.check_and_claim("k", prior)
+        wins = race(n_threads, lambda i: table.check_and_claim("k", life))
+        assert sum(wins) == 1
+        skip_wins = race(n_threads, lambda i: table.check_and_claim("k", life + 2))
+        assert sum(skip_wins) == 0
+        assert table.recovering_life("k") == life

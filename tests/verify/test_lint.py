@@ -34,6 +34,45 @@ class TestSeededViolations:
         src = "import threading\nt = threading.Thread(target=print)\n"
         assert lint_source(src, "apps/seeded.py", "raw-threading")
 
+    def test_emit_guard_fires_on_unguarded_emit(self):
+        src = (
+            "def f(self, key, life):\n"
+            "    self.log.emit(EventKind.NOTIFY, key, life)\n"
+        )
+        findings = lint_source(src, "core/seeded.py", "emit-guard")
+        assert findings
+        assert findings[0].line == 2
+
+    def test_emit_guard_accepts_obs_flag_guard(self):
+        src = (
+            "def f(self, key, life):\n"
+            "    if self._obs:\n"
+            "        self.log.emit(EventKind.NOTIFY, key, life)\n"
+        )
+        assert not lint_source(src, "core/seeded.py", "emit-guard")
+
+    def test_emit_guard_accepts_null_log_identity_guard(self):
+        src = (
+            "def f(self, key, life):\n"
+            "    if self.log is not NULL_LOG:\n"
+            "        self.log.emit_at(EventKind.NOTIFY, 0.0, 0, key, life)\n"
+        )
+        assert not lint_source(src, "core/seeded.py", "emit-guard")
+
+    def test_emit_guard_else_branch_is_not_guarded(self):
+        src = (
+            "def f(self, key, life):\n"
+            "    if self._obs:\n"
+            "        pass\n"
+            "    else:\n"
+            "        self.log.emit(EventKind.NOTIFY, key, life)\n"
+        )
+        assert lint_source(src, "core/seeded.py", "emit-guard")
+
+    def test_emit_guard_ignores_modules_outside_core(self):
+        src = "def f(log):\n    log.emit(EventKind.NOTIFY)\n"
+        assert not lint_source(src, "obs/seeded.py", "emit-guard")
+
     def test_eventkind_coverage_fires_on_unrouted_member(self):
         src = "class EventKind(str, Enum):\n    PHANTOM = 'phantom'\n"
         replay = Module.from_source("_SCALAR_KINDS = {}\n", "obs/replay.py")
