@@ -11,23 +11,30 @@ Three views on one benchmark (default: LU):
 3. work-stealing internals -- steals and utilization per worker count.
 
 Run:  python examples/scalability_study.py [--app lu] [--reps 3]
+
+``--real`` swaps the virtual-time simulator for
+:class:`~repro.runtime.procpool.ProcessRuntime`: full NumPy kernels on
+real cores over a shared-memory store, makespans in wall-clock seconds,
+worker counts capped at the host's core count.  Use ``--scale tiny`` to
+keep a real run short.
 """
 
 import argparse
+import os
 
 from repro.analysis import bound_report, summarize
 from repro.apps import make_app
 from repro.faults import FaultInjector, VersionIndex, plan_faults
 from repro.core import FTScheduler, NabbitScheduler
 from repro.harness.report import render_table
-from repro.runtime import SimulatedRuntime
+from repro.runtime import ProcessRuntime, SimulatedRuntime
 from repro.runtime.tracing import ExecutionTrace
 
 WORKERS = (1, 2, 4, 8, 16, 32, 44)
 
 
-def run(app, ft, workers, seed, plan=None):
-    store = app.make_store(ft)
+def run(app, ft, workers, seed, plan=None, real=False):
+    store = app.make_store(ft, shared=real)
     trace = ExecutionTrace()
     hooks = None
     if plan is not None:
@@ -36,28 +43,47 @@ def run(app, ft, workers, seed, plan=None):
     kwargs = {"store": store, "trace": trace}
     if ft:
         kwargs["hooks"] = hooks
-    sched = cls(app, SimulatedRuntime(workers=workers, seed=seed), **kwargs)
-    return sched.run()
+    if real:
+        runtime = ProcessRuntime(workers=workers, seed=seed)
+    else:
+        runtime = SimulatedRuntime(workers=workers, seed=seed)
+    sched = cls(app, runtime, **kwargs)
+    result = sched.run()
+    if real:
+        store.close()
+    return result
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--app", default="lu", help="benchmark name")
     ap.add_argument("--reps", type=int, default=3)
+    ap.add_argument("--scale", default="default",
+                    choices=("tiny", "default", "large"))
+    ap.add_argument("--real", action="store_true",
+                    help="run full kernels on ProcessRuntime (wall-clock)")
     args = ap.parse_args()
 
-    app = make_app(args.app, light=True)
-    print(f"benchmark: {app.describe()}\n")
+    global WORKERS
+    if args.real:
+        cores = os.cpu_count() or 1
+        WORKERS = tuple(p for p in (1, 2, 4, 8, 16, 32) if p <= cores) or (1,)
+
+    app = make_app(args.app, scale=args.scale, light=not args.real)
+    mode = "wall-clock via ProcessRuntime" if args.real else "virtual time via simulator"
+    print(f"benchmark: {app.describe()}  [{mode}]\n")
 
     # -- 1. Speedup + theory bound -------------------------------------------------
     rows = []
     seq = {}
     for ft in (False, True):
-        seq[ft] = run(app, ft, 1, 0).makespan
+        seq[ft] = run(app, ft, 1, 0, real=args.real).makespan
     rep1 = bound_report(app, workers=1)
     for p in WORKERS:
-        base = summarize([run(app, False, p, s).makespan for s in range(args.reps)])
-        ftm = summarize([run(app, True, p, s).makespan for s in range(args.reps)])
+        base = summarize(
+            [run(app, False, p, s, real=args.real).makespan for s in range(args.reps)])
+        ftm = summarize(
+            [run(app, True, p, s, real=args.real).makespan for s in range(args.reps)])
         bound = bound_report(app, workers=p)
         rows.append((
             p,
@@ -73,13 +99,13 @@ def main() -> None:
     # -- 2. Recovery overhead vs P ----------------------------------------------------
     index = VersionIndex(app)
     rows = []
-    for p in (1, 8, 16, 32, 44):
+    for p in (WORKERS if args.real else (1, 8, 16, 32, 44)):
         overheads = []
         for s in range(args.reps):
-            base = run(app, True, p, s).makespan
+            base = run(app, True, p, s, real=args.real).makespan
             plan = plan_faults(app, phase="after_compute", task_type="v=rand",
                                fraction=0.05, seed=s, index=index)
-            faulty = run(app, True, p, s, plan=plan).makespan
+            faulty = run(app, True, p, s, plan=plan, real=args.real).makespan
             overheads.append(100.0 * (faulty - base) / base)
         o = summarize(overheads)
         rows.append((p, f"{o.mean:.2f} ± {o.std:.2f}"))
@@ -90,7 +116,7 @@ def main() -> None:
     # -- 3. Work-stealing internals -------------------------------------------------------
     rows = []
     for p in WORKERS:
-        res = run(app, True, p, 1)
+        res = run(app, True, p, 1, real=args.real)
         rows.append((p, res.run.steals, res.run.failed_steals,
                      f"{res.run.utilization:.2%}"))
     print()

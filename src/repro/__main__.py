@@ -25,6 +25,11 @@ Commands:
   events/sec, end-to-end runs; writes ``BENCH_<n>.json`` and gates
   against a committed baseline (``python -m repro perf --baseline
   BENCH_seed.json``; see docs/PERFORMANCE.md).
+* ``procpool`` -- multi-process runtime smoke test: run real-kernel apps
+  through :class:`~repro.runtime.procpool.ProcessRuntime` over a
+  shared-memory store, assert bit-identical parity with the inline
+  runtime, and exercise worker-death recovery (used by the CI procpool
+  job; skips gracefully on single-core hosts unless ``--force``).
 * ``validate`` -- structural validation of one benchmark's task graph
   (acyclicity, dependency closure, sink reachability) without running it.
 * ``about`` -- what this package reproduces and where to look next.
@@ -82,6 +87,71 @@ def _selftest() -> int:
         detail = ", ".join(label for label, _ in checks)
         print(f"  {name:9s} [{status}]  {detail}")
     print(f"selftest {'passed' if not failures else 'FAILED'} in {time.time() - t0:.1f}s")
+    return 1 if failures else 0
+
+
+def _procpool(argv: list[str]) -> int:
+    import argparse
+    import os
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro procpool",
+        description="Smoke-test the multi-process runtime: inline-parity "
+        "on real kernels over a shared-memory store, plus worker-death "
+        "recovery.",
+    )
+    ap.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
+    ap.add_argument("--apps", default="lcs,cholesky",
+                    help="comma-separated app names (default: lcs,cholesky)")
+    ap.add_argument("--force", action="store_true",
+                    help="run even on a single-core host")
+    args = ap.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    if cores < 2 and not args.force:
+        # Graceful skip, visibly: the dispatch path is still covered by
+        # the tier-1 tests; a 1-core box just can't say anything useful
+        # about a process pool.
+        print(f"procpool: skipped (host has {cores} core; rerun with --force)")
+        return 0
+
+    import numpy as np
+
+    from repro.apps import make_app
+    from repro.core import FTScheduler
+    from repro.runtime import InlineRuntime, ProcessRuntime
+
+    t0 = time.time()
+    failures = 0
+    for name in [a for a in args.apps.split(",") if a]:
+        try:
+            app = make_app(name, scale="tiny")
+            store = app.make_store(True)
+            FTScheduler(app, InlineRuntime(), store=store).run()
+            want = app.extract(store)
+
+            app = make_app(name, scale="tiny")
+            store = app.make_store(True, shared=True)
+            FTScheduler(app, ProcessRuntime(workers=args.workers, seed=0), store=store).run()
+            got = app.extract(store)
+            store.close()
+            same = (got == want).all() if isinstance(want, np.ndarray) else got == want
+            if not same:
+                raise AssertionError("process-runtime result differs from inline")
+
+            app = make_app(name, scale="tiny")
+            store = app.make_store(True, shared=True)
+            rt = ProcessRuntime(workers=args.workers, seed=0, die_on=[app.sink_key()])
+            FTScheduler(app, rt, store=store).run()
+            app.verify(store)
+            store.close()
+            if rt.worker_crashes != 1:
+                raise AssertionError(f"expected 1 worker crash, saw {rt.worker_crashes}")
+            print(f"  {name:9s} [ok]  parity, crash-recovery ({args.workers} workers)")
+        except Exception as exc:
+            print(f"  {name:9s} [FAIL]  {type(exc).__name__}: {exc}")
+            failures += 1
+    print(f"procpool smoke {'passed' if not failures else 'FAILED'} in {time.time() - t0:.1f}s")
     return 1 if failures else 0
 
 
@@ -160,13 +230,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.cli import main as perf_main
 
         return perf_main(rest)
+    if cmd == "procpool":
+        return _procpool(rest)
     if cmd == "validate":
         return _validate(rest)
     if cmd == "about":
         return _about()
     print(
         f"unknown command {cmd!r}; expected "
-        "selftest | harness | trace | detect | verify | perf | validate | about"
+        "selftest | harness | trace | detect | verify | perf | procpool | validate | about"
     )
     return 2
 

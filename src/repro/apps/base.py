@@ -93,9 +93,23 @@ class Application(TaskSpecBase):
 
     # -- experiment surface ----------------------------------------------------------
 
-    def make_store(self, fault_tolerant: bool = True) -> BlockStore:
-        """A store with the right policy, seeded with pinned inputs."""
-        store = BlockStore(self.ft_policy if fault_tolerant else self.baseline_policy)
+    def make_store(self, fault_tolerant: bool = True, shared: bool = False) -> BlockStore:
+        """A store with the right policy, seeded with pinned inputs.
+
+        ``shared=True`` returns a
+        :class:`~repro.memory.shm.SharedMemoryBlockStore`, whose array
+        payloads live in shared-memory segments that
+        :class:`~repro.runtime.procpool.ProcessRuntime` workers map
+        zero-copy (any store works with any runtime; a non-shared store
+        simply ships payloads to workers by pickle).
+        """
+        policy = self.ft_policy if fault_tolerant else self.baseline_policy
+        if shared:
+            from repro.memory.shm import SharedMemoryBlockStore
+
+            store: BlockStore = SharedMemoryBlockStore(policy)
+        else:
+            store = BlockStore(policy)
         self.seed_store(store)
         return store
 

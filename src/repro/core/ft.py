@@ -58,6 +58,7 @@ from repro.exceptions import (
     OverwrittenError,
     SchedulerError,
     TaskCorruptionError,
+    WorkerCrashError,
 )
 from repro.graph.taskspec import BlockRef, TaskGraphSpec
 from repro.memory.blockstore import BlockStore
@@ -116,6 +117,10 @@ class FTScheduler:
         # spawn but are only ever read by timeline-recording runtimes.
         self._hooked = self.hooks is not NULL_HOOKS
         self._lbl = bool(getattr(runtime, "record_timeline", False))
+        # Compute-phase dispatch seam: process-pool runtimes expose
+        # compute_dispatch(spec, key, ctx) to run the (pure, stateless)
+        # kernel off-process; every other runtime computes in place.
+        self._dispatch = getattr(runtime, "compute_dispatch", None)
         # Serial runtimes (inline, simulated) execute frames one at a
         # time, so trace-counter bumps need no lock; threaded runtimes
         # re-arm it.  Unknown runtimes default to the safe locked path.
@@ -332,7 +337,10 @@ class FTScheduler:
             ctx = StoreComputeContext(
                 self.spec, self.store, key, strict=self.strict_context, footprint=fp
             )
-            self.spec.compute(key, ctx)
+            if self._dispatch is not None:
+                self._dispatch(self.spec, key, ctx)
+            else:
+                self.spec.compute(key, ctx)
             if self._hooked:
                 self.hooks.on_after_compute(A)
             if A.corrupted:
@@ -546,6 +554,11 @@ class FTScheduler:
     def _fault_source(self, exc: FaultError) -> Key | None:
         """Identify the task whose failure caused ``exc``."""
         if isinstance(exc, TaskCorruptionError):
+            return exc.key
+        if isinstance(exc, WorkerCrashError):
+            # The worker process died mid-compute: the parent-side inputs
+            # and bookkeeping are intact, so the failed work is the task's
+            # own compute phase -- recover the task, not a producer.
             return exc.key
         if isinstance(exc, (DataCorruptionError, OverwrittenError)):
             if exc.producer is not None:

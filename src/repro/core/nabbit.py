@@ -86,6 +86,10 @@ class NabbitScheduler:
         # and build frame labels only for timeline-recording runtimes.
         self._hooked = self.hooks is not NULL_HOOKS
         self._lbl = bool(getattr(runtime, "record_timeline", False))
+        # Same compute-phase dispatch seam as FTScheduler: process-pool
+        # runtimes run the kernel off-process.  The baseline has no
+        # recovery path, so a WorkerCrashError fails the run.
+        self._dispatch = getattr(runtime, "compute_dispatch", None)
         # Serial runtimes (inline, simulated) execute frames one at a
         # time, so trace-counter bumps need no lock; threaded runtimes
         # re-arm it.  Unknown runtimes default to the safe locked path.
@@ -183,7 +187,10 @@ class NabbitScheduler:
             self.log.emit(EventKind.COMPUTE_BEGIN, key, 1)
         self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
         ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
-        self.spec.compute(key, ctx)
+        if self._dispatch is not None:
+            self._dispatch(self.spec, key, ctx)
+        else:
+            self.spec.compute(key, ctx)
         if self._hooked:
             self.hooks.on_after_compute(A)
         if self._obs:

@@ -37,7 +37,7 @@ Workflow::
 See docs/DETECTION.md for the threat model and measured overheads.
 """
 
-from repro.detect.checksum import ChecksumStore, DetectionStats
+from repro.detect.checksum import ChecksumStore, DetectionStats, SharedMemoryChecksumStore
 from repro.detect.digest import (
     DEFAULT_DIGEST,
     DIGESTS,
@@ -59,6 +59,7 @@ from repro.detect.silent import SilentFaultInjector, default_mutator, plan_silen
 
 __all__ = [
     "ChecksumStore",
+    "SharedMemoryChecksumStore",
     "DetectionStats",
     "canonical_bytes",
     "fingerprint",

@@ -42,6 +42,7 @@ from repro.exceptions import DataCorruptionError
 from repro.graph.taskspec import BlockRef
 from repro.memory.allocator import AllocationPolicy
 from repro.memory.blockstore import BlockStore
+from repro.memory.shm import SharedMemoryBackend
 from repro.obs.events import EventKind
 
 _MISSING = object()
@@ -201,3 +202,18 @@ class ChecksumStore(BlockStore):
                     method="checksum",
                 )
         return False
+
+
+class SharedMemoryChecksumStore(SharedMemoryBackend, ChecksumStore):
+    """Checksummed store whose payloads live in shared memory.
+
+    MRO: the shm backend materializes the segment first, then
+    :class:`ChecksumStore` fingerprints the zero-copy *views* -- the very
+    bytes worker processes will read -- so an in-segment silent
+    corruption (``corrupt_data``) is caught by the next parent-side
+    verification exactly as with the in-process store, and dispatch
+    converts it into the scheduler's recovery path before any descriptor
+    ships (:class:`repro.runtime.procpool.ProcessRuntime` reads inputs in
+    the parent).
+    """
+

@@ -45,6 +45,12 @@ class TaskCorruptionError(FaultError):
         self.key = key
         self.life = life
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # message) into the constructor, which needs (key, life) -- this
+        # keeps the class round-trippable across process boundaries.
+        return (type(self), (self.key, self.life))
+
 
 class DataCorruptionError(FaultError):
     """A stored data block version is corrupted.
@@ -61,6 +67,34 @@ class DataCorruptionError(FaultError):
         self.block = block
         self.version = version
         self.producer = producer
+
+    def __reduce__(self):
+        return (type(self), (self.block, self.version, self.producer))
+
+
+class WorkerCrashError(FaultError):
+    """A compute worker *process* died while executing task ``key``.
+
+    Raised by :class:`~repro.runtime.procpool.ProcessRuntime` when the
+    process a compute phase was dispatched to exits without replying
+    (killed, segfaulted, machine-level fault).  The task's inputs and the
+    scheduler's bookkeeping live in the parent and are unaffected, so
+    this is a *detected compute-phase fault* whose source is the task
+    itself: the FT scheduler routes it through RECOVERTASKONCE and
+    re-executes on a fresh worker.
+    """
+
+    def __init__(self, key: Hashable, pid: int | None = None, exitcode: int | None = None) -> None:
+        super().__init__(
+            f"compute worker died while executing task {key!r} "
+            f"(pid={pid}, exitcode={exitcode})"
+        )
+        self.key = key
+        self.pid = pid
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (type(self), (self.key, self.pid, self.exitcode))
 
 
 class OverwrittenError(FaultError):
@@ -80,3 +114,6 @@ class OverwrittenError(FaultError):
         self.version = version
         self.resident = resident
         self.producer = producer
+
+    def __reduce__(self):
+        return (type(self), (self.block, self.version, self.resident, self.producer))

@@ -38,6 +38,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--plot", action="store_true", help="render ASCII charts after each table")
     ap.add_argument("--scale", choices=("tiny", "default", "large"), default="default",
                     help="instance scale for the execution experiments")
+    ap.add_argument("--real", action="store_true",
+                    help="Figure 4 only: run full kernels on ProcessRuntime "
+                    "(real cores, wall-clock makespans) instead of the "
+                    "simulator; worker counts are capped at the host's cores")
     ap.add_argument("--json", type=str, default=None, metavar="PATH",
                     help="write all collected results to a JSON file")
     args = ap.parse_args(argv)
@@ -67,7 +71,13 @@ def main(argv: list[str] | None = None) -> int:
         run("Table I", _t1)
     if "fig4" in wanted:
         def _fig4():
-            series = figure4(apps, workers=workers4, reps=fig4_reps, scale=args.scale)
+            w4 = workers4
+            if args.real:
+                from repro.harness.figure4 import real_worker_counts
+
+                w4 = real_worker_counts()
+            series = figure4(apps, workers=w4, reps=fig4_reps, scale=args.scale,
+                             real=args.real)
             collected["figure4"] = series
             out = format_figure4(series)
             if args.plot:

@@ -47,12 +47,27 @@ def execute(
     plan: FaultPlan | None = None,
     cost_model: CostModel | None = None,
     verify: bool = False,
+    real: bool = False,
 ) -> ExecutionOutcome:
-    """Run ``app`` once on the discrete-event runtime."""
+    """Run ``app`` once.
+
+    Default is the discrete-event runtime in virtual time.  ``real=True``
+    runs on :class:`~repro.runtime.procpool.ProcessRuntime` over a
+    shared-memory store instead: the makespan becomes wall-clock seconds
+    and the compute kernels execute on real cores (meaningful only with
+    full, non-light apps on a multi-core host).
+    """
     if plan is not None and not fault_tolerant:
         raise ValueError("fault injection requires the fault-tolerant scheduler")
-    store = app.make_store(fault_tolerant)
-    runtime = SimulatedRuntime(workers=workers, cost_model=cost_model, seed=steal_seed)
+    store = app.make_store(fault_tolerant, shared=real)
+    if real:
+        from repro.runtime.procpool import ProcessRuntime
+
+        runtime: SimulatedRuntime | ProcessRuntime = ProcessRuntime(
+            workers=workers, seed=steal_seed
+        )
+    else:
+        runtime = SimulatedRuntime(workers=workers, cost_model=cost_model, seed=steal_seed)
     trace = ExecutionTrace()
     injector = None
     if plan is not None:
@@ -66,6 +81,8 @@ def execute(
     result = sched.run()
     if verify:
         app.verify(store)
+    if real:
+        store.close()
     return ExecutionOutcome(result=result, injector=injector)
 
 
@@ -76,17 +93,21 @@ def makespans(
     workers: int = 1,
     cost_model: CostModel | None = None,
     base_seed: int = 0,
+    real: bool = False,
 ) -> list[float]:
     """Fault-free makespans over ``reps`` steal seeds.
 
     At ``workers == 1`` the simulation is deterministic (no steals), so a
-    single run suffices and is reused for every rep.
+    single run suffices and is reused for every rep -- except in real
+    wall-clock mode, where nothing is deterministic and every rep runs.
     """
-    if workers == 1:
+    if workers == 1 and not real:
         m = execute(app, fault_tolerant, 1, base_seed, cost_model=cost_model).makespan
         return [m] * reps
     return [
-        execute(app, fault_tolerant, workers, base_seed + r, cost_model=cost_model).makespan
+        execute(
+            app, fault_tolerant, workers, base_seed + r, cost_model=cost_model, real=real
+        ).makespan
         for r in range(reps)
     ]
 

@@ -46,22 +46,42 @@ class SpeedupSeries:
         return self.sequential_time / self.times[p].mean
 
 
+#: Worker counts for ``real=True`` runs: bounded by physical cores, so
+#: the curve is a hardware measurement rather than a protocol simulation.
+def real_worker_counts(maximum: int | None = None) -> tuple[int, ...]:
+    import os
+
+    cores = maximum or os.cpu_count() or 1
+    return tuple(p for p in (1, 2, 4, 8, 16, 32) if p <= cores) or (1,)
+
+
 def figure4(
     apps: tuple[str, ...] | None = None,
     workers: tuple[int, ...] = DEFAULT_WORKERS,
     reps: int = 3,
     scale: str = FIGURE4_SCALE,
     cost_model: CostModel | None = None,
+    real: bool = False,
 ) -> list[SpeedupSeries]:
-    """Run the Figure 4 sweep and return one series per (app, variant)."""
+    """Run the Figure 4 sweep and return one series per (app, variant).
+
+    ``real=True`` replaces the simulator with
+    :class:`~repro.runtime.procpool.ProcessRuntime`: full (non-light)
+    kernels on real cores over a shared-memory store, wall-clock
+    makespans.  Pass worker counts from :func:`real_worker_counts` so the
+    sweep stops at the host's core count.
+    """
     series: list[SpeedupSeries] = []
     for name in apps or APP_NAMES:
         for variant, ft in (("baseline", False), ("ft", True)):
-            app = make_app(name, scale=scale, light=True)
+            app = make_app(name, scale=scale, light=not real)
             s = SpeedupSeries(app=name, variant=variant, workers=tuple(workers))
             for p in workers:
                 s.times[p] = summarize(
-                    makespans(app, reps=reps, fault_tolerant=ft, workers=p, cost_model=cost_model)
+                    makespans(
+                        app, reps=reps, fault_tolerant=ft, workers=p,
+                        cost_model=cost_model, real=real,
+                    )
                 )
             series.append(s)
     return series
@@ -71,7 +91,10 @@ def format_figure4(series: list[SpeedupSeries]) -> str:
     headers = ["app", "variant", "T(1)"] + [f"S(P={p})" for p in series[0].workers if p != 1]
     rows = []
     for s in series:
-        row = [s.app, s.variant, f"{s.sequential_time:.0f}"]
+        # Virtual-time makespans are large integers; real-mode wall-clock
+        # makespans are fractional seconds and need the decimals.
+        t1 = s.sequential_time
+        row = [s.app, s.variant, f"{t1:.0f}" if t1 >= 100 else f"{t1:.3f}"]
         row += [f"{s.speedup(p):.2f}" for p in s.workers if p != 1]
         rows.append(row)
     out = [render_table(headers, rows, title="Figure 4: speedup vs workers (no faults)")]

@@ -29,6 +29,7 @@ from repro.memory.allocator import (
 )
 from repro.memory.blockstore import BlockStore, StoreStats
 from repro.memory.context import StoreComputeContext
+from repro.memory.shm import SharedMemoryBackend, SharedMemoryBlockStore, ShmStats
 
 __all__ = [
     "AllocationPolicy",
@@ -40,4 +41,7 @@ __all__ = [
     "BlockStore",
     "StoreStats",
     "StoreComputeContext",
+    "SharedMemoryBackend",
+    "SharedMemoryBlockStore",
+    "ShmStats",
 ]

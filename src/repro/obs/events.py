@@ -117,6 +117,9 @@ class EventKind(str, Enum):
     """A worker found nothing to run or steal and went idle."""
     UNPARK = "unpark"
     """A previously idle worker found work again."""
+    WORKER_DOWN = "worker_down"
+    """A compute worker *process* died mid-task (ProcessRuntime); the
+    dispatch surfaces as a WorkerCrashError on the key it was running."""
 
 
 @dataclass(slots=True, frozen=True)

@@ -56,7 +56,7 @@ _PER_KEY_KINDS = frozenset(
 #:   lifecycle *milestones*: their counts are implied by the counters
 #:   already replayed (created tasks == map inserts, ends == begins minus
 #:   faults) and ExecutionTrace never tracked them.
-#: * STEAL / PARK / UNPARK belong to the work-stealing substrate; the
+#: * STEAL / PARK / UNPARK / WORKER_DOWN belong to the work-stealing substrate; the
 #:   runtime reports them in :class:`~repro.runtime.api.RunResult`, which
 #:   has its own event parity check in ``repro.obs.metrics``.
 REPLAY_IGNORED = frozenset(
@@ -68,6 +68,7 @@ REPLAY_IGNORED = frozenset(
         EventKind.STEAL,
         EventKind.PARK,
         EventKind.UNPARK,
+        EventKind.WORKER_DOWN,
     }
 )
 

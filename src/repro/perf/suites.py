@@ -15,7 +15,14 @@ Four layers, mirroring the hot-path inventory in docs/PERFORMANCE.md:
   real-thread contention at 1/4/8 workers, and the discrete-event loop's
   events/sec (every figure harness executes it millions of times).
 * ``e2e`` -- tiny real-kernel LCS and Floyd-Warshall runs through the
-  full FT stack, so a regression that hides between layers still shows.
+  full FT stack, so a regression that hides between layers still shows;
+  plus a kernel-bound Cholesky instance where NumPy compute, not
+  bookkeeping, dominates (the regime ProcessRuntime targets).
+* ``procpool`` -- FTScheduler + :class:`~repro.runtime.procpool.
+  ProcessRuntime` on real-kernel apps over a shared-memory store: pool
+  spin-up, descriptor shipping, the IPC round trip, and worker attach
+  are all on the measured path (this is the dispatch-overhead number,
+  not a speedup claim -- tiny graphs are bookkeeping-bound by design).
 
 Scales: ``default`` produces the BENCH numbers; ``selftest`` shrinks
 every workload so the whole suite (and CI) finishes in seconds.
@@ -251,6 +258,59 @@ def _bench_e2e(app_name: str) -> Callable[[], Callable[[], int]]:
     return make
 
 
+def _bench_e2e_kernel(app_name: str, n: int, block: int) -> Callable[[], Callable[[], int]]:
+    """Kernel-bound e2e: few, fat tasks -- compute dominates bookkeeping."""
+
+    def make():
+        from repro.apps import AppConfig, make_app
+        from repro.runtime.inline import InlineRuntime
+
+        app = make_app(app_name, config=AppConfig(n=n, block=block))
+
+        def batch() -> int:
+            from repro.core.ft import FTScheduler
+
+            store = app.make_store(True)
+            sched = FTScheduler(app, InlineRuntime(), store=store)
+            sched.run()
+            app.verify(store)
+            return sched.trace.total_computes
+
+        return batch
+
+    return make
+
+
+def _bench_procpool(app_name: str, workers: int) -> Callable[[], Callable[[], int]]:
+    """Full multi-process dispatch path on a tiny real-kernel app.
+
+    Closures are unpicklable, so this group must use registry apps (the
+    spec is shipped to workers by pickle once per pool); the no-op grid
+    specs above cannot run here.
+    """
+
+    def make():
+        from repro.apps import make_app
+        from repro.runtime.procpool import ProcessRuntime
+
+        app = make_app(app_name, scale="tiny")
+
+        def batch() -> int:
+            from repro.core.ft import FTScheduler
+
+            store = app.make_store(True, shared=True)
+            rt = ProcessRuntime(workers=workers, seed=1)
+            sched = FTScheduler(app, rt, store=store)
+            sched.run()
+            app.verify(store)
+            store.close()
+            return sched.trace.total_computes
+
+        return batch
+
+    return make
+
+
 # ---------------------------------------------------------------------------
 # the suite
 
@@ -326,6 +386,22 @@ def benchmarks(scale: str = "default") -> list[Benchmark]:
         Benchmark(
             "e2e_fw", "e2e", _bench_e2e("fw"), unit="tasks/s",
             description="full FT stack, real Floyd-Warshall kernels, simulator @ 4 workers",
+        ),
+        Benchmark(
+            "e2e_cholesky_kernel_bound", "e2e",
+            _bench_e2e_kernel("cholesky", n=96 if tiny else 384, block=32 if tiny else 96),
+            unit="tasks/s",
+            description="kernel-bound Cholesky (few fat tiles), inline: compute dominates",
+        ),
+        Benchmark(
+            "procpool_lcs_w2", "procpool", _bench_procpool("lcs", 2),
+            unit="tasks/s",
+            description="FTScheduler + ProcessRuntime(2) on tiny LCS over shm store",
+        ),
+        Benchmark(
+            "procpool_cholesky_w2", "procpool", _bench_procpool("cholesky", 2),
+            unit="tasks/s",
+            description="FTScheduler + ProcessRuntime(2) on tiny Cholesky over shm store",
         ),
     ]
 

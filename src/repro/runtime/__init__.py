@@ -14,8 +14,14 @@ The scheduler (``repro.core``) is written against a tiny
   protocol is identical, only time is virtual.
 * :class:`~repro.runtime.threadpool.ThreadedRuntime` -- real ``threading``
   workers with the same deque/steal protocol, used to stress the
-  scheduler's synchronization under genuine interleaving (the GIL rules
-  out speedup fidelity, not race coverage).
+  scheduler's synchronization under genuine interleaving (the GIL
+  serializes the pure-Python bookkeeping, so this stresses races, not
+  scalability).
+* :class:`~repro.runtime.procpool.ProcessRuntime` -- the threaded
+  runtime with compute phases dispatched to a pool of worker
+  *processes* over a shared-memory block store: GIL-free multicore
+  execution with wall-clock makespans; worker death surfaces as a
+  recoverable compute-phase fault.
 
 Frames follow the Cilk discipline the paper's pseudocode assumes: a frame
 never blocks; ``spawn`` pushes work to the bottom of the spawning worker's
@@ -27,6 +33,7 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
 from repro.runtime.deque import WorkDeque
 from repro.runtime.inline import InlineRuntime
+from repro.runtime.procpool import ProcessRuntime
 from repro.runtime.simulator import SimulatedRuntime
 from repro.runtime.threadpool import ThreadedRuntime
 
@@ -38,6 +45,7 @@ __all__ = [
     "Frame",
     "WorkDeque",
     "InlineRuntime",
+    "ProcessRuntime",
     "SimulatedRuntime",
     "ThreadedRuntime",
 ]

@@ -1,0 +1,402 @@
+"""Process-pool runtime: real multi-core execution of compute phases.
+
+:class:`ProcessRuntime` keeps every piece of scheduler state -- the task
+map, join counters, bit vectors, the recovery table, the block store --
+in the **parent** process, exactly where :class:`ThreadedRuntime` keeps
+it: scheduler frames still run on N parent threads with per-worker
+deques and randomized stealing.  What moves off-process is the *compute
+phase* only: the pure, stateless NumPy kernels (Theorem 1's assumption)
+are dispatched over a pipe to a pool of N worker processes, one per
+scheduler thread, so kernels execute on real cores with no GIL in the
+way while the parent thread blocks (releasing the GIL) awaiting the
+reply.
+
+The dispatch seam is :meth:`compute_dispatch`: schedulers probe the
+runtime for it once (``getattr(runtime, "compute_dispatch", None)``) and
+call it in place of ``spec.compute(key, ctx)``.  Per task it
+
+1. reads every declared input through the parent-side context -- fault
+   flags, checksum verification, and eviction all surface *here*, inside
+   the scheduler's existing ``except FaultError`` recovery path;
+2. ships each input either as a zero-copy shared-memory descriptor
+   (:meth:`repro.memory.shm.SharedMemoryBackend.descriptor`) or, for
+   stores without the shm backend, by pickle;
+3. runs ``spec.compute`` in the worker against a read-only context and
+   writes the returned outputs back through the parent context, so
+   strict-footprint enforcement, store versioning, fingerprinting, and
+   shm materialization all stay parent-side and single-owner.
+
+**Worker death is a detected compute-phase fault.**  If the worker
+process exits without replying (killed, segfault, ``die_on``-injected
+``os._exit``), the dispatcher starts a replacement worker, emits a
+``WORKER_DOWN`` event, and raises
+:class:`~repro.exceptions.WorkerCrashError` -- whose source is the task
+itself, so the FT scheduler recovers it through RECOVERTASKONCE and the
+task re-executes on the fresh worker.  The baseline Nabbit scheduler has
+no recovery path, and a crash fails the run (faithful to the paper).
+
+Faults injected by parent-side hooks (flag corruption, silent data
+corruption) interact with dispatch exactly as with in-process runtimes,
+because every read and write happens in the parent.
+
+The pool forks (where available) at the top of ``execute()``, while the
+calling thread is still the only thread -- never mid-run -- and is torn
+down when the run quiesces.  ``charge`` stays a no-op: like its parent
+class, this runtime lives on the wall clock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+from typing import Any, Hashable, Iterable
+
+from repro.exceptions import OverwrittenError, SchedulerError, WorkerCrashError
+from repro.graph.taskspec import BlockRef
+from repro.memory.shm import ShmDescriptor, attach_payload
+from repro.obs.events import NULL_LOG, EventKind, EventLog
+from repro.runtime.api import RunResult
+from repro.runtime.frames import Frame
+from repro.runtime.threadpool import ThreadedRuntime
+
+#: Exit code of a ``die_on``-injected worker death (tests assert on it).
+CRASH_EXIT_CODE = 73
+
+#: Reply-poll granularity: how often the awaiting parent thread checks
+#: whether the worker process is still alive.
+_POLL_SECONDS = 0.05
+
+
+# ---------------------------------------------------------------------------
+# worker-process side
+
+
+class _WorkerComputeContext:
+    """The compute context a worker hands to ``spec.compute``.
+
+    Reads serve the input snapshot the parent shipped (attempting an
+    unshipped -- i.e. undeclared -- input is the same ``SchedulerError``
+    the strict parent context raises); writes are buffered and applied by
+    the parent, which re-enforces the declared footprint there.
+    """
+
+    __slots__ = ("key", "_values", "reads", "writes", "written")
+
+    def __init__(self, key: Hashable, values: dict) -> None:
+        self.key = key
+        self._values = values
+        self.reads: list[BlockRef] = []
+        self.writes: list[BlockRef] = []
+        self.written: list[tuple[tuple, Any]] = []
+
+    def read(self, ref: BlockRef) -> Any:
+        if type(ref) is not BlockRef:
+            ref = BlockRef(*ref)
+        try:
+            value = self._values[ref]
+        except KeyError:
+            raise SchedulerError(
+                f"task {self.key!r} read undeclared input {ref!r} in a worker process"
+            ) from None
+        self.reads.append(ref)
+        return value
+
+    def write(self, ref: BlockRef, value: Any) -> None:
+        if type(ref) is not BlockRef:
+            ref = BlockRef(*ref)
+        self.writes.append(ref)
+        self.written.append((tuple(ref), value))
+
+
+def _decode_inputs(inputs: list) -> tuple[dict, list]:
+    values: dict = {}
+    attachments: list = []
+    for block, version, payload in inputs:
+        if isinstance(payload, ShmDescriptor):
+            try:
+                value, att = attach_payload(payload)
+            except FileNotFoundError:
+                # The parent unlinked the segment after taking the
+                # descriptor: the version was evicted/rewritten, which is
+                # exactly the memory-reuse fault a parent-side read of an
+                # evicted version raises.
+                raise OverwrittenError(block, version, None) from None
+            attachments.append(att)
+        else:
+            value = payload
+        values[BlockRef(block, version)] = value
+    return values, attachments
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a summary that
+    does (exception classes with required constructor args often pickle
+    but fail to *unpickle*)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return SchedulerError(f"worker exception: {type(exc).__name__}: {exc}")
+
+
+def _worker_main(conn: Any) -> None:
+    """Worker-process loop: receive a spec once, then serve jobs."""
+    spec = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        tag = msg[0]
+        if tag == "stop":
+            conn.close()
+            return
+        if tag == "spec":
+            spec = pickle.loads(msg[1])
+            continue
+        _, key, inputs, die = msg
+        if die:
+            os._exit(CRASH_EXIT_CODE)
+        attachments: list = []
+        try:
+            values, attachments = _decode_inputs(inputs)
+            ctx = _WorkerComputeContext(key, values)
+            spec.compute(key, ctx)
+            reply = ("ok", ctx.written)
+        except BaseException as exc:
+            reply = ("raise", _portable_exc(exc))
+        try:
+            conn.send(reply)
+        except Exception:
+            try:
+                conn.send(
+                    ("raise", SchedulerError(f"worker reply for task {key!r} failed to serialize"))
+                )
+            except Exception:
+                os._exit(1)
+        finally:
+            del reply
+            values = ctx = None  # noqa: F841 -- drop view refs before unmapping
+            for att in attachments:
+                att.close()
+
+
+# ---------------------------------------------------------------------------
+# parent side
+
+
+class _WorkerHandle:
+    __slots__ = ("proc", "conn", "spec_id")
+
+    def __init__(self, proc: Any, conn: Any) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.spec_id: int | None = None
+
+
+class ProcessRuntime(ThreadedRuntime):
+    """Work-stealing thread pool whose compute phases run in a pool of
+    worker processes (one per scheduler thread) over shared memory.
+
+    Parameters beyond :class:`ThreadedRuntime`'s:
+
+    ``die_on``
+        Iterable of task keys; the first dispatch of each makes its
+        worker process exit immediately (``os._exit``) *before*
+        computing -- real process-death fault injection.  One-shot per
+        key: the recovered task's re-dispatch runs normally.
+    ``start_method``
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap, inherits the imported kernels) else ``spawn``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        seed: int | None = None,
+        event_log: EventLog | None = None,
+        die_on: Iterable[Hashable] | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(workers, seed, event_log)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._mp = multiprocessing.get_context(start_method)
+        self._die_on = set(die_on or ())
+        self._die_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._handles: list[_WorkerHandle] = []
+        self._idle: queue.Queue[_WorkerHandle] = queue.Queue()
+        self._spec_blobs: dict[int, bytes] = {}
+        self._crashes = 0
+
+    @property
+    def worker_crashes(self) -> int:
+        """Worker processes that died mid-dispatch (and were replaced)."""
+        return self._crashes
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def execute(self, root: Frame) -> RunResult:
+        # Start the pool while the calling thread is the only live thread:
+        # forking after the scheduler threads exist risks inheriting locks
+        # (import lock, allocator locks) mid-acquisition.
+        self._ensure_pool()
+        try:
+            return super().execute(root)
+        finally:
+            self._shutdown_pool()
+
+    def _ensure_pool(self) -> None:
+        if self._handles:
+            return
+        with self._pool_lock:
+            if self._handles:
+                return
+            handles = [self._start_worker() for _ in range(self._workers)]
+            self._handles = handles
+            for h in handles:
+                self._idle.put(h)
+
+    def _start_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._mp.Pipe()
+        proc = self._mp.Process(
+            target=_worker_main, args=(child_conn,), daemon=True, name="repro-compute"
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(proc, parent_conn)
+
+    def _replace_worker(self, dead: _WorkerHandle) -> _WorkerHandle:
+        with self._pool_lock:
+            try:
+                self._handles.remove(dead)
+            except ValueError:
+                pass
+            try:
+                dead.conn.close()
+            except OSError:
+                pass
+            dead.proc.join(timeout=1.0)
+            self._crashes += 1
+            fresh = self._start_worker()
+            self._handles.append(fresh)
+            return fresh
+
+    def _shutdown_pool(self) -> None:
+        with self._pool_lock:
+            handles, self._handles = self._handles, []
+            try:
+                while True:
+                    self._idle.get_nowait()
+            except queue.Empty:
+                pass
+        for h in handles:
+            try:
+                h.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for h in handles:
+            h.proc.join(timeout=5.0)
+            if h.proc.is_alive():  # pragma: no cover - stuck worker
+                h.proc.terminate()
+                h.proc.join(timeout=1.0)
+            try:
+                h.conn.close()
+            except OSError:
+                pass
+
+    # -- the dispatch seam ---------------------------------------------------
+
+    def compute_dispatch(self, spec: Any, key: Hashable, ctx: Any) -> None:
+        """Run ``spec.compute(key, ...)`` in a worker process.
+
+        Called by the schedulers in place of a direct ``spec.compute``;
+        raises the same :class:`~repro.exceptions.FaultError` family a
+        local compute would, plus :class:`WorkerCrashError` when the
+        worker process dies mid-task.
+        """
+        store = ctx.store
+        describe = getattr(store, "descriptor", None)
+        inputs = []
+        for raw in spec.inputs(key):
+            ref = raw if type(raw) is BlockRef else BlockRef(*raw)
+            # The parent-side read is the fault gate: corruption flags,
+            # checksum mismatches, and evictions raise here, inside the
+            # scheduler's recovery path, before any bytes ship.
+            value = ctx.read(ref)
+            desc = describe(ref) if describe is not None else None
+            inputs.append((ref.block, ref.version, desc if desc is not None else value))
+        die = False
+        if self._die_on:
+            with self._die_lock:
+                if key in self._die_on:
+                    self._die_on.discard(key)
+                    die = True
+        for reftup, value in self._submit(spec, key, inputs, die):
+            ctx.write(BlockRef(*reftup), value)
+
+    def _spec_blob(self, spec: Any) -> bytes:
+        blob = self._spec_blobs.get(id(spec))
+        if blob is None:
+            blob = pickle.dumps(spec)
+            self._spec_blobs[id(spec)] = blob
+        return blob
+
+    def _submit(self, spec: Any, key: Hashable, inputs: list, die: bool) -> list:
+        self._ensure_pool()
+        try:
+            handle = self._idle.get(timeout=60.0)
+        except queue.Empty:  # pragma: no cover - pool accounting bug
+            raise SchedulerError("no compute worker became available within 60s")
+        try:
+            try:
+                if handle.spec_id != id(spec):
+                    handle.conn.send(("spec", self._spec_blob(spec)))
+                    handle.spec_id = id(spec)
+                handle.conn.send(("job", key, inputs, die))
+                reply = self._await_reply(handle)
+            except (BrokenPipeError, EOFError, OSError):
+                reply = None
+            if reply is None:
+                dead, handle = handle, self._replace_worker(handle)
+                if self._log is not NULL_LOG:
+                    self._log.emit(
+                        EventKind.WORKER_DOWN,
+                        key,
+                        0,
+                        pid=dead.proc.pid,
+                        exitcode=dead.proc.exitcode,
+                    )
+                raise WorkerCrashError(key, pid=dead.proc.pid, exitcode=dead.proc.exitcode)
+            tag, payload = reply
+            if tag == "ok":
+                return payload
+            raise payload  # FaultError -> scheduler recovery; else scheduler bug
+        finally:
+            self._idle.put(handle)
+
+    def _await_reply(self, handle: _WorkerHandle) -> Any:
+        """The worker's reply, or ``None`` if its process died first.
+
+        The blocking ``poll`` releases the GIL, which is what lets N
+        parent threads await N worker processes concurrently.
+        """
+        conn = handle.conn
+        while True:
+            if conn.poll(_POLL_SECONDS):
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    return None
+            if not handle.proc.is_alive():
+                if conn.poll(0):  # reply raced the exit
+                    try:
+                        return conn.recv()
+                    except (EOFError, OSError):
+                        return None
+                return None

@@ -2,12 +2,17 @@
 
 Runs the identical scheduler code on genuine :mod:`threading` workers with
 per-worker :class:`~repro.runtime.deque.WorkDeque`\\ s and randomized
-stealing.  The GIL caps achievable speedup (see DESIGN.md), so this
-runtime exists to *stress-test* the fault-tolerant scheduler's
+stealing.  The GIL serializes the *scheduler bookkeeping* (pure-Python
+frame dispatch, map/lock traffic), so bookkeeping-bound graphs see no
+multicore speedup here -- though NumPy/BLAS kernels release the GIL
+during compute, so kernel-bound graphs can overlap.  This runtime's
+primary job is to *stress-test* the fault-tolerant scheduler's
 synchronization -- task locks, atomic join-counter protocol, concurrent
-recovery races -- under true nondeterministic interleavings, not to
-measure scalability.  Virtual ``charge`` calls are ignored; ``makespan``
-is wall-clock seconds.
+recovery races -- under true nondeterministic interleavings; for
+GIL-free multicore compute use
+:class:`~repro.runtime.procpool.ProcessRuntime` (see
+docs/PERFORMANCE.md for choosing between them).  Virtual ``charge``
+calls are ignored; ``makespan`` is wall-clock seconds.
 
 Observability: pass ``event_log=EventLog()`` to record steal and
 park/unpark events; the runtime also provides worker attribution

@@ -19,10 +19,17 @@ implementation *relies on* but which no test can establish exhaustively:
   ``.release()`` directly: all lock use goes through ``with`` so no
   exception path can leak a held lock.
 * ``emit-guard`` -- every ``.emit()`` / ``.emit_at()`` call in ``core/``
-  must sit inside an ``if`` guarded by the scheduler's cached ``_obs``
-  flag or a direct ``log is (not) NULL_LOG`` identity check, so the
-  tracing-off hot path pays one boolean test per would-be event instead
-  of an attribute chain plus a no-op call.
+  and in the hot-path runtime modules (``runtime/threadpool.py``,
+  ``runtime/procpool.py``) must sit inside an ``if`` guarded by the
+  scheduler's cached ``_obs`` flag or a direct ``log is (not) NULL_LOG``
+  identity check, so the tracing-off hot path pays one boolean test per
+  would-be event instead of an attribute chain plus a no-op call.
+* ``raw-multiprocessing`` -- outside ``runtime/``, no module may import
+  :mod:`multiprocessing` or :mod:`concurrent.futures`
+  (``multiprocessing.shared_memory`` is exempt: the memory layer owns
+  segments but never processes).  Process lifecycle -- fork timing,
+  pipe protocol, crash surfacing -- is the runtime layer's contract;
+  a stray pool elsewhere would bypass the fault model entirely.
 * ``eventkind-coverage`` -- every :class:`~repro.obs.events.EventKind`
   member is emitted somewhere in the package and is either replayed into
   an :class:`~repro.runtime.tracing.ExecutionTrace` counter or explicitly
@@ -317,6 +324,66 @@ class RawThreadingRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# raw-multiprocessing
+
+
+class RawMultiprocessingRule(Rule):
+    """Only runtime/ may import multiprocessing or concurrent.futures;
+    ``multiprocessing.shared_memory`` is exempt (segment ownership is a
+    memory-layer concern, process lifecycle is not)."""
+
+    name = "raw-multiprocessing"
+    description = (
+        "outside runtime/, no `import multiprocessing` or "
+        "`concurrent.futures` (process lifecycle belongs to the runtime "
+        "layer); `multiprocessing.shared_memory` is allowed everywhere"
+    )
+
+    #: The one multiprocessing submodule any layer may import.
+    EXEMPT = "multiprocessing.shared_memory"
+
+    def __init__(self, allowed_prefix: str = "runtime/") -> None:
+        self.allowed_prefix = allowed_prefix
+
+    def _banned_module(self, name: str | None) -> bool:
+        if name is None:
+            return False
+        if name == self.EXEMPT or name.startswith(self.EXEMPT + "."):
+            return False
+        return name == "multiprocessing" or name.startswith(
+            ("multiprocessing.", "concurrent.futures")
+        )
+
+    def check(self, module: Module) -> list[Finding]:
+        if module.relpath.startswith(self.allowed_prefix):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned_module(alias.name):
+                        findings.extend(
+                            self._finding(
+                                module, node, f"`import {alias.name}` outside runtime/"
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and self._banned_module(node.module):
+                for alias in node.names:
+                    # `from multiprocessing import shared_memory` is the
+                    # exempt submodule spelled differently.
+                    if f"{node.module}.{alias.name}" == self.EXEMPT:
+                        continue
+                    findings.extend(
+                        self._finding(
+                            module,
+                            node,
+                            f"`from {node.module} import {alias.name}` outside runtime/",
+                        )
+                    )
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # emit-guard
 
 
@@ -339,9 +406,18 @@ def _is_obs_guard(test: ast.AST) -> bool:
     return False
 
 
+#: Modules the emit-guard rule audits: the schedulers plus the runtime
+#: modules whose worker loops emit events per idle episode / dispatch.
+EMIT_GUARD_PREFIXES: tuple[str, ...] = (
+    "core/",
+    "runtime/threadpool.py",
+    "runtime/procpool.py",
+)
+
+
 class EmitGuardRule(Rule):
-    """Every ``*.emit(...)`` / ``*.emit_at(...)`` in core/ sits under a
-    tracing guard.
+    """Every ``*.emit(...)`` / ``*.emit_at(...)`` in the audited modules
+    sits under a tracing guard.
 
     The schedulers' fault-free hot path must cost one cached boolean test
     per would-be event, not an attribute chain plus a no-op method call:
@@ -353,16 +429,17 @@ class EmitGuardRule(Rule):
 
     name = "emit-guard"
     description = (
-        "in core/, every EventLog .emit()/.emit_at() call is inside an "
-        "`if` guarded by the cached _obs flag or a NULL_LOG identity check "
-        "(unguarded emission re-pays the disabled-log overhead per task)"
+        "in core/ and the hot-path runtime modules, every EventLog "
+        ".emit()/.emit_at() call is inside an `if` guarded by the cached "
+        "_obs flag or a NULL_LOG identity check (unguarded emission "
+        "re-pays the disabled-log overhead per task)"
     )
 
-    def __init__(self, prefix: str = "core/") -> None:
-        self.prefix = prefix
+    def __init__(self, prefixes: tuple[str, ...] = EMIT_GUARD_PREFIXES) -> None:
+        self.prefixes = prefixes
 
     def check(self, module: Module) -> list[Finding]:
-        if not module.relpath.startswith(self.prefix):
+        if not module.relpath.startswith(self.prefixes):
             return []
         findings: list[Finding] = []
         self._walk(module, module.tree, False, findings)
@@ -546,6 +623,7 @@ ALL_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
     ChargeDisciplineRule(),
     RawThreadingRule(),
+    RawMultiprocessingRule(),
     EmitGuardRule(),
     EventKindCoverageRule(),
 )

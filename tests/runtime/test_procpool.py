@@ -1,0 +1,225 @@
+"""Integration tests for the multi-process runtime.
+
+Parity is the contract: for every app, FTScheduler + ProcessRuntime must
+produce *bit-identical* results to FTScheduler + InlineRuntime -- with
+and without injected faults -- because the compute kernels are the same
+pure functions, only executed in worker processes over shared-memory
+views.  Speedup is asserted only on hosts with >= 4 cores; on smaller
+hosts the same test asserts bounded per-task dispatch overhead instead,
+so a single-core CI lane still exercises the full dispatch path.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import AppConfig, make_app
+from repro.core import FTScheduler, NabbitScheduler
+from repro.detect.checksum import SharedMemoryChecksumStore
+from repro.detect.silent import SilentFaultInjector, plan_silent_faults
+from repro.exceptions import WorkerCrashError
+from repro.faults import FaultInjector, plan_faults
+from repro.obs.events import EventKind, EventLog
+from repro.runtime import InlineRuntime, ProcessRuntime
+from repro.runtime.tracing import ExecutionTrace
+
+APPS = ("lcs", "cholesky")
+
+
+def assert_identical(got, want):
+    if isinstance(want, np.ndarray):
+        assert got.dtype == want.dtype and got.shape == want.shape
+        assert (got == want).all()
+    else:
+        assert got == want
+
+
+def run_ft(app, runtime, shared, plan=None):
+    store = app.make_store(True, shared=shared)
+    trace = ExecutionTrace()
+    hooks = FaultInjector(plan, app, store, trace) if plan is not None else None
+    FTScheduler(app, runtime, store=store, hooks=hooks, trace=trace).run()
+    result = app.extract(store)
+    if shared:
+        store.close()
+    return result, trace
+
+
+@pytest.mark.parametrize("app_name", APPS)
+class TestParity:
+    def test_bit_identical_without_faults(self, app_name):
+        app = make_app(app_name, scale="tiny")
+        want, _ = run_ft(app, InlineRuntime(), shared=False)
+        got, _ = run_ft(app, ProcessRuntime(workers=2, seed=0), shared=True)
+        assert_identical(got, want)
+
+    def test_bit_identical_under_fault_plan(self, app_name):
+        app = make_app(app_name, scale="tiny")
+        plan = plan_faults(app, phase="after_compute", task_type="v=rand", count=2, seed=3)
+        want, t0 = run_ft(app, InlineRuntime(), shared=False, plan=plan)
+        got, t1 = run_ft(app, ProcessRuntime(workers=2, seed=0), shared=True, plan=plan)
+        assert_identical(got, want)
+        assert t0.total_recoveries > 0 and t1.total_recoveries > 0
+
+    def test_parity_with_non_shared_store(self, app_name):
+        # Any store works with any runtime: a plain BlockStore simply
+        # ships payloads to workers by pickle instead of descriptor.
+        app = make_app(app_name, scale="tiny")
+        want, _ = run_ft(app, InlineRuntime(), shared=False)
+        got, _ = run_ft(app, ProcessRuntime(workers=2, seed=0), shared=False)
+        assert_identical(got, want)
+
+
+class TestWorkerDeath:
+    def test_crash_recovers_and_result_verifies(self):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True, shared=True)
+        log = EventLog()
+        rt = ProcessRuntime(workers=2, seed=0, die_on=[(1, 1)], event_log=log)
+        sched = FTScheduler(app, rt, store=store, event_log=log)
+        sched.run()
+        try:
+            app.verify(store)
+        finally:
+            store.close()
+        assert rt.worker_crashes == 1
+        assert sched.trace.total_recoveries >= 1
+        downs = [e for e in log.events if e.kind is EventKind.WORKER_DOWN]
+        assert len(downs) == 1
+        assert downs[0].key == (1, 1)
+        assert downs[0].data["exitcode"] == 73
+
+    def test_pool_survives_repeated_crashes(self):
+        app = make_app("cholesky", scale="tiny")
+        store = app.make_store(True, shared=True)
+        keys = [k for k in app_keys(app)][:3]
+        rt = ProcessRuntime(workers=2, seed=0, die_on=keys)
+        FTScheduler(app, rt, store=store).run()
+        try:
+            app.verify(store)
+        finally:
+            store.close()
+        assert rt.worker_crashes == len(keys)
+
+    def test_nabbit_baseline_fails_on_crash(self):
+        # The fault-oblivious baseline has no recovery path: a worker
+        # death is terminal, exactly like a flagged fault (faithful to
+        # the paper's comparison).
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(False, shared=True)
+        rt = ProcessRuntime(workers=2, seed=0, die_on=[(1, 1)])
+        with pytest.raises(WorkerCrashError):
+            NabbitScheduler(app, rt, store=store).run()
+        store.close()
+
+
+def app_keys(app):
+    """All task keys, in a deterministic (reverse-BFS) order."""
+    seen = []
+    stack = [app.sink_key()]
+    visited = set()
+    while stack:
+        k = stack.pop()
+        if k in visited:
+            continue
+        visited.add(k)
+        seen.append(k)
+        stack.extend(app.predecessors(k))
+    return seen
+
+
+class TestChecksumIntegration:
+    def test_silent_fault_detected_and_recovered(self):
+        app = make_app("cholesky", scale="tiny")
+        store = SharedMemoryChecksumStore(app.ft_policy)
+        app.seed_store(store)
+        plan = plan_silent_faults(app, count=2, seed=13)
+        trace = ExecutionTrace()
+        injector = SilentFaultInjector(plan, app, store, trace=trace)
+        rt = ProcessRuntime(workers=2, seed=0)
+        FTScheduler(app, rt, store=store, hooks=injector, trace=trace).run()
+        try:
+            app.verify(store)
+        finally:
+            store.close()
+        assert store.detection.mismatches >= 1
+        assert trace.total_recoveries >= 1
+
+
+class TestScaling:
+    def test_speedup_or_bounded_overhead(self):
+        cores = os.cpu_count() or 1
+        if cores >= 4:
+            self._assert_speedup()
+        else:
+            # Not a silent skip: on small hosts the dispatch path still
+            # runs end to end and must stay cheap per task.
+            self._assert_bounded_overhead()
+
+    def _assert_speedup(self):
+        # Kernel-dominated sizes so compute, not bookkeeping, is timed.
+        for name, cfg in (
+            ("lcs", AppConfig(n=4096, block=512)),
+            ("cholesky", AppConfig(n=768, block=96)),
+        ):
+            times = {}
+            for label, make_rt, shared in (
+                ("inline", InlineRuntime, False),
+                ("proc", lambda: ProcessRuntime(workers=4, seed=0), True),
+            ):
+                app = make_app(name, config=cfg)
+                store = app.make_store(True, shared=shared)
+                rt = make_rt()
+                t0 = time.perf_counter()
+                FTScheduler(app, rt, store=store).run()
+                times[label] = time.perf_counter() - t0
+                if shared:
+                    store.close()
+            assert times["inline"] / times["proc"] >= 1.8, (name, times)
+
+    def _assert_bounded_overhead(self):
+        app = make_app("lcs", scale="tiny")
+        n_tasks = app.config.blocks ** 2
+        store = app.make_store(True, shared=True)
+        rt = ProcessRuntime(workers=2, seed=0)
+        t0 = time.perf_counter()
+        FTScheduler(app, rt, store=store).run()
+        elapsed = time.perf_counter() - t0
+        try:
+            app.verify(store)
+        finally:
+            store.close()
+        # Generous absolute bound: dispatch (ship descriptor, IPC round
+        # trip, attach) must stay well under 50 ms per task even on a
+        # loaded single-core host.
+        assert elapsed / n_tasks < 0.05, f"{elapsed:.3f}s for {n_tasks} tasks"
+
+
+class TestRuntimeSurface:
+    def test_run_result_contract(self):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True, shared=True)
+        rt = ProcessRuntime(workers=2, seed=0)
+        res = FTScheduler(app, rt, store=store).run().run
+        store.close()
+        assert res.workers == 2
+        assert res.frames == sum(res.worker_frames)
+        assert res.steals == sum(res.worker_steals)
+        assert res.makespan > 0
+
+    def test_pool_reusable_across_runs(self):
+        rt = ProcessRuntime(workers=2, seed=0)
+        for _ in range(2):
+            app = make_app("lcs", scale="tiny")
+            store = app.make_store(True, shared=True)
+            FTScheduler(app, rt, store=store).run()
+            try:
+                app.verify(store)
+            finally:
+                store.close()
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProcessRuntime(workers=0)

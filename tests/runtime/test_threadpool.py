@@ -123,6 +123,71 @@ class TestRunResultCounters:
         assert res.worker_steals == [0]
         assert res.worker_frames == [res.frames]
 
+    def test_counters_consistent_under_contention(self):
+        # Blocking frames force steals and idle episodes at once; the
+        # per-worker vectors must still sum to the totals exactly.
+        import time
+
+        rt = ThreadedRuntime(workers=4, seed=15)
+
+        def root():
+            for i in range(60):
+                rt.spawn(lambda i=i: time.sleep(0.0005 if i % 3 else 0.002))
+
+        res = rt.execute(Frame(root))
+        assert sum(res.worker_frames) == res.frames == 61
+        assert sum(res.worker_steals) == res.steals
+        assert res.steals >= 1
+
+
+class TestParkSymmetry:
+    """One idle episode = exactly one PARK, and one UNPARK if work ever
+    reappeared for that worker -- regardless of how many capped
+    exponential sleeps the episode took (regression: the backoff loop
+    must not re-emit PARK per sleep)."""
+
+    @staticmethod
+    def _per_worker_kinds(log):
+        from repro.obs.events import EventKind
+
+        per = {}
+        for e in log.events:
+            if e.kind in (EventKind.PARK, EventKind.UNPARK):
+                per.setdefault(e.worker, []).append(e.kind)
+        return per
+
+    def test_park_unpark_alternate_per_worker(self):
+        import time
+
+        from repro.obs.events import EventKind, EventLog
+
+        log = EventLog()
+        rt = ThreadedRuntime(workers=4, seed=16, event_log=log)
+
+        def root():
+            # Staggered bursts: workers drain, park, then get new work.
+            for _ in range(4):
+                time.sleep(0.005)
+                for _ in range(8):
+                    rt.spawn(lambda: time.sleep(0.0005))
+
+        res = rt.execute(Frame(root))
+        per = self._per_worker_kinds(log)
+        assert per, "contended run produced no park events"
+        for worker, kinds in per.items():
+            for i, kind in enumerate(kinds):
+                want = EventKind.PARK if i % 2 == 0 else EventKind.UNPARK
+                assert kind is want, f"worker {worker}: {kinds}"
+            parks = sum(1 for k in kinds if k is EventKind.PARK)
+            unparks = len(kinds) - parks
+            # A worker may end the run parked (quiescence), never the
+            # other way around.
+            assert parks - unparks in (0, 1), f"worker {worker}: {kinds}"
+        total_parks = sum(
+            1 for e in log.events if e.kind is EventKind.PARK
+        )
+        assert total_parks == res.parks
+
 
 class TestFailure:
     def test_frame_exception_propagates(self):

@@ -10,6 +10,7 @@ from repro.exceptions import (
     ReproError,
     SchedulerError,
     TaskCorruptionError,
+    WorkerCrashError,
 )
 
 
@@ -50,3 +51,36 @@ class TestPayloads:
     def test_overwritten_never_written(self):
         e = OverwrittenError("blk", 0, None)
         assert "nothing" in str(e)
+
+
+class TestWorkerCrash:
+    def test_identity_and_message(self):
+        e = WorkerCrashError(("gemm", 1, 2), pid=123, exitcode=73)
+        assert e.key == ("gemm", 1, 2)
+        assert e.pid == 123 and e.exitcode == 73
+        assert "pid=123" in str(e) and "exitcode=73" in str(e)
+        assert isinstance(e, FaultError)
+
+
+class TestPickleRoundTrip:
+    """Fault errors cross process boundaries (worker -> parent pipe);
+    their multi-argument constructors need explicit __reduce__ support."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TaskCorruptionError(("gemm", 1, 2, 3), 4),
+            DataCorruptionError(("a", 1), 3, producer=("gemm", 2)),
+            OverwrittenError("blk", 2, 5, producer=("t", 0)),
+            OverwrittenError("blk", 0, None),
+            WorkerCrashError((1, 1), pid=99, exitcode=73),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_round_trip_preserves_identity(self, exc):
+        import pickle
+
+        back = pickle.loads(pickle.dumps(exc))
+        assert type(back) is type(exc)
+        assert str(back) == str(exc)
+        assert back.__dict__ == exc.__dict__

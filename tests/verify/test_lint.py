@@ -73,6 +73,38 @@ class TestSeededViolations:
         src = "def f(log):\n    log.emit(EventKind.NOTIFY)\n"
         assert not lint_source(src, "obs/seeded.py", "emit-guard")
 
+    def test_emit_guard_covers_hot_path_runtime_modules(self):
+        src = "def f(log):\n    log.emit(EventKind.PARK)\n"
+        assert lint_source(src, "runtime/threadpool.py", "emit-guard")
+        assert lint_source(src, "runtime/procpool.py", "emit-guard")
+        # Other runtime modules (e.g. the simulator's virtual-time
+        # emitter) are out of scope.
+        assert not lint_source(src, "runtime/simulator.py", "emit-guard")
+
+    def test_raw_multiprocessing_fires_outside_runtime(self):
+        src = "import multiprocessing\np = multiprocessing.Pool()\n"
+        assert lint_source(src, "apps/seeded.py", "raw-multiprocessing")
+
+    def test_raw_multiprocessing_fires_on_from_import(self):
+        src = "from multiprocessing import Process\n"
+        assert lint_source(src, "core/seeded.py", "raw-multiprocessing")
+
+    def test_raw_multiprocessing_fires_on_concurrent_futures(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert lint_source(src, "obs/seeded.py", "raw-multiprocessing")
+
+    def test_raw_multiprocessing_allows_shared_memory_everywhere(self):
+        for src in (
+            "from multiprocessing import shared_memory\n",
+            "from multiprocessing.shared_memory import SharedMemory\n",
+            "import multiprocessing.shared_memory\n",
+        ):
+            assert not lint_source(src, "memory/seeded.py", "raw-multiprocessing")
+
+    def test_raw_multiprocessing_allows_runtime_modules(self):
+        src = "from multiprocessing import Pipe, Process\n"
+        assert not lint_source(src, "runtime/seeded.py", "raw-multiprocessing")
+
     def test_eventkind_coverage_fires_on_unrouted_member(self):
         src = "class EventKind(str, Enum):\n    PHANTOM = 'phantom'\n"
         replay = Module.from_source("_SCALAR_KINDS = {}\n", "obs/replay.py")
