@@ -15,6 +15,12 @@ Commands:
 * ``detect`` -- silent-fault detection: coverage and overhead tables for
   the checksummed store and selective task replication, or the CI install
   check (``python -m repro detect --selftest``; see docs/DETECTION.md).
+* ``top`` -- real-time run monitor: launch one benchmark on the process
+  pool (or thread pool) with live metrics and redraw per-worker
+  utilization, queue depths, recovery/SDC counters, and dispatch
+  latency while it runs; prints the overhead-attribution budget when
+  the run quiesces (``python -m repro top cholesky --serve``; see
+  docs/OBSERVABILITY.md).
 * ``verify`` -- static analysis and protocol verification of the
   scheduler itself: concurrency lints, the Guarantee 1-4 trace-invariant
   checker, and bounded schedule exploration with seeded-bug mutation
@@ -218,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(rest)
+    if cmd == "top":
+        from repro.obs.top import main as top_main
+
+        return top_main(rest)
     if cmd == "detect":
         from repro.detect.cli import main as detect_main
 
@@ -238,7 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         return _about()
     print(
         f"unknown command {cmd!r}; expected "
-        "selftest | harness | trace | detect | verify | perf | procpool | validate | about"
+        "selftest | harness | trace | top | detect | verify | perf | procpool | validate | about"
     )
     return 2
 

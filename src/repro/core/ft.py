@@ -64,6 +64,7 @@ from repro.graph.taskspec import BlockRef, TaskGraphSpec
 from repro.memory.blockstore import BlockStore
 from repro.memory.context import StoreComputeContext
 from repro.obs.events import NULL_LOG, EventKind, EventLog
+from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import Runtime
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
@@ -90,6 +91,7 @@ class FTScheduler:
         max_recoveries: int = 1_000_000,
         record_events: bool = False,
         event_log: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.spec = spec
         self.runtime = runtime
@@ -118,8 +120,9 @@ class FTScheduler:
         self._hooked = self.hooks is not NULL_HOOKS
         self._lbl = bool(getattr(runtime, "record_timeline", False))
         # Compute-phase dispatch seam: process-pool runtimes expose
-        # compute_dispatch(spec, key, ctx) to run the (pure, stateless)
-        # kernel off-process; every other runtime computes in place.
+        # compute_dispatch(spec, key, ctx, life) to run the (pure,
+        # stateless) kernel off-process (life only attributes telemetry);
+        # every other runtime computes in place.
         self._dispatch = getattr(runtime, "compute_dispatch", None)
         # Serial runtimes (inline, simulated) execute frames one at a
         # time, so trace-counter bumps need no lock; threaded runtimes
@@ -163,6 +166,40 @@ class FTScheduler:
         # contexts and the needs scan above so each task's footprint is
         # pulled from the spec at most once per run.
         self._fp_cache: dict[Key, tuple[frozenset, frozenset]] = {}
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        """Live metrics registry (:mod:`repro.obs.live`).  Disabled by
+        default (``NULL_METRICS``); pass ``metrics=MetricsRegistry()`` to
+        publish pull-based gauges over the run's trace counters and the
+        block store's occupancy (the scheduler hot paths are never taxed
+        -- gauges are read only when sampled)."""
+        self._mx = self.metrics is not NULL_METRICS
+        if self._mx:
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose the live :class:`ExecutionTrace` counters (and the block
+        store's occupancy) as callback gauges: the counters already exist
+        and already update on the hot path, so live visibility costs one
+        ``getattr`` per counter per collector tick."""
+        trace = self.trace
+        self.metrics.gauge(
+            "repro_scheduler_info", "constant 1, labelled by scheduler", scheduler=self.name
+        ).set(1)
+        for name in sorted(ExecutionTrace.SCALAR_COUNTERS):
+            self.metrics.callback_gauge(
+                f"repro_trace_{name}",
+                lambda n=name: getattr(trace, n),
+                f"live ExecutionTrace counter {name}",
+            )
+        for name in ("total_computes", "total_recoveries", "tasks_computed"):
+            self.metrics.callback_gauge(
+                f"repro_trace_{name}",
+                lambda n=name: getattr(trace, n),
+                f"live ExecutionTrace aggregate {name}",
+            )
+        register = getattr(self.store, "register_metrics", None)
+        if register is not None:
+            register(self.metrics)
 
     @property
     def events(self) -> list[tuple]:
@@ -338,7 +375,7 @@ class FTScheduler:
                 self.spec, self.store, key, strict=self.strict_context, footprint=fp
             )
             if self._dispatch is not None:
-                self._dispatch(self.spec, key, ctx)
+                self._dispatch(self.spec, key, ctx, life)
             else:
                 self.spec.compute(key, ctx)
             if self._hooked:
@@ -416,7 +453,19 @@ class FTScheduler:
         already owns that incarnation's recovery (Guarantee 1)."""
         self.runtime.charge(self._c_recovery)
         if self.recovery_table.check_and_claim(key, life):
-            self._recover_task(key)
+            if self._obs:
+                # Time the whole recovery routine (incarnation install +
+                # successor rescan + re-spawn) as a worker-attributed span
+                # so the attribution report can price the paper's
+                # localized-recovery claim on real runs.
+                t0 = self.log.now()
+                self._recover_task(key)
+                self.log.emit(
+                    EventKind.SPAN, key, life, phase="recovery",
+                    wall=self.log.now() - t0, t0=t0,
+                )
+            else:
+                self._recover_task(key)
         else:
             self.trace.count_recovery_skip()
             if self._obs:

@@ -39,6 +39,7 @@ from repro.graph.taskspec import TaskGraphSpec
 from repro.memory.blockstore import BlockStore
 from repro.memory.context import StoreComputeContext
 from repro.obs.events import NULL_LOG, EventKind, EventLog
+from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import Runtime
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
@@ -62,6 +63,7 @@ class NabbitScheduler:
         trace: ExecutionTrace | None = None,
         strict_context: bool = True,
         event_log: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.spec = spec
         self.runtime = runtime
@@ -111,6 +113,34 @@ class NabbitScheduler:
         # The cost model is frozen; hoist the per-charge constants.
         self._c_lock = self.cost_model.lock_cost
         self._c_atomic = self.cost_model.atomic_cost
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        """Live metrics registry; see :attr:`FTScheduler.metrics`."""
+        self._mx = self.metrics is not NULL_METRICS
+        if self._mx:
+            self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Pull-based gauges over the live trace counters and the store;
+        mirrors :meth:`FTScheduler._register_metrics`."""
+        trace = self.trace
+        self.metrics.gauge(
+            "repro_scheduler_info", "constant 1, labelled by scheduler", scheduler=self.name
+        ).set(1)
+        for name in sorted(ExecutionTrace.SCALAR_COUNTERS):
+            self.metrics.callback_gauge(
+                f"repro_trace_{name}",
+                lambda n=name: getattr(trace, n),
+                f"live ExecutionTrace counter {name}",
+            )
+        for name in ("total_computes", "total_recoveries", "tasks_computed"):
+            self.metrics.callback_gauge(
+                f"repro_trace_{name}",
+                lambda n=name: getattr(trace, n),
+                f"live ExecutionTrace aggregate {name}",
+            )
+        register = getattr(self.store, "register_metrics", None)
+        if register is not None:
+            register(self.metrics)
 
     # -- public API -------------------------------------------------------------------
 
@@ -188,7 +218,7 @@ class NabbitScheduler:
         self.runtime.charge(float(self.spec.cost(key)) * self._compute_factor)
         ctx = StoreComputeContext(self.spec, self.store, key, strict=self.strict_context)
         if self._dispatch is not None:
-            self._dispatch(self.spec, key, ctx)
+            self._dispatch(self.spec, key, ctx, 1)
         else:
             self.spec.compute(key, ctx)
         if self._hooked:

@@ -140,36 +140,49 @@ class ReplicationDetector:
                 # detected-fault machinery owns this version.
                 return
             published[ref] = value
-        replica_fps = []
-        for i in range(self.votes - 1):
-            fps = self._run_replica(record, i)
-            if fps is None:
-                with self._lock:
-                    self.skipped += 1
-                return
-            replica_fps.append(fps)
-        published_fp = {ref: fingerprint(v, self.digest) for ref, v in published.items()}
-        condemned = tuple(
-            ref for ref in outputs
-            if not self._published_wins(published_fp[ref], [fps[ref] for fps in replica_fps])
-        )
-        if not condemned:
-            return
-        for ref in condemned:
-            self.store.mark_corrupted(ref)
-        record.corrupted = True
-        with self._lock:
-            self.detections.append((key, life, condemned))
-        if self.trace is not None:
-            self.trace.count_sdc_detected()
-        if self.event_log is not None and self.event_log.enabled:
-            self.event_log.emit(
-                EventKind.SDC_DETECTED,
-                key,
-                life,
-                method="replication",
-                blocks=len(condemned),
+        log = self.event_log
+        span = log is not None and log.enabled
+        t0 = log.now() if span else 0.0
+        try:
+            replica_fps = []
+            for i in range(self.votes - 1):
+                fps = self._run_replica(record, i)
+                if fps is None:
+                    with self._lock:
+                        self.skipped += 1
+                    return
+                replica_fps.append(fps)
+            published_fp = {ref: fingerprint(v, self.digest) for ref, v in published.items()}
+            condemned = tuple(
+                ref for ref in outputs
+                if not self._published_wins(published_fp[ref], [fps[ref] for fps in replica_fps])
             )
+            if not condemned:
+                return
+            for ref in condemned:
+                self.store.mark_corrupted(ref)
+            record.corrupted = True
+            with self._lock:
+                self.detections.append((key, life, condemned))
+            if self.trace is not None:
+                self.trace.count_sdc_detected()
+            if span:
+                log.emit(
+                    EventKind.SDC_DETECTED,
+                    key,
+                    life,
+                    method="replication",
+                    blocks=len(condemned),
+                )
+        finally:
+            # Attribution span over the whole detection attempt (replica
+            # runs + fingerprint votes), whether it detected, abstained,
+            # or cleared the task.
+            if span:
+                log.emit(
+                    EventKind.SPAN, key, life, phase="detect",
+                    wall=log.now() - t0, t0=t0,
+                )
 
     def on_after_notify(self, record: TaskRecord) -> None:
         return None

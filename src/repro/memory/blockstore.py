@@ -276,3 +276,23 @@ class BlockStore:
         for block in self.blocks():
             for v in self.resident_versions(block):
                 yield BlockRef(block, v)
+
+    def register_metrics(self, registry: Any) -> None:
+        """Publish pull-based occupancy/traffic gauges into a
+        :class:`~repro.obs.live.MetricsRegistry`.
+
+        Everything is a callback gauge reading state the store already
+        maintains, so registering costs the write/read hot paths nothing.
+        Subclasses extend (e.g. the shm backend adds segment byte
+        counts)."""
+        registry.callback_gauge(
+            "repro_store_resident_versions",
+            self.resident_count,
+            "block versions currently resident (ring + pinned excluded)",
+        )
+        for name in ("writes", "reads", "evictions", "peak_resident"):
+            registry.callback_gauge(
+                f"repro_store_{name}",
+                lambda n=name: getattr(self.stats, n),
+                f"BlockStore stats.{name}",
+            )

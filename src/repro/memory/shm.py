@@ -288,6 +288,16 @@ class SharedMemoryBackend:
         super().pin(ref, payload)  # type: ignore[misc]
         self._install_segment(ref, seg)
 
+    def register_metrics(self, registry: Any) -> None:
+        """Base-store gauges plus segment-lifecycle gauges."""
+        super().register_metrics(registry)  # type: ignore[misc]
+        for name in ("segments_created", "segments_released", "bytes_current", "bytes_peak"):
+            registry.callback_gauge(
+                f"repro_shm_{name}",
+                lambda n=name: getattr(self.shm_stats, n),
+                f"shared-memory backend stats.{name}",
+            )
+
     # -- dispatch surface ---------------------------------------------------
 
     def descriptor(self, ref: BlockRef) -> ShmDescriptor | None:

@@ -120,6 +120,21 @@ class EventKind(str, Enum):
     WORKER_DOWN = "worker_down"
     """A compute worker *process* died mid-task (ProcessRuntime); the
     dispatch surfaces as a WorkerCrashError on the key it was running."""
+    WORKER_UP = "worker_up"
+    """A replacement compute worker *process* joined the pool
+    (ProcessRuntime); ``data['pid']`` carries the new pid.  Pairs with
+    WORKER_DOWN so pool-health timelines can show both transitions."""
+
+    # -- telemetry -----------------------------------------------------------
+    SPAN = "span"
+    """A measured interval, attributed to the emitting worker.
+    ``data['phase']`` names what was measured (``kernel``, ``attach``,
+    ``serialize``, ``dispatch``, ``recovery``, ``detect``) and
+    ``data['wall']`` is its duration in seconds.  Spans measured in the
+    *parent* process (dispatch, recovery, detect) add ``data['t0']``,
+    their start on the log's clock; worker-process spans ship durations
+    only (the two processes do not share a clock epoch), and kernel
+    spans add ``data['cpu']`` (worker process-CPU seconds)."""
 
 
 @dataclass(slots=True, frozen=True)
@@ -174,6 +189,21 @@ def _seq_of(event: Event) -> int:
     return event.seq
 
 
+class LateEmitError(RuntimeError):
+    """An emission arrived after the merged total order was already
+    observed *and* would have to be inserted before its end.
+
+    The buffered log's merge is only stable if every new event extends
+    the previously drained prefix.  An event whose sequence number falls
+    inside that prefix (a worker thread that kept emitting after
+    quiescence was declared) would silently reorder history for any
+    consumer that drained twice -- so the next drain raises instead."""
+
+
+class SealedLogError(RuntimeError):
+    """An emission arrived after :meth:`EventLog.seal` closed the log."""
+
+
 class EventLog:
     """Append-only, thread-safe event collector bound to a runtime clock.
 
@@ -208,6 +238,7 @@ class EventLog:
         self._clock: Callable[[], float] = time.perf_counter
         self._worker: Callable[[], int] = _zero
         self._epoch = time.perf_counter()
+        self._sealed = False
 
     # -- binding -----------------------------------------------------------------
 
@@ -223,6 +254,13 @@ class EventLog:
         worker = getattr(runtime, "obs_worker", None)
         if worker is not None:
             self._worker = worker
+
+    def now(self) -> float:
+        """Current time on the bound runtime clock (wall-clock seconds
+        until :meth:`bind_runtime` adopts a runtime's ``obs_now``).
+        Span emitters use this so their ``t0``/``wall`` fields live on
+        the same axis as every other event timestamp."""
+        return self._clock()
 
     # -- emission ----------------------------------------------------------------
 
@@ -247,6 +285,8 @@ class EventLog:
     ) -> None:
         """Record one event at the bound runtime's current time/worker."""
         if self._buffered:
+            if self._sealed:
+                raise SealedLogError(f"emit({kind.value}) on a sealed EventLog")
             try:
                 buf = self._local.buf
             except AttributeError:
@@ -268,6 +308,8 @@ class EventLog:
     ) -> None:
         """Record one event with explicit attribution (used by the
         simulator's driver loop, which acts *for* a virtual worker)."""
+        if self._sealed:
+            raise SealedLogError(f"emit({kind.value}) on a sealed EventLog")
         if self._buffered:
             try:
                 buf = self._local.buf
@@ -295,7 +337,25 @@ class EventLog:
         for b in snap:
             total += len(b)
         if len(self._merged) != total:
-            self._merged = sorted((e for b in snap for e in b), key=_seq_of)
+            merged = sorted((e for b in snap for e in b), key=_seq_of)
+            prev = self._merged
+            # Deterministic-merge guard (late worker-span delivery):
+            # new events whose seq extends the previously drained prefix
+            # append in order; an event whose seq falls *inside* that
+            # prefix would silently rewrite history for anyone who
+            # already read it, so it raises instead.  The L-th smallest
+            # seq of old-union-new equals the old maximum iff no new
+            # event interleaves below it.
+            if prev and merged[len(prev) - 1].seq != prev[-1].seq:
+                known = {e.seq for e in prev}
+                late = [e for e in merged if e.seq < prev[-1].seq and e.seq not in known]
+                raise LateEmitError(
+                    f"{len(merged) - len(prev)} event(s) emitted after the merged "
+                    f"order was observed would reorder the drained prefix "
+                    f"(first offender: {late[0].kind.value} seq={late[0].seq}, "
+                    f"drained max seq={prev[-1].seq})"
+                )
+            self._merged = merged
         return self._merged
 
     @property
@@ -327,6 +387,20 @@ class EventLog:
         with self._lock:
             return self._seq - len(self._events)
 
+    def seal(self) -> None:
+        """Close the log: drain once more, then make any further emission
+        raise :class:`SealedLogError` at the *emit site* (instead of a
+        :class:`LateEmitError` at the next drain).  Opt-in -- schedulers
+        never seal automatically because legitimate post-run emitters
+        exist (e.g. ``repro.detect`` escape accounting)."""
+        if self._buffered:
+            self._drain()
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
     def clear(self) -> None:
         with self._lock:
             for buf in self._buffers:
@@ -335,6 +409,7 @@ class EventLog:
             self._count = itertools.count()
             self._events.clear()
             self._seq = 0
+            self._sealed = False
 
     def __len__(self) -> int:
         if self._buffered:

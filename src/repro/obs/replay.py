@@ -56,9 +56,12 @@ _PER_KEY_KINDS = frozenset(
 #:   lifecycle *milestones*: their counts are implied by the counters
 #:   already replayed (created tasks == map inserts, ends == begins minus
 #:   faults) and ExecutionTrace never tracked them.
-#: * STEAL / PARK / UNPARK / WORKER_DOWN belong to the work-stealing substrate; the
-#:   runtime reports them in :class:`~repro.runtime.api.RunResult`, which
-#:   has its own event parity check in ``repro.obs.metrics``.
+#: * STEAL / PARK / UNPARK / WORKER_DOWN / WORKER_UP belong to the
+#:   work-stealing / process-pool substrate; the runtime reports them in
+#:   :class:`~repro.runtime.api.RunResult`, which has its own event
+#:   parity check in ``repro.obs.metrics``.
+#: * SPAN is pure telemetry (durations), consumed by
+#:   :mod:`repro.obs.attribution`; it never moves a logical counter.
 REPLAY_IGNORED = frozenset(
     {
         EventKind.TASK_CREATED,
@@ -69,6 +72,8 @@ REPLAY_IGNORED = frozenset(
         EventKind.PARK,
         EventKind.UNPARK,
         EventKind.WORKER_DOWN,
+        EventKind.WORKER_UP,
+        EventKind.SPAN,
     }
 )
 

@@ -10,9 +10,21 @@ The gate compares **calibrated** scores (score / reference-loop score):
 raw ops/s on a laptop and on a throttled CI container differ 3x for
 reasons that have nothing to do with the code.  A benchmark regresses
 when its calibrated median is more than ``threshold`` (default 15%)
-worse than the baseline's, with the CI overlap rule as a noise guard:
-if the current CI overlaps the baseline's CI, the difference is not
-resolvable at this sample size and is not flagged.
+worse than the baseline's, with two noise guards:
+
+* **CI overlap** -- if the current CI overlaps the baseline's CI, the
+  difference is not resolvable at this sample size and is not flagged.
+* **Calibration forgives, never accuses** -- the regression must also
+  show up in the *raw* ratio.  The reference loop is pure interpreter
+  dispatch; real workloads (locks, syscalls, memory traffic) scale
+  less than 1:1 with host speed, so on a host *faster* than the
+  baseline's, dividing by the calibration score deflates every
+  benchmark and manufactures regressions out of thin air.  Calibration
+  exists to excuse slower raw numbers on a slower host -- a benchmark
+  whose raw score is at or above the baseline's cannot be a code
+  regression.  (The dual risk -- a genuinely slower change masked by a
+  much faster host -- is accepted: it re-fires on the next
+  comparable-host run, while a false alarm would block every PR.)
 """
 
 from __future__ import annotations
@@ -106,6 +118,10 @@ class Delta:
     ratio: float
     """current / baseline in calibrated units; >1 means faster for
     higher-is-better benchmarks."""
+    raw_ratio: float
+    """current / baseline in raw units (same orientation as ``ratio``).
+    A regression must show in both: see 'calibration forgives, never
+    accuses' in the module docstring."""
     regressed: bool
     resolvable: bool
     """False when the CIs overlap: the difference is inside noise."""
@@ -114,7 +130,8 @@ class Delta:
         tag = "REGRESSED" if self.regressed else ("~" if not self.resolvable else "ok")
         return (
             f"{self.name:<34} {self.ratio:>6.2f}x vs baseline (calibrated; "
-            f"raw {self.current:,.0f} vs {self.baseline:,.0f} {self.unit}) [{tag}]"
+            f"raw {self.raw_ratio:.2f}x, {self.current:,.0f} vs "
+            f"{self.baseline:,.0f} {self.unit}) [{tag}]"
         )
 
 
@@ -139,22 +156,26 @@ def compare_runs(
             missing.append(name)
             continue
         hib = bool(base.get("higher_is_better", True))
-        b = float(base["median"]) / base_cal
-        c = float(cur["median"]) / cur_cal
+        b_raw, c_raw = float(base["median"]), float(cur["median"])
+        b = b_raw / base_cal
+        c = c_raw / cur_cal
         if b <= 0 or c <= 0:
             continue
         ratio = (c / b) if hib else (b / c)
+        raw_ratio = (c_raw / b_raw) if hib else (b_raw / c_raw)
         b_lo, b_hi = float(base["ci_lo"]) / base_cal, float(base["ci_hi"]) / base_cal
         c_lo, c_hi = float(cur["ci_lo"]) / cur_cal, float(cur["ci_hi"]) / cur_cal
         resolvable = c_hi < b_lo or c_lo > b_hi
-        regressed = resolvable and ratio < (1.0 - threshold)
+        bar = 1.0 - threshold
+        regressed = resolvable and ratio < bar and raw_ratio < bar
         deltas.append(
             Delta(
                 name=name,
                 unit=str(base.get("unit", "ops/s")),
-                baseline=float(base["median"]),
-                current=float(cur["median"]),
+                baseline=b_raw,
+                current=c_raw,
                 ratio=ratio,
+                raw_ratio=raw_ratio,
                 regressed=regressed,
                 resolvable=resolvable,
             )

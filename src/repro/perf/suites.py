@@ -18,6 +18,10 @@ Four layers, mirroring the hot-path inventory in docs/PERFORMANCE.md:
   full FT stack, so a regression that hides between layers still shows;
   plus a kernel-bound Cholesky instance where NumPy compute, not
   bookkeeping, dominates (the regime ProcessRuntime targets).
+* ``obs`` -- the live-telemetry layer (:mod:`repro.obs.live`): push
+  instrument costs (``Counter.inc``, ``Histogram.observe``), the cached
+  ``_mx`` guard a telemetry-off run pays per would-be publication, and
+  a full ``registry.collect()`` sampler tick.
 * ``procpool`` -- FTScheduler + :class:`~repro.runtime.procpool.
   ProcessRuntime` on real-kernel apps over a shared-memory store: pool
   spin-up, descriptor shipping, the IPC round trip, and worker attach
@@ -311,6 +315,87 @@ def _bench_procpool(app_name: str, workers: int) -> Callable[[], Callable[[], in
     return make
 
 
+def _bench_metrics_counter(n: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.obs.live import MetricsRegistry
+
+        counter = MetricsRegistry().counter("bench_total", "emit-cost probe")
+
+        def batch() -> int:
+            inc = counter.inc
+            for _ in range(n):
+                inc()
+            return n
+
+        return batch
+
+    return make
+
+
+def _bench_metrics_histogram(n: int) -> Callable[[], Callable[[], int]]:
+    def make():
+        from repro.obs.live import MetricsRegistry
+
+        hist = MetricsRegistry().histogram("bench_seconds", "emit-cost probe")
+
+        def batch() -> int:
+            observe = hist.observe
+            for _ in range(n):
+                observe(1.3e-4)
+            return n
+
+        return batch
+
+    return make
+
+
+def _bench_metrics_off_guard(n: int) -> Callable[[], Callable[[], int]]:
+    """The telemetry-off hot path: the cached ``_mx`` identity-guard test
+    that every would-be publication pays when metrics are disabled."""
+
+    def make():
+        from repro.obs.live import NULL_METRICS
+
+        registry = NULL_METRICS
+        mx = registry is not NULL_METRICS
+        counter = registry.counter("bench_total", "never incremented")
+
+        def batch() -> int:
+            for _ in range(n):
+                if mx:
+                    counter.inc()
+            return n
+
+        return batch
+
+    return make
+
+
+def _bench_registry_collect(instruments: int, rounds: int) -> Callable[[], Callable[[], int]]:
+    """One collector tick over a realistically populated registry."""
+
+    def make():
+        from repro.obs.live import MetricsRegistry
+
+        reg = MetricsRegistry()
+        state = {"v": 0.0}
+        for i in range(instruments):
+            reg.counter("bench_total", "probe", idx=i).inc()
+            reg.callback_gauge("bench_gauge", lambda: state["v"], "probe", idx=i)
+        hist = reg.histogram("bench_seconds", "probe")
+        hist.observe(1e-4)
+
+        def batch() -> int:
+            samples = 0
+            for _ in range(rounds):
+                samples += len(reg.collect())
+            return samples
+
+        return batch
+
+    return make
+
+
 # ---------------------------------------------------------------------------
 # the suite
 
@@ -392,6 +477,23 @@ def benchmarks(scale: str = "default") -> list[Benchmark]:
             _bench_e2e_kernel("cholesky", n=96 if tiny else 384, block=32 if tiny else 96),
             unit="tasks/s",
             description="kernel-bound Cholesky (few fat tiles), inline: compute dominates",
+        ),
+        Benchmark(
+            "metrics_counter_inc", "obs", _bench_metrics_counter(keys * 4),
+            description="Counter.inc: the locked push-instrument fast path",
+        ),
+        Benchmark(
+            "metrics_histogram_observe", "obs", _bench_metrics_histogram(keys * 4),
+            description="Histogram.observe: bisect + locked bucket bump",
+        ),
+        Benchmark(
+            "metrics_off_guard", "obs", _bench_metrics_off_guard(keys * 8),
+            description="cached _mx guard with NULL_METRICS: the telemetry-off cost",
+        ),
+        Benchmark(
+            "metrics_registry_collect", "obs",
+            _bench_registry_collect(8 if tiny else 32, rounds),
+            description="registry.collect() ticks over counters, callback gauges, a histogram",
         ),
         Benchmark(
             "procpool_lcs_w2", "procpool", _bench_procpool("lcs", 2),

@@ -52,12 +52,14 @@ import os
 import pickle
 import queue
 import threading
+import time
 from typing import Any, Hashable, Iterable
 
 from repro.exceptions import OverwrittenError, SchedulerError, WorkerCrashError
 from repro.graph.taskspec import BlockRef
 from repro.memory.shm import ShmDescriptor, attach_payload
 from repro.obs.events import NULL_LOG, EventKind, EventLog
+from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import RunResult
 from repro.runtime.frames import Frame
 from repro.runtime.threadpool import ThreadedRuntime
@@ -161,11 +163,26 @@ def _worker_main(conn: Any) -> None:
         if die:
             os._exit(CRASH_EXIT_CODE)
         attachments: list = []
+        # Worker-side spans: the parent cannot see where time goes inside
+        # this process, so the worker measures its own phases -- shm
+        # attach, kernel wall + process-CPU, reply serialization -- and
+        # ships the numbers back with the result.  Durations only: the
+        # two processes do not share a clock epoch.
+        spans: dict[str, float] = {}
         try:
+            t_at = time.perf_counter()
             values, attachments = _decode_inputs(inputs)
+            spans["attach"] = time.perf_counter() - t_at
             ctx = _WorkerComputeContext(key, values)
+            t_kw = time.perf_counter()
+            t_kc = time.process_time()
             spec.compute(key, ctx)
-            reply = ("ok", ctx.written)
+            spans["kernel_cpu"] = time.process_time() - t_kc
+            spans["kernel"] = time.perf_counter() - t_kw
+            t_sz = time.perf_counter()
+            blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
+            spans["serialize"] = time.perf_counter() - t_sz
+            reply = ("ok", blob, spans)
         except BaseException as exc:
             reply = ("raise", _portable_exc(exc))
         try:
@@ -220,8 +237,9 @@ class ProcessRuntime(ThreadedRuntime):
         event_log: EventLog | None = None,
         die_on: Iterable[Hashable] | None = None,
         start_method: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        super().__init__(workers, seed, event_log)
+        super().__init__(workers, seed, event_log, metrics=metrics)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -233,6 +251,16 @@ class ProcessRuntime(ThreadedRuntime):
         self._idle: queue.Queue[_WorkerHandle] = queue.Queue()
         self._spec_blobs: dict[int, bytes] = {}
         self._crashes = 0
+        # Pre-built instruments: the dispatch hot path must never pay
+        # registry lookup/label work, only a cached-flag test + observe.
+        self._dispatch_hist = self._metrics.histogram(
+            "repro_dispatch_seconds",
+            "full remote compute round trip (queue wait + ship + kernel + reply)",
+        )
+        self._crash_counter = self._metrics.counter(
+            "repro_worker_crashes_total",
+            "compute worker processes that died mid-dispatch and were replaced",
+        )
 
     @property
     def worker_crashes(self) -> int:
@@ -312,14 +340,19 @@ class ProcessRuntime(ThreadedRuntime):
 
     # -- the dispatch seam ---------------------------------------------------
 
-    def compute_dispatch(self, spec: Any, key: Hashable, ctx: Any) -> None:
+    def compute_dispatch(self, spec: Any, key: Hashable, ctx: Any, life: int = 0) -> None:
         """Run ``spec.compute(key, ...)`` in a worker process.
 
         Called by the schedulers in place of a direct ``spec.compute``;
         raises the same :class:`~repro.exceptions.FaultError` family a
         local compute would, plus :class:`WorkerCrashError` when the
-        worker process dies mid-task.
+        worker process dies mid-task.  ``life`` is the incarnation being
+        computed -- it only attributes telemetry (SPAN events), never
+        scheduling decisions.
         """
+        obs = self._log is not NULL_LOG
+        mx = self._mx
+        t0 = self._log.now() if obs else (time.perf_counter() if mx else 0.0)
         store = ctx.store
         describe = getattr(store, "descriptor", None)
         inputs = []
@@ -337,7 +370,24 @@ class ProcessRuntime(ThreadedRuntime):
                 if key in self._die_on:
                     self._die_on.discard(key)
                     die = True
-        for reftup, value in self._submit(spec, key, inputs, die):
+        written, spans = self._submit(spec, key, inputs, die)
+        if obs:
+            log = self._log
+            end = log.now()
+            # Worker-measured phases (durations only; foreign clock) ...
+            log.emit(EventKind.SPAN, key, life, phase="attach",
+                     wall=spans.get("attach", 0.0))
+            log.emit(EventKind.SPAN, key, life, phase="kernel",
+                     wall=spans.get("kernel", 0.0), cpu=spans.get("kernel_cpu", 0.0))
+            log.emit(EventKind.SPAN, key, life, phase="serialize",
+                     wall=spans.get("serialize", 0.0))
+            # ... and the parent-measured full round trip on the log clock.
+            log.emit(EventKind.SPAN, key, life, phase="dispatch", wall=end - t0, t0=t0)
+        if mx:
+            self._dispatch_hist.observe(
+                (self._log.now() if obs else time.perf_counter()) - t0
+            )
+        for reftup, value in written:
             ctx.write(BlockRef(*reftup), value)
 
     def _spec_blob(self, spec: Any) -> bytes:
@@ -347,7 +397,9 @@ class ProcessRuntime(ThreadedRuntime):
             self._spec_blobs[id(spec)] = blob
         return blob
 
-    def _submit(self, spec: Any, key: Hashable, inputs: list, die: bool) -> list:
+    def _submit(
+        self, spec: Any, key: Hashable, inputs: list, die: bool
+    ) -> tuple[list, dict[str, float]]:
         self._ensure_pool()
         try:
             handle = self._idle.get(timeout=60.0)
@@ -372,11 +424,14 @@ class ProcessRuntime(ThreadedRuntime):
                         pid=dead.proc.pid,
                         exitcode=dead.proc.exitcode,
                     )
+                    self._log.emit(EventKind.WORKER_UP, None, 0, pid=handle.proc.pid)
+                if self._mx:
+                    self._crash_counter.inc()
                 raise WorkerCrashError(key, pid=dead.proc.pid, exitcode=dead.proc.exitcode)
-            tag, payload = reply
+            tag = reply[0]
             if tag == "ok":
-                return payload
-            raise payload  # FaultError -> scheduler recovery; else scheduler bug
+                return pickle.loads(reply[1]), reply[2]
+            raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
         finally:
             self._idle.put(handle)
 

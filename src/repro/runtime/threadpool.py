@@ -18,7 +18,12 @@ Observability: pass ``event_log=EventLog()`` to record steal and
 park/unpark events; the runtime also provides worker attribution
 (``obs_worker``) and a run-relative wall clock (``obs_now``) to any log
 bound to it, and always reports per-worker frame/steal/busy breakdowns
-in :class:`~repro.runtime.api.RunResult`.
+in :class:`~repro.runtime.api.RunResult`.  Pass
+``metrics=MetricsRegistry()`` for *live* telemetry: the runtime
+registers pull-based gauges (per-worker busy time and frame counts,
+queue depths, outstanding frames) that a
+:class:`~repro.obs.live.MetricsCollector` or the ``/metrics`` endpoint
+samples while the run is in flight.
 
 Exceptions escaping a frame are scheduler bugs (detected faults are caught
 inside the scheduler): the pool shuts down and re-raises the first one.
@@ -32,6 +37,7 @@ import time
 from typing import Callable
 
 from repro.obs.events import NULL_LOG, EventKind, EventLog
+from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import RunResult
 from repro.runtime.deque import WorkDeque
 from repro.runtime.frames import Frame
@@ -55,13 +61,23 @@ class ThreadedRuntime:
     concurrent_frames = True
 
     def __init__(
-        self, workers: int = 4, seed: int | None = None, event_log: EventLog | None = None
+        self,
+        workers: int = 4,
+        seed: int | None = None,
+        event_log: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self._workers = workers
         self._seed = seed
         self._log = event_log if event_log is not None else NULL_LOG
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        #: Cached publication guard (the metrics twin of the schedulers'
+        #: ``_obs``): hot paths test this bool, never the registry.
+        self._mx = self._metrics is not NULL_METRICS
+        self._live_busy: list[float] = []
+        self._live_frames: list[int] = []
         self._local = threading.local()
         self._deques: list[WorkDeque[Frame]] = []
         self._outstanding = 0
@@ -127,6 +143,10 @@ class ThreadedRuntime:
         self._worker_frames = [0] * self._workers
         self._worker_steals = [0] * self._workers
         self._worker_busy = [0.0] * self._workers
+        self._live_busy = [0.0] * self._workers
+        self._live_frames = [0] * self._workers
+        if self._mx:
+            self._register_live_gauges()
         self._deques[0].push_bottom(root)
         started = time.perf_counter()
         threads = [
@@ -142,8 +162,16 @@ class ThreadedRuntime:
             self._running = False
         if self._failure is not None:
             raise self._failure
+        makespan = time.perf_counter() - started
+        obs = self._log is not NULL_LOG
+        if obs:
+            # The run's budget window on the log clock: attribution
+            # measures each worker's thread start/stop latency as the gap
+            # between this span and its worker_loop span.
+            self._log.emit(EventKind.SPAN, phase="run", wall=makespan,
+                           t0=started - self._t0)
         return RunResult(
-            makespan=time.perf_counter() - started,
+            makespan=makespan,
             frames=self._frames,
             steals=self._steals,
             workers=self._workers,
@@ -153,18 +181,66 @@ class ThreadedRuntime:
             parks=self._parks,
         )
 
+    def _register_live_gauges(self) -> None:
+        """Publish pull-based gauges for state the run already maintains.
+
+        Everything here is a :class:`~repro.obs.live.CallbackGauge` read
+        only when the collector (or a scrape) samples it -- the worker
+        loop is never taxed for a value somebody else can read.
+        """
+        mxr = self._metrics
+        mxr.gauge("repro_workers", "configured pool width").set(self._workers)
+        mxr.callback_gauge(
+            "repro_outstanding_frames",
+            lambda: self._outstanding,
+            "frames spawned but not yet executed",
+        )
+        mxr.callback_gauge(
+            "repro_run_elapsed_seconds",
+            self.obs_now,
+            "wall-clock seconds since the runtime was created",
+        )
+        for w in range(self._workers):
+            mxr.callback_gauge(
+                "repro_worker_busy_seconds",
+                lambda w=w: self._live_busy[w],
+                "cumulative frame-execution wall time per worker",
+                worker=w,
+            )
+            mxr.callback_gauge(
+                "repro_worker_frames",
+                lambda w=w: self._live_frames[w],
+                "frames executed per worker",
+                worker=w,
+            )
+            mxr.callback_gauge(
+                "repro_queue_depth",
+                lambda w=w: len(self._deques[w]),
+                "work-deque depth per worker",
+                worker=w,
+            )
+
     def _worker(self, wid: int) -> None:
         self._local.wid = wid
         rng = random.Random(None if self._seed is None else self._seed * 0x9E3779B1 + wid)
         my = self._deques[wid]
         log = self._log
         obs = log.enabled
+        mx = self._mx
+        live_busy = self._live_busy
+        live_frames = self._live_frames
         local_frames = 0
         local_steals = 0
         local_parks = 0
         local_busy = 0.0
         idle = False
         park_delay = _PARK_MIN_SECONDS
+        # Worker-loop span: everything between here and loop exit is the
+        # worker either running frames (busy), parked, or *finding work*
+        # (pop/steal probes, count checks, GIL waits between frames).
+        # Attribution subtracts busy + parked from this span to measure
+        # that third, otherwise-invisible cost.
+        t_loop0 = log.now() if obs else 0.0
         try:
             while not self._stop.is_set():
                 frame = my.pop_bottom()
@@ -200,6 +276,11 @@ class ThreadedRuntime:
                 finally:
                     local_busy += time.perf_counter() - started
                     local_frames += 1
+                    if mx:
+                        # Single writer per index; a GIL-atomic list store
+                        # is the whole cost of live per-worker telemetry.
+                        live_busy[wid] = local_busy
+                        live_frames[wid] = local_frames
                     with self._count_lock:
                         self._outstanding -= 1
                         done = self._outstanding == 0
@@ -211,6 +292,9 @@ class ThreadedRuntime:
                     self._failure = exc
             self._stop.set()
         finally:
+            if obs:
+                log.emit(EventKind.SPAN, phase="worker_loop",
+                         wall=log.now() - t_loop0, t0=t_loop0)
             with self._count_lock:
                 self._frames += local_frames
                 self._steals += local_steals

@@ -18,12 +18,15 @@ implementation *relies on* but which no test can establish exhaustively:
   else from :mod:`threading`, and may never call ``.acquire()`` /
   ``.release()`` directly: all lock use goes through ``with`` so no
   exception path can leak a held lock.
-* ``emit-guard`` -- every ``.emit()`` / ``.emit_at()`` call in ``core/``
-  and in the hot-path runtime modules (``runtime/threadpool.py``,
-  ``runtime/procpool.py``) must sit inside an ``if`` guarded by the
-  scheduler's cached ``_obs`` flag or a direct ``log is (not) NULL_LOG``
-  identity check, so the tracing-off hot path pays one boolean test per
-  would-be event instead of an attribute chain plus a no-op call.
+* ``emit-guard`` -- every telemetry publication in ``core/`` and the
+  hot-path runtime modules (``runtime/threadpool.py``,
+  ``runtime/procpool.py``) -- ``.emit()`` / ``.emit_at()`` on the event
+  log, ``.inc()`` / ``.observe()`` on push metric instruments -- must
+  sit inside an ``if`` guarded by a cached ``_obs`` / ``_mx`` flag or a
+  direct ``log is (not) NULL_LOG`` / ``metrics is (not) NULL_METRICS``
+  identity check, so the telemetry-off hot path pays one boolean test
+  per would-be publication instead of an attribute chain plus a no-op
+  call.
 * ``raw-multiprocessing`` -- outside ``runtime/``, no module may import
   :mod:`multiprocessing` or :mod:`concurrent.futures`
   (``multiprocessing.shared_memory`` is exempt: the memory layer owns
@@ -387,21 +390,30 @@ class RawMultiprocessingRule(Rule):
 # emit-guard
 
 
+#: Cached-flag names that prove telemetry is live: ``_obs``/``obs`` for
+#: the event log, ``_mx``/``mx`` for the metrics registry.
+_TELEMETRY_FLAGS = frozenset({"_obs", "obs", "_mx", "mx"})
+
+#: Sentinel names whose identity comparison is itself a valid guard.
+_TELEMETRY_SENTINELS = frozenset({"NULL_LOG", "NULL_METRICS"})
+
+
 def _is_obs_guard(test: ast.AST) -> bool:
-    """True iff ``test`` (an ``if`` condition) establishes that tracing is
-    live: it references a cached ``_obs`` flag or performs a ``NULL_LOG``
-    identity comparison anywhere in the expression."""
+    """True iff ``test`` (an ``if`` condition) establishes that telemetry
+    is live: it references a cached ``_obs`` / ``_mx`` flag or performs a
+    ``NULL_LOG`` / ``NULL_METRICS`` identity comparison anywhere in the
+    expression."""
     for node in ast.walk(test):
-        if isinstance(node, ast.Attribute) and node.attr == "_obs":
+        if isinstance(node, ast.Attribute) and node.attr in ("_obs", "_mx"):
             return True
-        if isinstance(node, ast.Name) and node.id in ("_obs", "obs"):
+        if isinstance(node, ast.Name) and node.id in _TELEMETRY_FLAGS:
             return True
         if isinstance(node, ast.Compare) and any(
             isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
         ):
             names = {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
             names |= {n.attr for n in ast.walk(node) if isinstance(n, ast.Attribute)}
-            if "NULL_LOG" in names:
+            if names & _TELEMETRY_SENTINELS:
                 return True
     return False
 
@@ -415,24 +427,37 @@ EMIT_GUARD_PREFIXES: tuple[str, ...] = (
 )
 
 
+#: Publication call names the emit-guard rule audits.  Event emission
+#: (``emit``/``emit_at``) and the *push* metric instruments (``inc`` on
+#: counters, ``observe`` on histograms) -- each is a per-task cost when
+#: unguarded.  ``set`` is deliberately absent: gauges are set at
+#: registration time (cold) and ``.set()`` is too generic a name
+#: (``threading.Event.set``) to audit without drowning in waivers.
+PUBLISH_CALLS = frozenset({"emit", "emit_at", "inc", "observe"})
+
+
 class EmitGuardRule(Rule):
-    """Every ``*.emit(...)`` / ``*.emit_at(...)`` in the audited modules
-    sits under a tracing guard.
+    """Every telemetry publication in the audited modules sits under a
+    cached liveness guard.
 
     The schedulers' fault-free hot path must cost one cached boolean test
-    per would-be event, not an attribute chain plus a no-op method call:
-    every emission must be inside an ``if`` whose condition references the
-    scheduler's cached ``_obs`` flag (itself derived from a ``log is not
-    NULL_LOG`` identity check) or performs the identity check directly.
-    An unguarded emit is a silent per-task slowdown that no test fails on.
+    per would-be event or sample, not an attribute chain plus a no-op
+    method call: every ``.emit()``/``.emit_at()`` (event log) and every
+    ``.inc()``/``.observe()`` (push metrics) must be inside an ``if``
+    whose condition references a cached ``_obs`` / ``_mx`` flag (each
+    derived from a ``log is not NULL_LOG`` / ``metrics is not
+    NULL_METRICS`` identity check) or performs the identity check
+    directly.  An unguarded publication is a silent per-task slowdown
+    that no test fails on.
     """
 
     name = "emit-guard"
     description = (
         "in core/ and the hot-path runtime modules, every EventLog "
-        ".emit()/.emit_at() call is inside an `if` guarded by the cached "
-        "_obs flag or a NULL_LOG identity check (unguarded emission "
-        "re-pays the disabled-log overhead per task)"
+        ".emit()/.emit_at() and every metric .inc()/.observe() call is "
+        "inside an `if` guarded by the cached _obs/_mx flag or a "
+        "NULL_LOG/NULL_METRICS identity check (unguarded publication "
+        "re-pays the disabled-telemetry overhead per task)"
     )
 
     def __init__(self, prefixes: tuple[str, ...] = EMIT_GUARD_PREFIXES) -> None:
@@ -459,15 +484,16 @@ class EmitGuardRule(Rule):
             not guarded
             and isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
-            and node.func.attr in ("emit", "emit_at")
+            and node.func.attr in PUBLISH_CALLS
         ):
             findings.extend(
                 self._finding(
                     module,
                     node,
-                    f"`.{node.func.attr}()` not guarded by `_obs` / NULL_LOG "
-                    "identity check -- unconditional per-event overhead on "
-                    "the tracing-off hot path",
+                    f"`.{node.func.attr}()` not guarded by a cached `_obs`/`_mx` "
+                    "flag or NULL_LOG/NULL_METRICS identity check -- "
+                    "unconditional per-publication overhead on the "
+                    "telemetry-off hot path",
                 )
             )
         for child in ast.iter_child_nodes(node):

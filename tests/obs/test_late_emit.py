@@ -1,0 +1,112 @@
+"""The buffered EventLog's post-quiescence guarantees: late emissions
+either extend the drained prefix deterministically, raise
+:class:`LateEmitError` when they would rewrite it, or raise
+:class:`SealedLogError` once the log is sealed."""
+
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    Event,
+    EventKind,
+    EventLog,
+    LateEmitError,
+    SealedLogError,
+)
+
+
+class TestSeal:
+    def test_emit_after_seal_raises_at_emit_site(self):
+        log = EventLog()
+        log.emit(EventKind.NOTIFY, "a", 1)
+        log.seal()
+        assert log.sealed
+        with pytest.raises(SealedLogError):
+            log.emit(EventKind.NOTIFY, "b", 1)
+
+    def test_emit_at_after_seal_raises(self):
+        log = EventLog()
+        log.seal()
+        with pytest.raises(SealedLogError):
+            log.emit_at(EventKind.PARK, 1.0, 0)
+
+    def test_unbuffered_log_seals_too(self):
+        log = EventLog(buffered=False)
+        log.emit(EventKind.PARK)
+        log.seal()
+        with pytest.raises(SealedLogError):
+            log.emit(EventKind.PARK)
+
+    def test_sealed_log_still_readable(self):
+        log = EventLog()
+        log.emit(EventKind.NOTIFY, "a", 1)
+        log.seal()
+        assert [e.key for e in log.events] == ["a"]
+
+
+class TestLateMerge:
+    def test_late_higher_seq_events_extend_the_prefix(self):
+        """An emission arriving after a drain is fine as long as its
+        sequence number extends the observed order -- the merged view
+        grows deterministically, it never reorders."""
+        log = EventLog()
+        log.emit(EventKind.NOTIFY, "a", 1)
+        log.emit(EventKind.NOTIFY, "b", 1)
+        first = [e.key for e in log.events]  # drain once
+        assert first == ["a", "b"]
+
+        done = threading.Event()
+
+        def late():
+            log.emit(EventKind.SPAN, None, 0, phase="kernel", wall=0.1)
+            done.set()
+
+        threading.Thread(target=late).start()
+        assert done.wait(5.0)
+        again = log.events
+        assert [e.key for e in again] == ["a", "b", None]
+        assert [e.seq for e in again] == [0, 1, 2]
+
+    def test_interleaving_late_emit_raises(self):
+        """A worker that reserved a sequence number before quiescence but
+        delivered its event after a drain would silently rewrite the
+        drained prefix -- the next drain must refuse.  The stall is
+        simulated by reserving a seq and appending the event later, which
+        is exactly the state a thread preempted mid-``emit`` leaves."""
+        log = EventLog()
+        log.emit(EventKind.NOTIFY, "a", 1)
+        stalled_seq = next(log._count)  # worker grabs seq 1, then stalls
+        log.emit(EventKind.NOTIFY, "b", 1)  # seq 2
+        assert [e.seq for e in log.events] == [0, 2]  # drained prefix
+
+        # The stalled worker finally delivers seq 1 -- inside the prefix.
+        log._local.buf.append(
+            Event(stalled_seq, 0.0, 1, EventKind.SPAN, None, 0, {})
+        )
+        with pytest.raises(LateEmitError, match="reorder the drained prefix"):
+            _ = log.events
+
+    def test_undrained_log_accepts_any_interleaving(self):
+        """The guard protects *observed* order only: if nobody drained,
+        out-of-order buffer delivery is simply merged."""
+        log = EventLog()
+        reserved = next(log._count)
+        log.emit(EventKind.NOTIFY, "b", 1)
+        log._thread_buffer()  # ensure the local buffer exists
+        log._local.buf.append(
+            Event(reserved, 0.0, 0, EventKind.NOTIFY, "a", 1, {})
+        )
+        assert [e.key for e in log.events] == ["a", "b"]
+
+
+class TestClear:
+    def test_clear_resets_prefix_and_sequence(self):
+        log = EventLog()
+        log.emit(EventKind.NOTIFY, "a", 1)
+        _ = log.events  # observe the order
+        log.clear()
+        assert len(log) == 0
+        log.emit(EventKind.NOTIFY, "b", 1)  # restarts at seq 0
+        events = log.events  # must not raise LateEmitError
+        assert [(e.seq, e.key) for e in events] == [(0, "b")]

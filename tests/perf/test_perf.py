@@ -155,6 +155,25 @@ class TestRegressionGate:
         assert d.ratio == pytest.approx(1.0)
         assert not d.regressed
 
+    def test_faster_host_does_not_manufacture_regressions(self):
+        """Calibration forgives, never accuses: on a host whose reference
+        loop runs 40% faster but whose workload raw score is unchanged,
+        the deflated calibrated ratio alone must not fail the gate."""
+        base = delta_payload(100.0, 99.0, 101.0, calibration=1.0)
+        cur = delta_payload(100.0, 99.0, 101.0, calibration=1.4)
+        (d,), _ = compare_runs(base, cur, threshold=0.15)
+        assert d.ratio == pytest.approx(1 / 1.4)
+        assert d.raw_ratio == pytest.approx(1.0)
+        assert not d.regressed
+
+    def test_regression_on_same_host_still_fires(self):
+        """The raw-ratio guard must not swallow a real regression when
+        the calibration scores agree."""
+        base = delta_payload(100.0, 99.0, 101.0, calibration=2.0)
+        cur = delta_payload(50.0, 49.0, 51.0, calibration=2.0)
+        (d,), _ = compare_runs(base, cur, threshold=0.15)
+        assert d.regressed and d.raw_ratio == pytest.approx(0.5)
+
     def test_lower_is_better_direction(self):
         base = delta_payload(10.0, 9.0, 11.0, hib=False)
         cur = delta_payload(30.0, 29.0, 31.0, hib=False)

@@ -81,6 +81,40 @@ class TestSeededViolations:
         # emitter) are out of scope.
         assert not lint_source(src, "runtime/simulator.py", "emit-guard")
 
+    def test_emit_guard_fires_on_unguarded_metric_publication(self):
+        src = (
+            "def f(self):\n"
+            "    self._crash_counter.inc()\n"
+            "    self._dispatch_hist.observe(0.001)\n"
+        )
+        findings = lint_source(src, "runtime/procpool.py", "emit-guard")
+        assert [f.line for f in findings] == [2, 3]
+
+    def test_emit_guard_accepts_mx_flag_guard(self):
+        src = (
+            "def f(self, dt):\n"
+            "    mx = self._mx\n"
+            "    if mx:\n"
+            "        self._dispatch_hist.observe(dt)\n"
+            "    if self._mx:\n"
+            "        self._crash_counter.inc()\n"
+        )
+        assert not lint_source(src, "runtime/procpool.py", "emit-guard")
+
+    def test_emit_guard_accepts_null_metrics_identity_guard(self):
+        src = (
+            "def f(self, dt):\n"
+            "    if self.metrics is not NULL_METRICS:\n"
+            "        self.hist.observe(dt)\n"
+        )
+        assert not lint_source(src, "core/seeded.py", "emit-guard")
+
+    def test_emit_guard_ignores_gauge_set(self):
+        # .set() is not audited: gauges are registered cold, and the name
+        # collides with threading.Event.set.
+        src = "def f(self):\n    self.gauge.set(1)\n    self._stop.set()\n"
+        assert not lint_source(src, "runtime/threadpool.py", "emit-guard")
+
     def test_raw_multiprocessing_fires_outside_runtime(self):
         src = "import multiprocessing\np = multiprocessing.Pool()\n"
         assert lint_source(src, "apps/seeded.py", "raw-multiprocessing")
