@@ -36,6 +36,15 @@ Commands:
   shared-memory store, assert bit-identical parity with the inline
   runtime, and exercise worker-death recovery (used by the CI procpool
   job; skips gracefully on single-core hosts unless ``--force``).
+* ``worker`` -- run a :class:`~repro.runtime.cluster.WorkerServer`: a
+  compute server a ClusterRuntime parent dispatches task phases to
+  (``python -m repro worker --listen tcp://0.0.0.0:7070``; see
+  docs/DISTRIBUTED.md).
+* ``cluster`` -- distributed execution over localhost TCP workers:
+  ``--selftest`` spawns real worker processes and asserts parity,
+  ``kill -9`` recovery, and a live /metrics scrape (the CI cluster
+  job); ``--addresses`` runs the parity check against workers you
+  started elsewhere.
 * ``validate`` -- structural validation of one benchmark's task graph
   (acyclicity, dependency closure, sink reachability) without running it.
 * ``about`` -- what this package reproduces and where to look next.
@@ -242,13 +251,22 @@ def main(argv: list[str] | None = None) -> int:
         return perf_main(rest)
     if cmd == "procpool":
         return _procpool(rest)
+    if cmd == "worker":
+        from repro.runtime.cluster_cli import worker_main
+
+        return worker_main(rest)
+    if cmd == "cluster":
+        from repro.runtime.cluster_cli import cluster_main
+
+        return cluster_main(rest)
     if cmd == "validate":
         return _validate(rest)
     if cmd == "about":
         return _about()
     print(
         f"unknown command {cmd!r}; expected "
-        "selftest | harness | trace | top | detect | verify | perf | procpool | validate | about"
+        "selftest | harness | trace | top | detect | verify | perf | procpool | "
+        "worker | cluster | validate | about"
     )
     return 2
 

@@ -1,0 +1,74 @@
+"""`repro.comm`: pluggable connect/listen communication layer.
+
+One contract (:class:`~repro.comm.core.Comm` /
+:class:`~repro.comm.core.Listener`), one wire format
+(:mod:`repro.comm.frame`'s length-prefixed pickle frames), three
+transports resolved by address scheme:
+
+* ``inproc://name`` -- loopback queues (tests, the explorer);
+* ``pipe://`` -- ``multiprocessing`` pipes (what
+  :class:`~repro.runtime.procpool.ProcessRuntime` dispatches over);
+* ``tcp://host:port`` -- sockets with connect timeout, jittered
+  retry/backoff, and heartbeat liveness (what
+  :class:`~repro.runtime.cluster.ClusterRuntime` runs on).
+
+Peer loss on any transport collapses into
+:class:`~repro.comm.core.CommClosedError`, which the runtimes translate
+into ``WORKER_DOWN`` → :class:`~repro.exceptions.WorkerCrashError` → the
+untouched FT recovery path.  See docs/DISTRIBUTED.md.
+"""
+
+from repro.comm.core import (
+    Address,
+    Comm,
+    CommClosedError,
+    Listener,
+    connect,
+    connect_with_retry,
+    listen,
+    parse_address,
+    register_backend,
+)
+from repro.comm.frame import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    OversizedFrameError,
+    TruncatedFrameError,
+    dumps,
+    encode_message,
+    loads,
+    pack_frame,
+    pack_frames,
+)
+
+# Importing the backend modules is what registers their schemes.
+from repro.comm import inproc as _inproc  # noqa: F401,E402
+from repro.comm import pipe as _pipe  # noqa: F401,E402
+from repro.comm import tcp as _tcp  # noqa: F401,E402
+from repro.comm.pipe import PipeComm, pipe_pair, wrap_connection
+
+__all__ = [
+    "Address",
+    "Comm",
+    "CommClosedError",
+    "Listener",
+    "connect",
+    "connect_with_retry",
+    "listen",
+    "parse_address",
+    "register_backend",
+    "MAX_FRAME_BYTES",
+    "FrameDecoder",
+    "FrameError",
+    "OversizedFrameError",
+    "TruncatedFrameError",
+    "dumps",
+    "encode_message",
+    "loads",
+    "pack_frame",
+    "pack_frames",
+    "PipeComm",
+    "pipe_pair",
+    "wrap_connection",
+]

@@ -1,0 +1,211 @@
+"""Comm core: the `connect`/`listen` entry points and the `Comm` contract.
+
+An *address* is ``scheme://location``; the scheme picks a backend:
+
+========== ===================================================== ===========
+scheme     transport                                             location
+========== ===================================================== ===========
+inproc     in-process loopback queues (tests, the explorer)      any token
+pipe       ``multiprocessing.connection`` pipe (ProcessRuntime)  (unused)
+tcp        sockets + frame codec + heartbeats (ClusterRuntime)   host:port
+========== ===================================================== ===========
+
+Every backend hands out the same two objects:
+
+* :class:`Comm` -- one bidirectional message channel.  ``send(msg)`` and
+  ``recv(timeout=...)`` move whole Python messages (the frame codec is a
+  transport detail); both raise :class:`CommClosedError` once the peer
+  is gone, which is the *only* failure signal callers handle -- a dead
+  process, a severed socket, and a missed heartbeat all collapse into
+  it.  ``send`` and ``recv`` are each safe from one thread at a time
+  (one writer, one reader -- the pattern every runtime here uses); they
+  need not be safe against concurrent calls to the *same* method.
+* :class:`Listener` -- an accept loop that invokes ``handler(comm)`` on
+  its own thread for each inbound connection.
+
+``connect``/``listen`` resolve the scheme through a registry the three
+backend modules populate on import, so adding a transport is a module +
+one :func:`register_backend` call -- the runtimes never name a backend.
+
+:func:`connect_with_retry` adds the client-side liveness policy: bounded
+attempts with jittered exponential backoff, for workers racing the
+parent's ``listen`` at startup and for the parent re-dialing a
+replacement worker after a crash.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, NamedTuple
+
+from repro.exceptions import ReproError
+
+
+class CommClosedError(ReproError):
+    """The peer is gone: closed, crashed, severed, or heartbeat-silent.
+
+    Deliberately one class for every flavor of peer loss -- callers
+    (``ProcessRuntime._submit``, ``ClusterRuntime``) translate it into
+    the ``WORKER_DOWN`` → ``WorkerCrashError`` recovery path without
+    caring *how* the peer died.
+    """
+
+    def __init__(self, message: str = "comm closed") -> None:
+        super().__init__(message)
+
+
+class Address(NamedTuple):
+    """A parsed ``scheme://location`` address."""
+
+    scheme: str
+    location: str
+
+    def __str__(self) -> str:  # round-trips through parse_address
+        return f"{self.scheme}://{self.location}"
+
+
+def parse_address(addr: str) -> Address:
+    """Split ``scheme://location``; raise on a missing/unknown-less scheme."""
+    scheme, sep, location = addr.partition("://")
+    if not sep or not scheme:
+        raise ValueError(f"address {addr!r} is not of the form scheme://location")
+    return Address(scheme, location)
+
+
+class Comm:
+    """One bidirectional message channel between two endpoints.
+
+    Subclasses implement the five primitives below.  Messages are
+    arbitrary picklable Python objects; delivery is ordered and
+    reliable until the peer is lost, after which every primitive
+    raises :class:`CommClosedError`.
+    """
+
+    #: Human-readable peer address, for telemetry.
+    peer: str = "?"
+
+    def send(self, message: Any) -> None:
+        """Ship one message; raises :class:`CommClosedError` on a dead peer."""
+        raise NotImplementedError
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """The next message.  ``timeout=None`` blocks until a message or
+        peer loss; a finite timeout raises :class:`TimeoutError` if
+        nothing arrives in time (the peer may still be healthy)."""
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Whether ``recv`` would return without blocking.  Returns True
+        too when the channel is closed -- the pending "message" is the
+        :class:`CommClosedError` that recv will raise."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the channel.  Idempotent; never raises for a peer
+        that beat us to it."""
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+    # context-manager sugar: every test closes comms this way
+    def __enter__(self) -> "Comm":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Listener:
+    """An accept loop bound to an address.
+
+    ``handler(comm)`` runs on a listener-owned thread per inbound
+    connection.  ``address`` is the concrete bound address (e.g. with
+    the kernel-assigned port filled in), suitable for handing to a
+    worker process as its connect target.
+    """
+
+    address: str = "?"
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Listener":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# scheme registry
+
+
+class _Backend(NamedTuple):
+    connect: Callable[[str], Comm]
+    listen: Callable[[str, Callable[[Comm], None]], Listener]
+
+
+_BACKENDS: dict[str, _Backend] = {}
+
+
+def register_backend(
+    scheme: str,
+    connect: Callable[[str], Comm],
+    listen: Callable[[str, Callable[[Comm], None]], Listener],
+) -> None:
+    """Install a transport for ``scheme`` (called by backend modules on import)."""
+    _BACKENDS[scheme] = _Backend(connect, listen)
+
+
+def _backend(addr: str) -> tuple[_Backend, Address]:
+    parsed = parse_address(addr)
+    try:
+        return _BACKENDS[parsed.scheme], parsed
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS)) or "none registered"
+        raise ValueError(f"unknown comm scheme {parsed.scheme!r} (known: {known})") from None
+
+
+def connect(addr: str) -> Comm:
+    """Dial ``addr`` once; :class:`CommClosedError` if nobody is listening."""
+    backend, parsed = _backend(addr)
+    return backend.connect(parsed.location)
+
+
+def listen(addr: str, handler: Callable[[Comm], None]) -> Listener:
+    """Bind ``addr`` and serve inbound connections through ``handler``."""
+    backend, parsed = _backend(addr)
+    return backend.listen(parsed.location, handler)
+
+
+def connect_with_retry(
+    addr: str,
+    attempts: int = 8,
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+    rng: random.Random | None = None,
+) -> Comm:
+    """Dial ``addr`` with jittered exponential backoff between attempts.
+
+    Sleeps ``min(max_delay, base_delay * 2**i) * uniform(0.5, 1.0)``
+    after failed attempt ``i`` -- full-jitter-style, so a fleet of
+    workers dialing one freshly-bound parent does not stampede in
+    lockstep.  Raises the final :class:`CommClosedError` once the
+    attempt budget is spent.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    rng = rng if rng is not None else random.Random()
+    last: Exception | None = None
+    for i in range(attempts):
+        try:
+            return connect(addr)
+        except (CommClosedError, OSError) as exc:
+            last = exc
+            if i + 1 < attempts:
+                delay = min(max_delay, base_delay * (2.0**i))
+                time.sleep(delay * (0.5 + 0.5 * rng.random()))
+    raise CommClosedError(f"connect to {addr} failed after {attempts} attempts: {last}")

@@ -1,0 +1,167 @@
+"""Length-prefixed frame codec: the one wire format every backend speaks.
+
+A *frame* is ``8-byte little-endian unsigned length`` + ``payload``.  A
+*payload* is a pickled message (protocol ``HIGHEST_PROTOCOL``), produced
+by :func:`dumps` and consumed by :func:`loads`.  Stream transports (TCP)
+run the full codec; datagram-ish transports that already preserve
+message boundaries (``multiprocessing`` pipes, the in-process loopback)
+reuse only the payload layer, so a message that round-trips on one
+backend round-trips bit-identically on all of them -- which is what the
+wire-safety tests in ``tests/comm/`` pin down for the exception
+hierarchy and the shared-memory descriptors.
+
+Safety rails, tested on both the encode and decode side:
+
+* **Oversized frames.**  :func:`dumps` refuses to produce -- and
+  :class:`FrameDecoder` refuses to accept -- a payload larger than
+  ``max_bytes`` (default :data:`MAX_FRAME_BYTES`).  A corrupt or
+  adversarial length header therefore cannot make the receiver allocate
+  unbounded memory: the decoder raises :class:`OversizedFrameError`
+  after reading just the 8-byte header.
+* **Truncated frames.**  A stream that ends mid-frame (killed peer,
+  severed connection) surfaces as :class:`TruncatedFrameError` from
+  :meth:`FrameDecoder.close`, never as a silently short message.
+
+Batching is first-class: :func:`pack_frames` concatenates many frames
+into one buffer for a single ``send``/``write`` syscall, and the decoder
+yields every complete frame it has absorbed.  This is the on-ramp for
+the dispatch fast path (ROADMAP item 4): micro-batched task dispatch is
+*this* codec fed more than one payload per call.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import ReproError
+
+#: Default ceiling on one payload's size: 256 MiB.  Big enough for any
+#: block a benchmark ships, small enough that a garbage length header
+#: cannot OOM the receiver.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: Frame header: unsigned 64-bit little-endian payload length.
+_HEADER = struct.Struct("<Q")
+HEADER_BYTES = _HEADER.size
+
+
+class FrameError(ReproError):
+    """Base class for frame-codec failures (a *protocol* problem, never a
+    detected task fault -- these do not route through recovery)."""
+
+
+class OversizedFrameError(FrameError):
+    """A payload exceeded the frame-size ceiling (encode or decode side)."""
+
+    def __init__(self, nbytes: int, limit: int) -> None:
+        super().__init__(f"frame payload of {nbytes} bytes exceeds the {limit}-byte limit")
+        self.nbytes = nbytes
+        self.limit = limit
+
+
+class TruncatedFrameError(FrameError):
+    """The stream ended mid-frame: ``missing`` more bytes were expected."""
+
+    def __init__(self, have: int, want: int) -> None:
+        super().__init__(f"stream truncated mid-frame: have {have} of {want} payload bytes")
+        self.have = have
+        self.want = want
+
+
+# ---------------------------------------------------------------------------
+# payload layer (shared by every backend)
+
+
+def dumps(message: Any, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message into a payload, enforcing the size ceiling."""
+    payload = pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_bytes:
+        raise OversizedFrameError(len(payload), max_bytes)
+    return payload
+
+
+def loads(payload: bytes) -> Any:
+    """Inverse of :func:`dumps`."""
+    return pickle.loads(payload)
+
+
+# ---------------------------------------------------------------------------
+# frame layer (stream transports)
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """One header + payload, ready for a stream write."""
+    return _HEADER.pack(len(payload)) + payload
+
+
+def pack_frames(payloads: Iterable[bytes]) -> bytes:
+    """Many frames in one contiguous buffer (one ``sendall`` for a batch)."""
+    parts: list[bytes] = []
+    for p in payloads:
+        parts.append(_HEADER.pack(len(p)))
+        parts.append(p)
+    return b"".join(parts)
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary chunk stream.
+
+    Feed whatever the transport hands you (``feed``), iterate the
+    complete payloads (``frames``), and ``close()`` when the stream ends
+    -- which raises :class:`TruncatedFrameError` if the peer died
+    mid-frame.  The decoder validates each length header against
+    ``max_bytes`` *before* buffering the payload.
+    """
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self._buf = bytearray()
+        self._need: int | None = None  # payload bytes awaited, None = awaiting header
+        self._ready: list[bytes] = []
+
+    def feed(self, chunk: bytes) -> int:
+        """Absorb ``chunk``; return how many frames are now ready."""
+        self._buf.extend(chunk)
+        while True:
+            if self._need is None:
+                if len(self._buf) < HEADER_BYTES:
+                    break
+                (need,) = _HEADER.unpack_from(self._buf)
+                if need > self.max_bytes:
+                    raise OversizedFrameError(need, self.max_bytes)
+                del self._buf[:HEADER_BYTES]
+                self._need = need
+            if len(self._buf) < self._need:
+                break
+            self._ready.append(bytes(self._buf[: self._need]))
+            del self._buf[: self._need]
+            self._need = None
+        return len(self._ready)
+
+    @property
+    def pending(self) -> int:
+        """Complete frames decoded but not yet taken."""
+        return len(self._ready)
+
+    def next_frame(self) -> bytes | None:
+        """The oldest ready payload, or ``None``."""
+        return self._ready.pop(0) if self._ready else None
+
+    def frames(self) -> Iterator[bytes]:
+        """Drain every ready payload."""
+        while self._ready:
+            yield self._ready.pop(0)
+
+    def close(self) -> None:
+        """Declare end-of-stream; raises if a frame was left incomplete."""
+        if self._need is not None:
+            raise TruncatedFrameError(len(self._buf), self._need)
+        if self._buf:
+            raise TruncatedFrameError(len(self._buf), HEADER_BYTES)
+
+
+def encode_message(message: Any, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """``pack_frame(dumps(message))`` -- the full stream encoding."""
+    return pack_frame(dumps(message, max_bytes))

@@ -1,0 +1,122 @@
+"""Pipe backend: ``pipe://`` over ``multiprocessing.connection``.
+
+This wraps the exact transport :class:`~repro.runtime.procpool.ProcessRuntime`
+used before the comm layer existed -- a ``multiprocessing.Pipe``
+connection pair -- behind the :class:`~repro.comm.core.Comm` contract,
+so the procpool dispatch loop speaks the same interface as the cluster
+runtime while its bytes move exactly as before (``Connection.send`` /
+``recv``, which already preserve message boundaries: no length-prefix
+framing needed, the OS pipe *is* the frame).
+
+Because a pipe's two ends are created together by the parent and one is
+inherited by the child at fork/spawn, there is no dial step:
+``pipe_pair()`` replaces ``multiprocessing.Pipe()`` and
+:func:`wrap_connection` adapts an existing ``Connection`` (the child's
+inherited end).  ``connect``/``listen`` by address string are
+deliberately unsupported -- a pipe has no address space -- and raise
+``ValueError`` pointing callers at ``pipe_pair``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable
+
+from repro.comm.core import Comm, CommClosedError, Listener, register_backend
+
+#: The errors a multiprocessing Connection raises once the peer is gone.
+_DEAD_PEER = (BrokenPipeError, EOFError, ConnectionResetError, OSError)
+
+
+class PipeComm(Comm):
+    """A :class:`Comm` over one end of a ``multiprocessing`` pipe."""
+
+    __slots__ = ("_conn", "_closed", "peer")
+
+    def __init__(self, conn: Any, peer: str = "pipe://") -> None:
+        self._conn = conn
+        self._closed = False
+        self.peer = peer
+
+    def send(self, message: Any) -> None:
+        if self._closed:
+            raise CommClosedError(f"send on closed pipe comm ({self.peer})")
+        try:
+            self._conn.send(message)
+        except _DEAD_PEER as exc:
+            raise CommClosedError(f"pipe peer gone during send: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> Any:
+        if self._closed:
+            raise CommClosedError(f"recv on closed pipe comm ({self.peer})")
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                raise TimeoutError(f"no message within {timeout}s on {self.peer}")
+            return self._conn.recv()
+        except _DEAD_PEER as exc:
+            raise CommClosedError(f"pipe peer gone during recv: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            return True
+        try:
+            return self._conn.poll(timeout)
+        except _DEAD_PEER:
+            return True  # the pending "message" is CommClosedError
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def fileno(self) -> int:
+        """Underlying descriptor (procpool's liveness poll wants it)."""
+        return self._conn.fileno()
+
+    @property
+    def connection(self) -> Any:
+        """The raw ``multiprocessing`` Connection -- what a parent hands
+        to ``Process(args=...)`` so the child can inherit this end."""
+        return self._conn
+
+
+def wrap_connection(conn: Any, peer: str = "pipe://") -> PipeComm:
+    """Adapt an existing ``multiprocessing`` Connection (e.g. the end a
+    worker process inherited) into a :class:`PipeComm`."""
+    return PipeComm(conn, peer)
+
+
+def pipe_pair(ctx: Any | None = None) -> tuple[PipeComm, PipeComm]:
+    """A connected (parent_comm, child_comm) pair -- the comm-layer
+    replacement for ``multiprocessing.Pipe()``.
+
+    ``ctx`` is a multiprocessing context (for start-method control);
+    the child end's underlying connection is reachable as ``._conn``
+    for inheritance across the process boundary.
+    """
+    mp = ctx if ctx is not None else multiprocessing
+    parent_conn, child_conn = mp.Pipe()
+    return (
+        PipeComm(parent_conn, peer="pipe://child"),
+        PipeComm(child_conn, peer="pipe://parent"),
+    )
+
+
+def _no_connect(location: str) -> Comm:
+    raise ValueError("pipe:// has no address space; use repro.comm.pipe.pipe_pair()")
+
+
+def _no_listen(location: str, handler: Callable[[Comm], None]) -> Listener:
+    raise ValueError("pipe:// has no address space; use repro.comm.pipe.pipe_pair()")
+
+
+register_backend("pipe", _no_connect, _no_listen)

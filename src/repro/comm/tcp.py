@@ -1,0 +1,248 @@
+"""TCP backend: ``tcp://host:port`` -- sockets, frames, heartbeats.
+
+The one backend that crosses a machine boundary, and therefore the one
+that has to *detect* peer loss rather than be told about it:
+
+* **Framing.**  TCP is a byte stream, so every message rides the
+  length-prefixed codec from :mod:`repro.comm.frame`; a
+  :class:`~repro.comm.frame.FrameDecoder` per connection reassembles
+  chunks into payloads and enforces the oversize ceiling before
+  buffering.
+* **Connect timeout.**  ``connect`` bounds the dial
+  (:data:`CONNECT_TIMEOUT_SECONDS`); retry/backoff policy lives one
+  level up in :func:`repro.comm.core.connect_with_retry`.
+* **Heartbeat liveness.**  :meth:`TCPComm.start_heartbeat` sends a tiny
+  protocol-level frame every ``interval`` seconds from a dedicated
+  thread.  The receiving side swallows heartbeats transparently (they
+  never surface from ``recv``) and timestamps *every* inbound byte, so
+  :meth:`TCPComm.idle_seconds` measures true peer silence: a parent
+  that sees ``idle_seconds() > timeout`` on a connection whose worker
+  should be heartbeating declares the worker dead even when the kernel
+  never delivers an RST (the powered-off-node case).
+
+``TCP_NODELAY`` is set on every connection: dispatch messages are small
+and latency-bound, and Nagle would batch them against us.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.comm import frame
+from repro.comm.core import Comm, CommClosedError, Listener, register_backend
+
+#: Bound on one dial attempt (retry policy is connect_with_retry's job).
+CONNECT_TIMEOUT_SECONDS = 5.0
+
+#: Default gap between heartbeat frames (see docs/DISTRIBUTED.md for tuning).
+HEARTBEAT_INTERVAL_SECONDS = 0.25
+
+#: Socket read granularity.
+_RECV_CHUNK = 1 << 16
+
+#: Protocol-level liveness message; never surfaces from ``recv``.
+_HEARTBEAT = ("__hb__",)
+
+
+class TCPComm(Comm):
+    """A :class:`Comm` over one connected TCP socket."""
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        sock.setblocking(True)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - exotic transports only
+            pass
+        self._sock = sock
+        self._decoder = frame.FrameDecoder()
+        self._inbox: deque[Any] = deque()
+        self._send_lock = threading.Lock()
+        self._closed = False
+        self._eof = False
+        self._last_recv = time.monotonic()
+        self._hb_stop: threading.Event | None = None
+        self.peer = peer
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, message: Any) -> None:
+        data = frame.encode_message(message)
+        with self._send_lock:
+            if self._closed:
+                raise CommClosedError(f"send on closed tcp comm to {self.peer}")
+            try:
+                self._sock.sendall(data)
+            except OSError as exc:
+                self._eof = True
+                raise CommClosedError(f"tcp peer {self.peer} gone during send: {exc}") from exc
+
+    # -- receiving ----------------------------------------------------------
+
+    def _pump(self, deadline: float | None) -> None:
+        """Read the socket until a data message is buffered, EOF, or deadline."""
+        while not self._inbox and not self._eof and not self._closed:
+            if deadline is None:
+                wait: float | None = None
+            else:
+                wait = deadline - time.monotonic()
+                if wait <= 0:
+                    return
+            try:
+                readable, _, _ = select.select([self._sock], [], [], wait)
+            except (OSError, ValueError):  # socket closed under us
+                self._eof = True
+                return
+            if not readable:
+                return
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except OSError:
+                self._eof = True
+                return
+            if not chunk:
+                self._eof = True
+                return
+            self._last_recv = time.monotonic()
+            self._decoder.feed(chunk)  # OversizedFrameError propagates: protocol bug
+            for payload in self._decoder.frames():
+                message = frame.loads(payload)
+                if message == _HEARTBEAT:
+                    continue  # liveness only; _last_recv already updated
+                self._inbox.append(message)
+
+    def recv(self, timeout: float | None = None) -> Any:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._inbox:
+                return self._inbox.popleft()
+            if self._closed or self._eof:
+                raise CommClosedError(f"tcp peer {self.peer} is gone")
+            self._pump(deadline)
+            if not self._inbox and not self._eof:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise TimeoutError(f"no message within {timeout}s from {self.peer}")
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._inbox or self._closed or self._eof:
+            return True
+        self._pump(time.monotonic() + timeout)
+        return bool(self._inbox) or self._eof
+
+    # -- liveness -----------------------------------------------------------
+
+    def idle_seconds(self) -> float:
+        """Seconds since the last byte arrived from the peer (heartbeats
+        count: a silent-but-heartbeating peer reads as alive)."""
+        return time.monotonic() - self._last_recv
+
+    def start_heartbeat(self, interval: float = HEARTBEAT_INTERVAL_SECONDS) -> None:
+        """Send a liveness frame every ``interval`` seconds until close.
+
+        The sender thread dies quietly when the peer does -- liveness
+        *detection* is the receiving side's job (``idle_seconds``), and
+        the application reader will see ``CommClosedError`` on its own.
+        """
+        if self._hb_stop is not None:
+            return
+        stop = threading.Event()
+        self._hb_stop = stop
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.send(_HEARTBEAT)
+                except CommClosedError:
+                    return
+
+        threading.Thread(target=beat, daemon=True, name="repro-heartbeat").start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._hb_stop is not None:
+            self._hb_stop.set()
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._eof
+
+
+class TCPListener(Listener):
+    """Accept loop on a bound socket; one handler thread per connection."""
+
+    def __init__(self, host: str, port: int, handler: Callable[[Comm], None]) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        sock.listen(64)
+        self._sock = sock
+        self._handler = handler
+        self._closed = False
+        bound_host, bound_port = sock.getsockname()[:2]
+        self.address = f"tcp://{bound_host}:{bound_port}"
+        self.port = bound_port
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-tcp-accept"
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            comm = TCPComm(conn, peer=f"tcp://{addr[0]}:{addr[1]}")
+            threading.Thread(
+                target=self._handler, args=(comm,), daemon=True, name="repro-tcp-serve"
+            ).start()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def _parse_hostport(location: str) -> tuple[str, int]:
+    host, sep, port = location.rpartition(":")
+    if not sep:
+        raise ValueError(f"tcp address needs host:port, got {location!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _connect(location: str) -> Comm:
+    host, port = _parse_hostport(location)
+    try:
+        sock = socket.create_connection((host, port), timeout=CONNECT_TIMEOUT_SECONDS)
+    except OSError as exc:
+        raise CommClosedError(f"connect to tcp://{host}:{port} failed: {exc}") from exc
+    sock.settimeout(None)
+    return TCPComm(sock, peer=f"tcp://{host}:{port}")
+
+
+def _listen(location: str, handler: Callable[[Comm], None]) -> Listener:
+    host, port = _parse_hostport(location)
+    return TCPListener(host, port, handler)
+
+
+register_backend("tcp", _connect, _listen)

@@ -124,6 +124,19 @@ class EventKind(str, Enum):
     """A replacement compute worker *process* joined the pool
     (ProcessRuntime); ``data['pid']`` carries the new pid.  Pairs with
     WORKER_DOWN so pool-health timelines can show both transitions."""
+    CONNECT = "connect"
+    """A comm channel to a remote worker was established
+    (ClusterRuntime); ``data['addr']`` names the peer address."""
+    DISCONNECT = "disconnect"
+    """A comm channel to a remote worker was lost -- closed, severed, or
+    heartbeat-silent; ``data['addr']`` names the peer and
+    ``data['reason']`` says how it died.  Usually followed by a
+    WORKER_DOWN for the task the connection was carrying."""
+    FETCH = "fetch"
+    """A remote worker lazily fetched a block payload over the comm
+    (ClusterRuntime); ``data['block']``/``data['version']`` identify the
+    version and ``data['nbytes']`` its shipped size.  Absence of a FETCH
+    for a dispatched input means the worker's versioned cache hit."""
 
     # -- telemetry -----------------------------------------------------------
     SPAN = "span"

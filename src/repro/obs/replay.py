@@ -62,6 +62,11 @@ _PER_KEY_KINDS = frozenset(
 #:   parity check in ``repro.obs.metrics``.
 #: * SPAN is pure telemetry (durations), consumed by
 #:   :mod:`repro.obs.attribution`; it never moves a logical counter.
+#: * CONNECT / DISCONNECT / FETCH describe the comm substrate under
+#:   ClusterRuntime (channel lifecycle and lazy block shipping); like
+#:   the pool events above they never move a logical scheduler counter
+#:   -- a lost connection's *consequence* is the WORKER_DOWN /
+#:   COMPUTE_FAULT / RECOVERY triple that follows it, which replays.
 REPLAY_IGNORED = frozenset(
     {
         EventKind.TASK_CREATED,
@@ -73,6 +78,9 @@ REPLAY_IGNORED = frozenset(
         EventKind.UNPARK,
         EventKind.WORKER_DOWN,
         EventKind.WORKER_UP,
+        EventKind.CONNECT,
+        EventKind.DISCONNECT,
+        EventKind.FETCH,
         EventKind.SPAN,
     }
 )

@@ -11,12 +11,21 @@ prints the post-mortem: the verified result line and the overhead
 attribution table (:mod:`repro.obs.attribution`) that says where every
 worker-second of the makespan went.
 
+With ``--connect host:port`` the monitor attaches to a *remote* process
+instead of launching anything: it scrapes that process's ``GET /metrics``
+endpoint (a ``--serve`` run on another machine, or a cluster worker
+started with ``--metrics-port``) on every tick, parses the Prometheus
+text back into samples, and renders the same dashboard -- including
+windowed rates computed from consecutive scrapes.  Pure pull: the
+monitored process only ever serves a page it already serves.
+
 Examples::
 
     python -m repro top cholesky --workers 4
     python -m repro top lu --runtime threaded --scale default --interval 0.5
     python -m repro top lcs --crash 2 --faults 2       # kill workers + inject faults
     python -m repro top fw --serve --port 9200         # scrape /metrics while it runs
+    python -m repro top --connect 10.0.0.5:9200        # watch a remote run/worker
     python -m repro top --selftest                     # deterministic CI check
 
 The dashboard reads only *pull-based* state: every value on screen comes
@@ -28,6 +37,7 @@ collector's sampling tick.
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import threading
 import time
@@ -152,6 +162,155 @@ def render_dashboard(
             store_bits.append(f"shm {shm / 1e6:.1f} MB")
         lines.append("  store: " + "  ".join(store_bits))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# remote monitor: scrape a /metrics endpoint and render from the text
+
+#: Prometheus text sample line: ``name{labels} value`` or ``name value``.
+_PROM_LINE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_PROM_LABEL = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> list[Sample]:
+    """Parse Prometheus text exposition back into :class:`Sample`\\ s --
+    the inverse of ``render_prometheus`` for the families it emits."""
+    samples: list[Sample] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _PROM_LINE.match(line)
+        if not m:
+            continue
+        name, labelblob, raw = m.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        labels = tuple(
+            (k, v.replace('\\"', '"').replace("\\\\", "\\").replace("\\n", "\n"))
+            for k, v in _PROM_LABEL.findall(labelblob or "")
+        )
+        samples.append(Sample(name, labels, value))
+    return samples
+
+
+#: Counter families worth a live rate on the remote dashboard.
+_REMOTE_RATES = (
+    ("repro_trace_total_computes", "tasks/s"),
+    ("repro_worker_jobs_total", "jobs/s"),
+    ("repro_comm_fetches_total", "fetches/s"),
+)
+
+
+def render_remote_dashboard(
+    samples: list[Sample],
+    title: str,
+    rates: dict[str, float] | None = None,
+) -> str:
+    """One monitor frame built purely from scraped samples."""
+    lines = [f"repro top -- {title}"]
+
+    counters = []
+    for label, name in _SUMMARY_COUNTERS:
+        v = _scalar(samples, name, float("nan"))
+        if v == v:
+            counters.append(f"{label} {int(v)}")
+    for name, label in (
+        ("repro_worker_jobs_total", "jobs"),
+        ("repro_comm_fetches_total", "fetches"),
+        ("repro_worker_crashes_total", "worker-crashes"),
+    ):
+        v = _scalar(samples, name, float("nan"))
+        if v == v:
+            counters.append(f"{label} {int(v)}")
+    for name, unit in _REMOTE_RATES:
+        r = (rates or {}).get(name, 0.0)
+        if r > 0:
+            counters.append(f"{r:.0f} {unit}")
+    if counters:
+        lines.append("  " + "   ".join(counters))
+
+    busy = dict(iter_worker_values(samples, "repro_worker_busy_seconds"))
+    if busy:
+        elapsed = _scalar(samples, "repro_run_elapsed_seconds")
+        frames = dict(iter_worker_values(samples, "repro_worker_frames"))
+        lines.append(f"  {'worker':>6} {'busy(s)':>9} {'util%':>6} {'frames':>8}")
+        for w in sorted(busy):
+            b = busy.get(w, 0.0)
+            util = 100.0 * b / elapsed if elapsed > 0 else 0.0
+            lines.append(
+                f"  {w:>6} {b:>9.2f} {min(util, 100.0):>6.1f} {int(frames.get(w, 0)):>8}"
+            )
+
+    n = _scalar(samples, "repro_dispatch_seconds_count", float("nan"))
+    s = _scalar(samples, "repro_dispatch_seconds_sum", float("nan"))
+    if n == n and n > 0 and s == s:
+        lines.append(f"  dispatch: {int(n)} round trips, mean {s / n * 1e3:.2f} ms")
+
+    cache_bytes = _scalar(samples, "repro_worker_cache_bytes", float("nan"))
+    if cache_bytes == cache_bytes:
+        entries = int(_scalar(samples, "repro_worker_cache_entries"))
+        fetched = _scalar(samples, "repro_comm_fetch_bytes_total")
+        lines.append(
+            f"  cache: {cache_bytes / 1e6:.1f} MB in {entries} entries, "
+            f"{fetched / 1e6:.1f} MB fetched over comm"
+        )
+    return "\n".join(lines)
+
+
+def run_remote(args: argparse.Namespace) -> int:
+    """Attach to ``--connect host:port`` and redraw until interrupted
+    (or for ``--frames`` ticks when bounded, e.g. from CI)."""
+    import urllib.error
+    import urllib.request
+
+    endpoint = args.connect
+    if "://" not in endpoint:
+        endpoint = f"http://{endpoint}"
+    if not endpoint.endswith("/metrics"):
+        endpoint = endpoint.rstrip("/") + "/metrics"
+
+    prev: dict[str, float] = {}
+    prev_t = 0.0
+    rates: dict[str, float] = {}
+    shown = 0
+    misses = 0
+    try:
+        while args.frames <= 0 or shown < args.frames:
+            t0 = time.time()
+            try:
+                body = urllib.request.urlopen(endpoint, timeout=5).read().decode()
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                misses += 1
+                if misses >= 3:
+                    print(f"top: lost {endpoint}: {exc}", file=sys.stderr)
+                    return 1
+                time.sleep(args.interval)
+                continue
+            misses = 0
+            samples = parse_prometheus(body)
+            now = {s.name: s.value for s in samples if not s.labels}
+            if prev_t:
+                dt = t0 - prev_t
+                if dt > 0:
+                    rates = {
+                        name: max(0.0, (now.get(name, 0.0) - prev.get(name, 0.0)) / dt)
+                        for name, _ in _REMOTE_RATES
+                    }
+            prev, prev_t = now, t0
+            frame = render_remote_dashboard(samples, f"remote {args.connect}", rates)
+            if args.plain:
+                print(frame, flush=True)
+            else:
+                print(_ANSI_HOME_CLEAR + frame, flush=True)
+            shown += 1
+            if args.frames <= 0 or shown < args.frames:
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -364,6 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="expose GET /metrics while the run is live")
     ap.add_argument("--port", type=int, default=0,
                     help="metrics endpoint port (default: ephemeral)")
+    ap.add_argument("--connect", metavar="HOST:PORT", default=None,
+                    help="attach to a remote /metrics endpoint instead of "
+                         "launching a run (cluster worker or --serve run)")
+    ap.add_argument("--frames", type=int, default=0, metavar="N",
+                    help="with --connect: stop after N frames (0 = until ^C)")
     ap.add_argument("--selftest", action="store_true",
                     help="deterministic install check (used by CI)")
     return ap
@@ -373,11 +537,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.selftest:
         return _selftest()
-    if args.workers < 1:
-        print("top: --workers must be >= 1", file=sys.stderr)
-        return 2
     if args.interval <= 0:
         print("top: --interval must be positive", file=sys.stderr)
+        return 2
+    if args.connect:
+        return run_remote(args)
+    if args.workers < 1:
+        print("top: --workers must be >= 1", file=sys.stderr)
         return 2
     t0 = time.time()
     rc = run_monitored(args)

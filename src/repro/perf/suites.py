@@ -22,6 +22,10 @@ Four layers, mirroring the hot-path inventory in docs/PERFORMANCE.md:
   instrument costs (``Counter.inc``, ``Histogram.observe``), the cached
   ``_mx`` guard a telemetry-off run pays per would-be publication, and
   a full ``registry.collect()`` sampler tick.
+* ``comm`` -- the wire layer under :class:`~repro.runtime.cluster.
+  ClusterRuntime`: the frame codec's encode/decode round trip at small
+  and block-sized payloads, and ping-pong RTT over ``inproc://`` and
+  localhost ``tcp://`` (the latency floor every remote dispatch pays).
 * ``procpool`` -- FTScheduler + :class:`~repro.runtime.procpool.
   ProcessRuntime` on real-kernel apps over a shared-memory store: pool
   spin-up, descriptor shipping, the IPC round trip, and worker attach
@@ -34,9 +38,13 @@ every workload so the whole suite (and CI) finishes in seconds.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Sequence
 
 from repro.perf.bench import Benchmark
+
+#: Unique inproc endpoint names across repeated benchmark ``make()`` calls.
+_RTT_IDS = itertools.count()
 
 # ---------------------------------------------------------------------------
 # workload builders
@@ -397,6 +405,71 @@ def _bench_registry_collect(instruments: int, rounds: int) -> Callable[[], Calla
 
 
 # ---------------------------------------------------------------------------
+# comm: the wire layer under ClusterRuntime
+
+
+def _bench_frame_codec(n_msgs: int, payload_bytes: int) -> Callable[[], Callable[[], int]]:
+    """Full wire path in-process: dumps -> pack -> FrameDecoder -> loads.
+    This is the per-message CPU cost every cluster dispatch pays twice
+    (job out, reply back), with no socket in the way."""
+
+    def make():
+        from repro.comm import frame
+
+        msg = ("job", (7, 7), [(("tile", 7, 7), 3)], False, 0, b"x" * payload_bytes)
+
+        def batch() -> int:
+            decoder = frame.FrameDecoder()
+            feed = decoder.feed
+            next_frame = decoder.next_frame
+            loads = frame.loads
+            encode = frame.encode_message
+            for _ in range(n_msgs):
+                feed(encode(msg))
+                loads(next_frame())
+            return n_msgs
+
+        return batch
+
+    return make
+
+
+def _bench_comm_rtt(scheme: str, n_msgs: int) -> Callable[[], Callable[[], int]]:
+    """Ping-pong round trips over a live connection: the latency floor
+    under every ClusterRuntime dispatch on this transport."""
+
+    def make():
+        from repro import comm
+
+        def echo(c):
+            while True:
+                try:
+                    c.send(c.recv())
+                except comm.CommClosedError:
+                    return
+
+        if scheme == "tcp":
+            addr = "tcp://127.0.0.1:0"
+        else:
+            addr = f"inproc://perf-rtt-{next(_RTT_IDS)}"
+        listener = comm.listen(addr, echo)
+        chan = comm.connect(listener.address)
+        msg = ("ping", (3, 3), [("b", 0)])
+
+        def batch() -> int:
+            send = chan.send
+            recv = chan.recv
+            for _ in range(n_msgs):
+                send(msg)
+                recv(timeout=30)
+            return n_msgs
+
+        return batch
+
+    return make
+
+
+# ---------------------------------------------------------------------------
 # the suite
 
 
@@ -494,6 +567,30 @@ def benchmarks(scale: str = "default") -> list[Benchmark]:
             "metrics_registry_collect", "obs",
             _bench_registry_collect(8 if tiny else 32, rounds),
             description="registry.collect() ticks over counters, callback gauges, a histogram",
+        ),
+        Benchmark(
+            "frame_codec_small", "comm",
+            _bench_frame_codec(256 if tiny else 4096, 64),
+            unit="msgs/s",
+            description="frame codec round trip (64 B payload): per-dispatch CPU cost",
+        ),
+        Benchmark(
+            "frame_codec_64k", "comm",
+            _bench_frame_codec(64 if tiny else 1024, 1 << 16),
+            unit="msgs/s",
+            description="frame codec round trip with a 64 KiB block payload",
+        ),
+        Benchmark(
+            "comm_rtt_inproc", "comm",
+            _bench_comm_rtt("inproc", 128 if tiny else 2048),
+            unit="msgs/s",
+            description="ping-pong RTT over inproc://: codec + queue handoff floor",
+        ),
+        Benchmark(
+            "comm_rtt_tcp", "comm",
+            _bench_comm_rtt("tcp", 64 if tiny else 1024),
+            unit="msgs/s",
+            description="ping-pong RTT over localhost tcp://: the cluster dispatch floor",
         ),
         Benchmark(
             "procpool_lcs_w2", "procpool", _bench_procpool("lcs", 2),

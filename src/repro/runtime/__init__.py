@@ -22,6 +22,12 @@ The scheduler (``repro.core``) is written against a tiny
   *processes* over a shared-memory block store: GIL-free multicore
   execution with wall-clock makespans; worker death surfaces as a
   recoverable compute-phase fault.
+* :class:`~repro.runtime.cluster.ClusterRuntime` -- the same dispatch
+  seam stretched over ``repro.comm`` to remote
+  :class:`~repro.runtime.cluster.WorkerServer` processes
+  (``tcp://host:port`` or in-process ``inproc://``): block payloads
+  fetched lazily and cached by version, liveness by heartbeat, and a
+  dead connection recovered through the identical ``WORKER_DOWN`` path.
 
 Frames follow the Cilk discipline the paper's pseudocode assumes: a frame
 never blocks; ``spawn`` pushes work to the bottom of the spawning worker's
@@ -29,6 +35,7 @@ deque; owners pop bottom (LIFO), thieves steal top (FIFO).
 """
 
 from repro.runtime.api import ExecutionContext, RunResult, Runtime
+from repro.runtime.cluster import ClusterRuntime, WorkerServer
 from repro.runtime.costmodel import CostModel
 from repro.runtime.frames import Frame
 from repro.runtime.deque import WorkDeque
@@ -44,8 +51,10 @@ __all__ = [
     "CostModel",
     "Frame",
     "WorkDeque",
+    "ClusterRuntime",
     "InlineRuntime",
     "ProcessRuntime",
+    "WorkerServer",
     "SimulatedRuntime",
     "ThreadedRuntime",
 ]

@@ -1,0 +1,632 @@
+"""Cluster runtime: compute phases executed by remote worker servers.
+
+:class:`ClusterRuntime` is :class:`~repro.runtime.procpool.ProcessRuntime`'s
+shape stretched over the comm layer: every piece of scheduler state --
+task map, join counters, recovery table, block store -- stays in the
+**parent**, scheduler frames still run on N parent threads, and only the
+pure compute phase crosses the wire.  Each scheduler thread owns one
+:class:`~repro.comm.core.Comm` channel to a :class:`WorkerServer`
+(``python -m repro worker --listen tcp://...``), assigned round-robin
+over the configured addresses.
+
+What changes versus the pipe runtime is *how bytes move*:
+
+* **Dispatch by descriptor.**  A job message carries the task key and
+  the declared input references ``(block, version)`` -- never payloads.
+  The parent still reads every input through its own context first (the
+  fault gate: corruption flags, checksum mismatches, and evictions
+  raise *here*, inside the scheduler's recovery path, before anything
+  ships), holding the values for the duration of the dispatch.
+* **Lazy fetch + versioned cache.**  The worker asks for a payload only
+  on the first read of a version it has never seen (``FETCH`` event,
+  parent serves it from the held values) and caches it in a local
+  byte-bounded LRU keyed by ``(block, version)``.  Store versions are
+  written once and kernels are deterministic, so the versioned key
+  makes the cache trivially coherent -- a re-executed producer after
+  recovery regenerates bit-identical bytes, and an *evicted* version
+  faults parent-side before dispatch, so a stale cache entry can never
+  be asked for a version the store would refuse.
+* **Peer loss is a detected compute-phase fault.**  A dead connection,
+  a refused reconnect, or ``heartbeat_timeout`` seconds of silence from
+  a worker that should be heartbeating collapse into one path: emit
+  ``DISCONNECT`` + ``WORKER_DOWN``, dial a replacement channel
+  (``WORKER_UP`` + ``CONNECT``), raise
+  :class:`~repro.exceptions.WorkerCrashError` -- and the untouched FT
+  scheduler re-executes the lost subgraph through RECOVERTASKONCE,
+  exactly as it does for a dead pipe worker.
+
+Fault injection mirrors ``die_on``: the first dispatch of a listed key
+makes its worker die *before* computing -- ``os._exit(73)`` on a TCP
+server (genuine process death, indistinguishable from ``kill -9``), a
+connection sever on an in-process server (the yanked-cable case) -- and
+the recovered task's re-dispatch runs normally.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.comm import frame
+from repro.comm.core import Comm, CommClosedError, connect_with_retry, listen
+from repro.exceptions import SchedulerError, WorkerCrashError
+from repro.graph.taskspec import BlockRef
+from repro.obs.events import NULL_LOG, EventKind, EventLog
+from repro.obs.live import NULL_METRICS, MetricsRegistry
+from repro.runtime.api import RunResult
+from repro.runtime.frames import Frame
+from repro.runtime.procpool import CRASH_EXIT_CODE, _POLL_SECONDS
+from repro.runtime.threadpool import ThreadedRuntime
+
+#: Default worker-side block-cache budget.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Parent-side liveness policy: a worker connection that stays byte-silent
+#: this long while owing a reply is declared dead.  Workers heartbeat
+#: every HEARTBEAT_INTERVAL_SECONDS (0.25 s), so the default tolerates
+#: ~8 consecutive missed beats; see docs/DISTRIBUTED.md for tuning.
+DEFAULT_HEARTBEAT_TIMEOUT = 2.0
+
+
+# ---------------------------------------------------------------------------
+# worker-server side
+
+
+class BlockCache:
+    """Byte-bounded LRU of decoded block payloads, keyed by
+    ``(block, version)``.
+
+    Versioned keys are what make this cache coherent with zero
+    invalidation traffic: a version's bytes never change once written
+    (determinism, Theorem 1), so an entry can be stale only by
+    *absence*, never by content.  That guarantee holds *within* a run;
+    across runs the same ``(block, version)`` pair can name different
+    data, so entries are additionally scoped by the dispatching
+    runtime's ``run token`` -- a long-lived server reused by many runs
+    never crosses their payloads.
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> tuple[bool, Any]:
+        with self._lock:
+            try:
+                value, _ = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key: tuple, value: Any, nbytes: int) -> None:
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.capacity_bytes and len(self._entries) > 1:
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._bytes -= evicted
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _FetchingContext:
+    """Worker-side compute context: reads hit the local cache or fetch
+    the payload from the parent over the job's comm channel; writes are
+    buffered and applied by the parent (which re-enforces the declared
+    footprint there)."""
+
+    __slots__ = ("key", "_declared", "_comm", "_cache", "_token", "reads",
+                 "writes", "written", "fetch_seconds")
+
+    def __init__(
+        self, key: Hashable, declared: frozenset, comm: Comm, cache: BlockCache, token: str
+    ) -> None:
+        self.key = key
+        self._declared = declared
+        self._token = token
+        self._comm = comm
+        self._cache = cache
+        self.reads: list[BlockRef] = []
+        self.writes: list[BlockRef] = []
+        self.written: list[tuple[tuple, Any]] = []
+        self.fetch_seconds = 0.0
+
+    def read(self, ref: BlockRef) -> Any:
+        if type(ref) is not BlockRef:
+            ref = BlockRef(*ref)
+        if (ref.block, ref.version) not in self._declared:
+            raise SchedulerError(
+                f"task {self.key!r} read undeclared input {ref!r} on a cluster worker"
+            )
+        ck = (self._token, ref.block, ref.version)
+        hit, value = self._cache.get(ck)
+        if not hit:
+            t0 = time.perf_counter()
+            self._comm.send(("fetch", ref.block, ref.version))
+            tag, block, version, payload = self._comm.recv()
+            self.fetch_seconds += time.perf_counter() - t0
+            if tag != "data" or payload is None:
+                raise SchedulerError(
+                    f"parent could not serve {ref!r} for task {self.key!r} (reply {tag!r})"
+                )
+            value = frame.loads(payload)
+            self._cache.put(ck, value, len(payload))
+        self.reads.append(ref)
+        return value
+
+    def write(self, ref: BlockRef, value: Any) -> None:
+        if type(ref) is not BlockRef:
+            ref = BlockRef(*ref)
+        self.writes.append(ref)
+        self.written.append((tuple(ref), value))
+
+
+class WorkerServer:
+    """A compute server: listens on an address, executes shipped compute
+    phases, fetches block payloads lazily, caches them by version.
+
+    One server handles any number of parent connections (each on its own
+    handler thread); the block cache is shared across them.  Run one per
+    node with ``python -m repro worker --listen tcp://HOST:PORT``.
+    """
+
+    def __init__(
+        self,
+        listen_addr: str,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._listen_addr = listen_addr
+        self.cache = BlockCache(cache_bytes)
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._mx = self._metrics is not NULL_METRICS
+        self._jobs_counter = self._metrics.counter(
+            "repro_worker_jobs_total", "compute phases executed by this worker server"
+        )
+        self._fetch_counter = self._metrics.counter(
+            "repro_comm_fetches_total", "block payloads fetched from the parent"
+        )
+        self._fetch_bytes = self._metrics.counter(
+            "repro_comm_fetch_bytes_total", "payload bytes fetched from the parent"
+        )
+        self._listener: Any = None
+        self._stopped = threading.Event()
+        if self._mx:
+            self._metrics.callback_gauge(
+                "repro_worker_cache_bytes",
+                lambda: float(self.cache.nbytes),
+                "bytes resident in the versioned block cache",
+            )
+            self._metrics.callback_gauge(
+                "repro_worker_cache_entries",
+                lambda: float(len(self.cache)),
+                "entries resident in the versioned block cache",
+            )
+
+    @property
+    def address(self) -> str:
+        """The concrete bound address (kernel-assigned port filled in)."""
+        if self._listener is None:
+            raise SchedulerError("WorkerServer.address read before start()")
+        return self._listener.address
+
+    def start(self) -> "WorkerServer":
+        self._listener = listen(self._listen_addr, self._serve_connection)
+        return self
+
+    def close(self) -> None:
+        self._stopped.set()
+        if self._listener is not None:
+            self._listener.close()
+
+    def wait(self) -> None:
+        """Block until :meth:`close` (the ``repro worker`` CLI's main loop)."""
+        self._stopped.wait()
+
+    # -- per-connection protocol --------------------------------------------
+
+    def _serve_connection(self, comm: Comm) -> None:
+        start_hb = getattr(comm, "start_heartbeat", None)
+        if start_hb is not None:
+            start_hb()  # parent-side liveness watches for these beats
+        spec = None
+        try:
+            while True:
+                try:
+                    msg = comm.recv()
+                except CommClosedError:
+                    return
+                tag = msg[0]
+                if tag == "ping":
+                    comm.send(("pong",))
+                    continue
+                if tag == "stop":
+                    comm.close()
+                    return
+                if tag == "spec":
+                    spec = pickle.loads(msg[1])
+                    continue
+                _, key, refs, die, life, token = msg
+                if die:
+                    self._die(comm)
+                    return
+                self._run_job(comm, spec, key, refs, token)
+        finally:
+            comm.close()
+
+    def _die(self, comm: Comm) -> None:
+        """Injected worker death (``die_on``): genuine process death on a
+        TCP server, an impolite connection sever on an in-process one --
+        both exercise the parent's peer-loss path."""
+        sever = getattr(comm, "sever", None)
+        if sever is not None:
+            sever()
+            return
+        os._exit(CRASH_EXIT_CODE)
+
+    def _run_job(self, comm: Comm, spec: Any, key: Hashable, refs: list, token: str) -> None:
+        mx = self._mx
+        ctx = _FetchingContext(
+            key, frozenset((b, v) for b, v in refs), comm, self.cache, token
+        )
+        spans: dict[str, float] = {}
+        try:
+            if spec is None:
+                raise SchedulerError(f"job {key!r} arrived before its task spec")
+            fetched_before = self.cache.misses
+            t_kw = time.perf_counter()
+            t_kc = time.process_time()
+            spec.compute(key, ctx)
+            spans["kernel_cpu"] = time.process_time() - t_kc
+            spans["kernel"] = time.perf_counter() - t_kw
+            spans["fetch"] = ctx.fetch_seconds
+            t_sz = time.perf_counter()
+            blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
+            spans["serialize"] = time.perf_counter() - t_sz
+            reply = ("ok", blob, spans)
+            if mx:
+                self._jobs_counter.inc()
+                fetched = self.cache.misses - fetched_before
+                if fetched:
+                    self._fetch_counter.inc(fetched)
+        except BaseException as exc:
+            reply = ("raise", _portable_exc(exc))
+        try:
+            comm.send(reply)
+        except CommClosedError:
+            return  # parent gone; its liveness policy handles the rest
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle round-trip, else a summary that does."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return SchedulerError(f"worker exception: {type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# parent side
+
+
+class _RemoteHandle:
+    __slots__ = ("comm", "addr", "spec_id")
+
+    def __init__(self, comm: Comm, addr: str) -> None:
+        self.comm = comm
+        self.addr = addr
+        self.spec_id: int | None = None
+
+
+class ClusterRuntime(ThreadedRuntime):
+    """Work-stealing thread pool whose compute phases run on remote
+    :class:`WorkerServer` processes reached through ``repro.comm``.
+
+    Parameters beyond :class:`ThreadedRuntime`'s:
+
+    ``addresses``
+        Worker-server addresses (``tcp://host:port`` or an
+        ``inproc://name`` server in this process).  The N channels are
+        assigned round-robin; a lost channel's replacement is dialed
+        starting at the same address, then the others.
+    ``die_on``
+        Iterable of task keys; the first dispatch of each kills its
+        worker (process death on TCP, connection sever on inproc).
+        One-shot per key, exactly like ``ProcessRuntime``'s.
+    ``heartbeat_timeout``
+        Seconds of byte-silence (on a heartbeating transport) after
+        which a connection owing a reply is declared dead; ``None``
+        disables the check and trusts transport-level EOF alone.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        seed: int | None = None,
+        event_log: EventLog | None = None,
+        addresses: Iterable[str] | None = None,
+        die_on: Iterable[Hashable] | None = None,
+        metrics: MetricsRegistry | None = None,
+        heartbeat_timeout: float | None = DEFAULT_HEARTBEAT_TIMEOUT,
+        connect_attempts: int = 8,
+    ) -> None:
+        super().__init__(workers, seed, event_log, metrics=metrics)
+        addrs = list(addresses or ())
+        if not addrs:
+            raise ValueError("ClusterRuntime needs at least one worker address")
+        self._addresses = addrs
+        self._die_on = set(die_on or ())
+        self._die_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._handles: list[_RemoteHandle] = []
+        self._idle: queue.Queue[_RemoteHandle] = queue.Queue()
+        self._spec_blobs: dict[int, bytes] = {}
+        self._hb_timeout = heartbeat_timeout
+        self._connect_attempts = connect_attempts
+        self._crashes = 0
+        # Scopes worker-side cache entries to this runtime: a long-lived
+        # WorkerServer reused across runs must never serve one run's
+        # bytes to another run's identically-named block version.
+        self._run_token = f"{os.getpid():x}.{id(self):x}.{time.monotonic_ns():x}"
+        self._dispatch_hist = self._metrics.histogram(
+            "repro_dispatch_seconds",
+            "full remote compute round trip (queue wait + ship + kernel + reply)",
+        )
+        self._crash_counter = self._metrics.counter(
+            "repro_worker_crashes_total",
+            "worker connections lost mid-dispatch and replaced",
+        )
+        self._fetch_counter = self._metrics.counter(
+            "repro_comm_fetches_total", "block payloads served to lazy worker fetches"
+        )
+        self._fetch_bytes = self._metrics.counter(
+            "repro_comm_fetch_bytes_total", "payload bytes served to lazy worker fetches"
+        )
+
+    @property
+    def worker_crashes(self) -> int:
+        """Worker connections lost mid-dispatch (and replaced)."""
+        return self._crashes
+
+    # -- channel pool lifecycle ----------------------------------------------
+
+    def execute(self, root: Frame) -> RunResult:
+        self._ensure_pool()
+        try:
+            return super().execute(root)
+        finally:
+            self._shutdown_pool()
+
+    def _ensure_pool(self) -> None:
+        if self._handles:
+            return
+        with self._pool_lock:
+            if self._handles:
+                return
+            handles = [
+                self._dial(self._addresses[i % len(self._addresses)])
+                for i in range(self._workers)
+            ]
+            self._handles = handles
+            for h in handles:
+                self._idle.put(h)
+
+    def _dial(self, addr: str) -> _RemoteHandle:
+        comm = connect_with_retry(addr, attempts=self._connect_attempts)
+        # A completed TCP handshake is not proof of a live server: the
+        # kernel accepts into a dying process's listen backlog right up
+        # to FD teardown.  A connection counts only once a handler
+        # thread has answered a ping.
+        try:
+            comm.send(("ping",))
+            reply = comm.recv(timeout=10.0)
+        except (CommClosedError, TimeoutError) as exc:
+            comm.close()
+            raise CommClosedError(f"worker at {addr} accepted but never answered: {exc}")
+        if reply != ("pong",):  # pragma: no cover - protocol bug
+            comm.close()
+            raise CommClosedError(f"worker at {addr} answered ping with {reply!r}")
+        if self._log is not NULL_LOG:
+            self._log.emit(EventKind.CONNECT, None, 0, addr=addr)
+        return _RemoteHandle(comm, addr)
+
+    def _reconnect(self, dead: _RemoteHandle, reason: str) -> _RemoteHandle:
+        """Replace a lost channel: the dead address first (its server may
+        have survived a mere sever, or a supervisor restarted it), then
+        the other configured addresses."""
+        with self._pool_lock:
+            try:
+                self._handles.remove(dead)
+            except ValueError:
+                pass
+            dead.comm.close()
+            self._crashes += 1
+            if self._log is not NULL_LOG:
+                self._log.emit(EventKind.DISCONNECT, None, 0, addr=dead.addr, reason=reason)
+            start = self._addresses.index(dead.addr) if dead.addr in self._addresses else 0
+            order = self._addresses[start:] + self._addresses[:start]
+            last: Exception | None = None
+            for addr in order:
+                try:
+                    fresh = self._dial(addr)
+                except CommClosedError as exc:
+                    last = exc
+                    continue
+                self._handles.append(fresh)
+                return fresh
+            raise SchedulerError(
+                f"no worker address reachable after losing {dead.addr}: {last}"
+            )
+
+    def _shutdown_pool(self) -> None:
+        with self._pool_lock:
+            handles, self._handles = self._handles, []
+            try:
+                while True:
+                    self._idle.get_nowait()
+            except queue.Empty:
+                pass
+        for h in handles:
+            try:
+                h.comm.send(("stop",))
+            except CommClosedError:
+                pass
+            h.comm.close()
+            if self._log is not NULL_LOG:
+                self._log.emit(EventKind.DISCONNECT, None, 0, addr=h.addr, reason="shutdown")
+
+    # -- the dispatch seam ----------------------------------------------------
+
+    def compute_dispatch(self, spec: Any, key: Hashable, ctx: Any, life: int = 0) -> None:
+        """Run ``spec.compute(key, ...)`` on a remote worker.
+
+        Identical contract to ``ProcessRuntime.compute_dispatch``: the
+        parent-side reads below are the fault gate, and a lost worker
+        surfaces as :class:`WorkerCrashError` on ``key``.
+        """
+        obs = self._log is not NULL_LOG
+        mx = self._mx
+        t0 = self._log.now() if obs else (time.perf_counter() if mx else 0.0)
+        values: dict[tuple, Any] = {}
+        refs: list[tuple] = []
+        for raw in spec.inputs(key):
+            ref = raw if type(raw) is BlockRef else BlockRef(*raw)
+            # Fault gate: corruption flags, checksum mismatches, and
+            # evictions raise here, before anything ships.
+            values[(ref.block, ref.version)] = ctx.read(ref)
+            refs.append((ref.block, ref.version))
+        die = False
+        if self._die_on:
+            with self._die_lock:
+                if key in self._die_on:
+                    self._die_on.discard(key)
+                    die = True
+        written, spans = self._submit(spec, key, refs, values, die, life)
+        if obs:
+            log = self._log
+            end = log.now()
+            log.emit(EventKind.SPAN, key, life, phase="fetch",
+                     wall=spans.get("fetch", 0.0))
+            log.emit(EventKind.SPAN, key, life, phase="kernel",
+                     wall=spans.get("kernel", 0.0), cpu=spans.get("kernel_cpu", 0.0))
+            log.emit(EventKind.SPAN, key, life, phase="serialize",
+                     wall=spans.get("serialize", 0.0))
+            log.emit(EventKind.SPAN, key, life, phase="dispatch", wall=end - t0, t0=t0)
+        if mx:
+            self._dispatch_hist.observe(
+                (self._log.now() if obs else time.perf_counter()) - t0
+            )
+        for reftup, value in written:
+            ctx.write(BlockRef(*reftup), value)
+
+    def _spec_blob(self, spec: Any) -> bytes:
+        blob = self._spec_blobs.get(id(spec))
+        if blob is None:
+            blob = pickle.dumps(spec)
+            self._spec_blobs[id(spec)] = blob
+        return blob
+
+    def _submit(
+        self,
+        spec: Any,
+        key: Hashable,
+        refs: list,
+        values: dict[tuple, Any],
+        die: bool,
+        life: int,
+    ) -> tuple[list, dict[str, float]]:
+        self._ensure_pool()
+        try:
+            handle = self._idle.get(timeout=60.0)
+        except queue.Empty:  # pragma: no cover - pool accounting bug
+            raise SchedulerError("no cluster worker channel became available within 60s")
+        try:
+            reason = "closed"
+            try:
+                if handle.spec_id != id(spec):
+                    handle.comm.send(("spec", self._spec_blob(spec)))
+                    handle.spec_id = id(spec)
+                handle.comm.send(("job", key, refs, die, life, self._run_token))
+                reply, reason = self._await_reply(handle, key, values, life)
+            except CommClosedError:
+                reply = None
+            if reply is None:
+                dead, handle = handle, self._reconnect(handle, reason)
+                if self._log is not NULL_LOG:
+                    self._log.emit(EventKind.WORKER_DOWN, key, 0, addr=dead.addr, reason=reason)
+                    self._log.emit(EventKind.WORKER_UP, None, 0, addr=handle.addr)
+                if self._mx:
+                    self._crash_counter.inc()
+                raise WorkerCrashError(key)
+            tag = reply[0]
+            if tag == "ok":
+                return pickle.loads(reply[1]), reply[2]
+            raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
+        finally:
+            self._idle.put(handle)
+
+    def _await_reply(
+        self, handle: _RemoteHandle, key: Hashable, values: dict[tuple, Any], life: int
+    ) -> tuple[Any, str]:
+        """The worker's final reply, serving lazy fetches along the way.
+
+        Returns ``(reply, reason)`` where reply is ``None`` if the peer
+        was lost -- by transport EOF (``reason='closed'``) or by
+        heartbeat silence (``reason='heartbeat'``).
+        """
+        comm = handle.comm
+        idle_seconds: Callable[[], float] | None = getattr(comm, "idle_seconds", None)
+        obs = self._log is not NULL_LOG
+        mx = self._mx
+        while True:
+            try:
+                if not comm.poll(_POLL_SECONDS):
+                    if (
+                        idle_seconds is not None
+                        and self._hb_timeout is not None
+                        and idle_seconds() > self._hb_timeout
+                    ):
+                        return None, "heartbeat"
+                    continue
+                msg = comm.recv()
+            except CommClosedError:
+                return None, "closed"
+            if msg[0] == "fetch":
+                _, block, version = msg
+                value = values.get((block, version), None)
+                if value is None and (block, version) not in values:
+                    comm.send(("data", block, version, None))
+                    continue
+                payload = frame.dumps(value)
+                if obs:
+                    self._log.emit(
+                        EventKind.FETCH, key, life,
+                        block=block, version=version, nbytes=len(payload),
+                    )
+                if mx:
+                    self._fetch_counter.inc()
+                    self._fetch_bytes.inc(len(payload))
+                comm.send(("data", block, version, payload))
+                continue
+            return msg, "ok"

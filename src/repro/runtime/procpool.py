@@ -55,6 +55,8 @@ import threading
 import time
 from typing import Any, Hashable, Iterable
 
+from repro.comm.core import CommClosedError
+from repro.comm.pipe import PipeComm, pipe_pair, wrap_connection
 from repro.exceptions import OverwrittenError, SchedulerError, WorkerCrashError
 from repro.graph.taskspec import BlockRef
 from repro.memory.shm import ShmDescriptor, attach_payload
@@ -144,13 +146,19 @@ def _portable_exc(exc: BaseException) -> BaseException:
         return SchedulerError(f"worker exception: {type(exc).__name__}: {exc}")
 
 
-def _worker_main(conn: Any) -> None:
-    """Worker-process loop: receive a spec once, then serve jobs."""
+def _worker_main(raw_conn: Any) -> None:
+    """Worker-process loop: receive a spec once, then serve jobs.
+
+    The inherited pipe end is wrapped in a :class:`PipeComm`, so the
+    loop speaks the comm contract: a vanished parent is one
+    ``CommClosedError``, not a zoo of OS-level errnos.
+    """
+    conn = wrap_connection(raw_conn, peer="pipe://parent")
     spec = None
     while True:
         try:
             msg = conn.recv()
-        except (EOFError, OSError):
+        except CommClosedError:
             return
         tag = msg[0]
         if tag == "stop":
@@ -208,7 +216,7 @@ def _worker_main(conn: Any) -> None:
 class _WorkerHandle:
     __slots__ = ("proc", "conn", "spec_id")
 
-    def __init__(self, proc: Any, conn: Any) -> None:
+    def __init__(self, proc: Any, conn: PipeComm) -> None:
         self.proc = proc
         self.conn = conn
         self.spec_id: int | None = None
@@ -291,13 +299,16 @@ class ProcessRuntime(ThreadedRuntime):
                 self._idle.put(h)
 
     def _start_worker(self) -> _WorkerHandle:
-        parent_conn, child_conn = self._mp.Pipe()
+        parent_comm, child_comm = pipe_pair(self._mp)
         proc = self._mp.Process(
-            target=_worker_main, args=(child_conn,), daemon=True, name="repro-compute"
+            target=_worker_main,
+            args=(child_comm.connection,),
+            daemon=True,
+            name="repro-compute",
         )
         proc.start()
-        child_conn.close()
-        return _WorkerHandle(proc, parent_conn)
+        child_comm.close()
+        return _WorkerHandle(proc, parent_comm)
 
     def _replace_worker(self, dead: _WorkerHandle) -> _WorkerHandle:
         with self._pool_lock:
@@ -305,10 +316,7 @@ class ProcessRuntime(ThreadedRuntime):
                 self._handles.remove(dead)
             except ValueError:
                 pass
-            try:
-                dead.conn.close()
-            except OSError:
-                pass
+            dead.conn.close()
             dead.proc.join(timeout=1.0)
             self._crashes += 1
             fresh = self._start_worker()
@@ -326,17 +334,14 @@ class ProcessRuntime(ThreadedRuntime):
         for h in handles:
             try:
                 h.conn.send(("stop",))
-            except (OSError, BrokenPipeError):
+            except CommClosedError:
                 pass
         for h in handles:
             h.proc.join(timeout=5.0)
             if h.proc.is_alive():  # pragma: no cover - stuck worker
                 h.proc.terminate()
                 h.proc.join(timeout=1.0)
-            try:
-                h.conn.close()
-            except OSError:
-                pass
+            h.conn.close()
 
     # -- the dispatch seam ---------------------------------------------------
 
@@ -412,7 +417,7 @@ class ProcessRuntime(ThreadedRuntime):
                     handle.spec_id = id(spec)
                 handle.conn.send(("job", key, inputs, die))
                 reply = self._await_reply(handle)
-            except (BrokenPipeError, EOFError, OSError):
+            except CommClosedError:
                 reply = None
             if reply is None:
                 dead, handle = handle, self._replace_worker(handle)
@@ -446,12 +451,12 @@ class ProcessRuntime(ThreadedRuntime):
             if conn.poll(_POLL_SECONDS):
                 try:
                     return conn.recv()
-                except (EOFError, OSError):
+                except CommClosedError:
                     return None
             if not handle.proc.is_alive():
                 if conn.poll(0):  # reply raced the exit
                     try:
                         return conn.recv()
-                    except (EOFError, OSError):
+                    except CommClosedError:
                         return None
                 return None

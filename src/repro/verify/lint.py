@@ -27,12 +27,18 @@ implementation *relies on* but which no test can establish exhaustively:
   identity check, so the telemetry-off hot path pays one boolean test
   per would-be publication instead of an attribute chain plus a no-op
   call.
-* ``raw-multiprocessing`` -- outside ``runtime/``, no module may import
-  :mod:`multiprocessing` or :mod:`concurrent.futures`
+* ``raw-multiprocessing`` -- outside ``runtime/`` and ``comm/``, no
+  module may import :mod:`multiprocessing` or :mod:`concurrent.futures`
   (``multiprocessing.shared_memory`` is exempt: the memory layer owns
   segments but never processes).  Process lifecycle -- fork timing,
   pipe protocol, crash surfacing -- is the runtime layer's contract;
   a stray pool elsewhere would bypass the fault model entirely.
+* ``raw-socket`` -- only ``comm/`` may import :mod:`socket`,
+  :mod:`select`, or :mod:`selectors`.  Every byte that crosses a
+  process or machine boundary must ride a :class:`~repro.comm.core.Comm`
+  so peer loss always surfaces as ``CommClosedError`` and flows through
+  the ``WORKER_DOWN`` recovery path; a stray socket elsewhere would be
+  a second, unmodeled failure domain.
 * ``eventkind-coverage`` -- every :class:`~repro.obs.events.EventKind`
   member is emitted somewhere in the package and is either replayed into
   an :class:`~repro.runtime.tracing.ExecutionTrace` counter or explicitly
@@ -273,15 +279,17 @@ class ChargeDisciplineRule(Rule):
 
 
 class RawThreadingRule(Rule):
-    """Only runtime/ may use threading beyond ``Lock``; no bare acquire/release."""
+    """Only runtime/ and comm/ may use threading beyond ``Lock``; no bare
+    acquire/release anywhere."""
 
     name = "raw-threading"
     description = (
-        "outside runtime/, only threading.Lock is allowed (no Thread/Event/"
-        "Condition/Semaphore/Barrier/Timer, no direct .acquire()/.release())"
+        "outside runtime/ and comm/, only threading.Lock is allowed (no "
+        "Thread/Event/Condition/Semaphore/Barrier/Timer, no direct "
+        ".acquire()/.release())"
     )
 
-    def __init__(self, allowed_prefix: str = "runtime/") -> None:
+    def __init__(self, allowed_prefix: str | tuple[str, ...] = ("runtime/", "comm/")) -> None:
         self.allowed_prefix = allowed_prefix
 
     def check(self, module: Module) -> list[Finding]:
@@ -331,13 +339,14 @@ class RawThreadingRule(Rule):
 
 
 class RawMultiprocessingRule(Rule):
-    """Only runtime/ may import multiprocessing or concurrent.futures;
-    ``multiprocessing.shared_memory`` is exempt (segment ownership is a
-    memory-layer concern, process lifecycle is not)."""
+    """Only runtime/ and comm/ may import multiprocessing or
+    concurrent.futures; ``multiprocessing.shared_memory`` is exempt
+    (segment ownership is a memory-layer concern, process lifecycle is
+    not)."""
 
     name = "raw-multiprocessing"
     description = (
-        "outside runtime/, no `import multiprocessing` or "
+        "outside runtime/ and comm/, no `import multiprocessing` or "
         "`concurrent.futures` (process lifecycle belongs to the runtime "
         "layer); `multiprocessing.shared_memory` is allowed everywhere"
     )
@@ -345,7 +354,7 @@ class RawMultiprocessingRule(Rule):
     #: The one multiprocessing submodule any layer may import.
     EXEMPT = "multiprocessing.shared_memory"
 
-    def __init__(self, allowed_prefix: str = "runtime/") -> None:
+    def __init__(self, allowed_prefix: str | tuple[str, ...] = ("runtime/", "comm/")) -> None:
         self.allowed_prefix = allowed_prefix
 
     def _banned_module(self, name: str | None) -> bool:
@@ -387,6 +396,65 @@ class RawMultiprocessingRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# raw-socket
+
+
+class RawSocketRule(Rule):
+    """Only comm/ may import :mod:`socket`, :mod:`select`, or
+    :mod:`selectors`.
+
+    The comm layer's whole contract is that peer loss -- on any
+    transport -- collapses into ``CommClosedError`` and therefore into
+    the ``WORKER_DOWN`` → recovery path.  A raw socket opened anywhere
+    else is a second failure domain the fault model cannot see: its
+    errors would surface as bare ``OSError`` at arbitrary call sites
+    instead of as detected compute-phase faults.  (HTTP helpers built on
+    the stdlib's server/client classes are fine -- this rule bans the
+    *primitive* modules, which is where hand-rolled wire protocols
+    start.)
+    """
+
+    name = "raw-socket"
+    description = (
+        "outside comm/, no `import socket`, `select`, or `selectors` "
+        "(every wire crossing rides a Comm so peer loss always becomes "
+        "CommClosedError -> WORKER_DOWN -> recovery)"
+    )
+
+    #: The primitive modules whose import this rule confines.
+    BANNED_MODULES = frozenset({"socket", "select", "selectors"})
+
+    def __init__(self, allowed_prefix: str | tuple[str, ...] = ("comm/",)) -> None:
+        self.allowed_prefix = allowed_prefix
+
+    def _banned(self, name: str | None) -> bool:
+        return name is not None and name.split(".", 1)[0] in self.BANNED_MODULES
+
+    def check(self, module: Module) -> list[Finding]:
+        if module.relpath.startswith(tuple(self.allowed_prefix)):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned(alias.name):
+                        findings.extend(
+                            self._finding(
+                                module, node, f"`import {alias.name}` outside comm/"
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and self._banned(node.module):
+                findings.extend(
+                    self._finding(
+                        module,
+                        node,
+                        f"`from {node.module} import ...` outside comm/",
+                    )
+                )
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # emit-guard
 
 
@@ -424,6 +492,7 @@ EMIT_GUARD_PREFIXES: tuple[str, ...] = (
     "core/",
     "runtime/threadpool.py",
     "runtime/procpool.py",
+    "runtime/cluster.py",
 )
 
 
@@ -650,6 +719,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ChargeDisciplineRule(),
     RawThreadingRule(),
     RawMultiprocessingRule(),
+    RawSocketRule(),
     EmitGuardRule(),
     EventKindCoverageRule(),
 )

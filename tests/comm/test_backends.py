@@ -1,0 +1,237 @@
+"""Backend contract tests: every transport speaks the same Comm surface,
+and peer loss on every transport collapses into CommClosedError."""
+
+import itertools
+import threading
+import time
+
+import pytest
+
+from repro import comm
+from repro.comm.pipe import pipe_pair
+
+_ids = itertools.count()
+
+
+def _echo_handler(c):
+    """Server loop: echo every message until the peer goes away."""
+    while True:
+        try:
+            msg = c.recv()
+        except comm.CommClosedError:
+            return
+        c.send(("echo", msg))
+
+
+@pytest.fixture
+def inproc_echo():
+    lis = comm.listen(f"inproc://echo-{next(_ids)}", _echo_handler)
+    yield lis
+    lis.close()
+
+
+@pytest.fixture
+def tcp_echo():
+    lis = comm.listen("tcp://127.0.0.1:0", _echo_handler)
+    yield lis
+    lis.close()
+
+
+class TestAddressing:
+    def test_parse_address(self):
+        addr = comm.parse_address("tcp://10.0.0.1:7070")
+        assert addr.scheme == "tcp" and addr.location == "10.0.0.1:7070"
+        assert str(addr) == "tcp://10.0.0.1:7070"
+
+    def test_malformed_address_rejected(self):
+        with pytest.raises(ValueError):
+            comm.parse_address("no-scheme-here")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown comm scheme"):
+            comm.connect("carrier-pigeon://roof")
+
+    def test_pipe_scheme_has_no_address_space(self):
+        with pytest.raises(ValueError, match="pipe_pair"):
+            comm.connect("pipe://anywhere")
+
+    def test_tcp_listener_reports_bound_port(self, tcp_echo):
+        assert tcp_echo.address.startswith("tcp://127.0.0.1:")
+        assert not tcp_echo.address.endswith(":0")
+
+
+class TestRoundTrips:
+    def test_inproc_round_trip(self, inproc_echo):
+        with comm.connect(inproc_echo.address) as c:
+            c.send({"x": [1, 2, 3]})
+            assert c.recv(timeout=5) == ("echo", {"x": [1, 2, 3]})
+
+    def test_tcp_round_trip(self, tcp_echo):
+        with comm.connect(tcp_echo.address) as c:
+            c.send(("job", (0, 1), [("b", 0)], False))
+            assert c.recv(timeout=5) == ("echo", ("job", (0, 1), [("b", 0)], False))
+
+    def test_pipe_round_trip(self):
+        a, b = pipe_pair()
+        a.send([1, b"bytes", None])
+        assert b.recv(timeout=5) == [1, b"bytes", None]
+        b.send("back")
+        assert a.recv(timeout=5) == "back"
+        a.close()
+        b.close()
+
+    def test_tcp_ordering_many_messages(self, tcp_echo):
+        with comm.connect(tcp_echo.address) as c:
+            for i in range(200):
+                c.send(i)
+            got = [c.recv(timeout=5)[1] for _ in range(200)]
+        assert got == list(range(200))
+
+    def test_recv_timeout_leaves_channel_usable(self, tcp_echo):
+        with comm.connect(tcp_echo.address) as c:
+            with pytest.raises(TimeoutError):
+                c.recv(timeout=0.05)
+            c.send("after-timeout")
+            assert c.recv(timeout=5) == ("echo", "after-timeout")
+
+    def test_poll_reflects_pending_data(self, inproc_echo):
+        with comm.connect(inproc_echo.address) as c:
+            assert not c.poll(0.01)
+            c.send(1)
+            assert c.poll(5.0)
+            assert c.recv(timeout=5) == ("echo", 1)
+
+
+class TestPeerLoss:
+    def test_inproc_connect_to_nobody(self):
+        with pytest.raises(comm.CommClosedError):
+            comm.connect("inproc://nobody-home")
+
+    def test_tcp_connect_refused(self):
+        # A bound-then-closed listener guarantees a dead port.  The
+        # kernel can very rarely self-connect (ephemeral source port ==
+        # destination port), so discard such accidents and retry.
+        for _ in range(5):
+            lis = comm.listen("tcp://127.0.0.1:0", _echo_handler)
+            addr = lis.address
+            lis.close()
+            time.sleep(0.05)
+            try:
+                c = comm.connect(addr)
+            except comm.CommClosedError:
+                return  # the expected outcome
+            c.close()
+        pytest.fail("connect to a closed port kept succeeding")
+
+    def test_tcp_peer_close_surfaces_on_recv(self):
+        def close_handler(c):
+            c.recv()
+            c.close()
+
+        lis = comm.listen("tcp://127.0.0.1:0", close_handler)
+        try:
+            c = comm.connect(lis.address)
+            c.send("bye")
+            with pytest.raises(comm.CommClosedError):
+                c.recv(timeout=5)
+            assert c.closed
+        finally:
+            lis.close()
+
+    def test_inproc_sever_is_impolite_loss(self):
+        server_side = []
+
+        def handler(c):
+            server_side.append(c)
+
+        lis = comm.listen(f"inproc://sever-{next(_ids)}", handler)
+        try:
+            c = comm.connect(lis.address)
+            for _ in range(100):
+                if server_side:
+                    break
+                time.sleep(0.01)
+            server_side[0].sever()
+            with pytest.raises(comm.CommClosedError):
+                c.recv(timeout=5)
+        finally:
+            lis.close()
+
+    def test_pipe_send_after_peer_close(self):
+        a, b = pipe_pair()
+        b.close()
+        with pytest.raises(comm.CommClosedError):
+            # The OS may buffer the first send; the pair must fail
+            # within a bounded number of attempts, never silently.
+            for _ in range(10):
+                a.send("into the void")
+                time.sleep(0.01)
+        a.close()
+
+    def test_send_on_locally_closed_comm(self, tcp_echo):
+        c = comm.connect(tcp_echo.address)
+        c.close()
+        with pytest.raises(comm.CommClosedError):
+            c.send("late")
+
+
+class TestRetryAndHeartbeat:
+    def test_connect_with_retry_waits_for_listener(self):
+        name = f"inproc://late-{next(_ids)}"
+        holder = {}
+
+        def bind_late():
+            time.sleep(0.15)
+            holder["lis"] = comm.listen(name, _echo_handler)
+
+        t = threading.Thread(target=bind_late)
+        t.start()
+        try:
+            c = comm.connect_with_retry(name, attempts=10, base_delay=0.05)
+            c.send("made it")
+            assert c.recv(timeout=5) == ("echo", "made it")
+            c.close()
+        finally:
+            t.join()
+            holder["lis"].close()
+
+    def test_connect_with_retry_exhausts_attempts(self):
+        t0 = time.perf_counter()
+        with pytest.raises(comm.CommClosedError, match="after 3 attempts"):
+            comm.connect_with_retry("inproc://never", attempts=3, base_delay=0.01)
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_heartbeats_keep_idle_clock_fresh_and_stay_invisible(self):
+        def beating_handler(c):
+            c.start_heartbeat(interval=0.05)
+            try:
+                while True:
+                    c.send(("echo", c.recv()))
+            except comm.CommClosedError:
+                return
+
+        lis = comm.listen("tcp://127.0.0.1:0", beating_handler)
+        try:
+            with comm.connect(lis.address) as c:
+                c.send("prime")
+                assert c.recv(timeout=5) == ("echo", "prime")
+                # No data flows for several beat intervals.  Poll the way
+                # the runtime's await loop does (pumping timestamps the
+                # inbound heartbeats): the idle clock stays fresh while
+                # recv-level traffic sees nothing -- heartbeats are
+                # swallowed below the message layer.
+                deadline = time.monotonic() + 0.5
+                while time.monotonic() < deadline:
+                    assert not c.poll(0.05)
+                assert c.idle_seconds() < 0.4
+                c.send("still-works")
+                assert c.recv(timeout=5) == ("echo", "still-works")
+        finally:
+            lis.close()
+
+    def test_idle_clock_grows_without_heartbeats(self, tcp_echo):
+        with comm.connect(tcp_echo.address) as c:
+            c.send("prime")
+            assert c.recv(timeout=5) == ("echo", "prime")
+            time.sleep(0.3)
+            assert c.idle_seconds() >= 0.25

@@ -1,0 +1,157 @@
+"""Wire-safety regression tests (alongside the pickle round-trip tests):
+every object the cluster protocol ships -- fault exceptions, shared-memory
+descriptors, block references -- must survive the full frame codec path
+(dumps -> pack_frame -> FrameDecoder -> loads) with identity intact, and
+the codec's error rails must fire on damaged streams carrying them."""
+
+import numpy as np
+import pytest
+
+from repro.comm import frame
+from repro.exceptions import (
+    DataCorruptionError,
+    FaultError,
+    OverwrittenError,
+    ReproError,
+    TaskCorruptionError,
+    WorkerCrashError,
+)
+from repro.graph.taskspec import BlockRef
+from repro.memory.shm import ArraySpec, ShmDescriptor, _ArraySlot
+
+
+def wire_round_trip(obj):
+    """Push ``obj`` through the complete wire path one byte at a time."""
+    stream = frame.encode_message(obj)
+    d = frame.FrameDecoder()
+    for i in range(len(stream)):
+        d.feed(stream[i:i + 1])
+    payload = d.next_frame()
+    d.close()
+    return frame.loads(payload)
+
+
+class TestExceptionWireSafety:
+    def test_worker_crash_error(self):
+        exc = wire_round_trip(WorkerCrashError((3, 1), pid=4242, exitcode=73))
+        assert isinstance(exc, WorkerCrashError)
+        assert exc.key == (3, 1)
+        assert exc.pid == 4242
+        assert exc.exitcode == 73
+        assert "(3, 1)" in str(exc)
+
+    def test_worker_crash_error_defaults(self):
+        exc = wire_round_trip(WorkerCrashError("k"))
+        assert exc.key == "k" and exc.pid is None and exc.exitcode is None
+
+    def test_task_corruption_error(self):
+        exc = wire_round_trip(TaskCorruptionError((0, 7), life=2))
+        assert isinstance(exc, TaskCorruptionError)
+        assert exc.key == (0, 7) and exc.life == 2
+
+    def test_data_corruption_error(self):
+        exc = wire_round_trip(DataCorruptionError(("tile", 1, 1), 3, producer=(1, 1)))
+        assert isinstance(exc, DataCorruptionError)
+        assert exc.block == ("tile", 1, 1)
+        assert exc.version == 3
+        assert exc.producer == (1, 1)
+
+    def test_overwritten_error(self):
+        exc = wire_round_trip(OverwrittenError("b", 2, resident=5, producer="p"))
+        assert isinstance(exc, OverwrittenError)
+        assert (exc.block, exc.version, exc.resident, exc.producer) == ("b", 2, 5, "p")
+
+    def test_fault_hierarchy_survives_the_wire(self):
+        # Catch sites in the FT scheduler key on the class hierarchy; a
+        # round trip must not flatten it.
+        for exc in (
+            WorkerCrashError("k"),
+            TaskCorruptionError("k", 0),
+            DataCorruptionError("b", 1),
+            OverwrittenError("b", 1, None),
+        ):
+            got = wire_round_trip(exc)
+            assert isinstance(got, FaultError)
+            assert isinstance(got, ReproError)
+
+    def test_exception_inside_protocol_message(self):
+        # The shape the cluster protocol actually ships: ("raise", exc).
+        tag, exc = wire_round_trip(("raise", WorkerCrashError((9, 9))))
+        assert tag == "raise"
+        assert isinstance(exc, WorkerCrashError) and exc.key == (9, 9)
+
+
+class TestDescriptorWireSafety:
+    def test_block_ref(self):
+        ref = wire_round_trip(BlockRef(("tile", 2, 3), 4))
+        assert isinstance(ref, BlockRef)
+        assert ref.block == ("tile", 2, 3) and ref.version == 4
+
+    def test_shm_descriptor(self):
+        desc = ShmDescriptor(
+            name="psm_abc123",
+            template={"lhs": _ArraySlot(0), "rhs": [_ArraySlot(1), None]},
+            arrays=(
+                ArraySpec(dtype="float64", shape=(8, 8), offset=0),
+                ArraySpec(dtype="int32", shape=(16,), offset=512),
+            ),
+        )
+        got = wire_round_trip(desc)
+        assert isinstance(got, ShmDescriptor)
+        assert got == desc
+        assert isinstance(got.arrays[0], ArraySpec)
+        assert got.template["lhs"] == _ArraySlot(0)
+
+    def test_fetch_reply_with_array_payload(self):
+        # The cluster's ("data", block, version, payload) shape, with the
+        # payload itself frame-encoded as the runtime does.
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        msg = ("data", ("tile", 0, 0), 1, frame.dumps(arr))
+        tag, block, version, payload = wire_round_trip(msg)
+        assert (tag, block, version) == ("data", ("tile", 0, 0), 1)
+        np.testing.assert_array_equal(frame.loads(payload), arr)
+
+    def test_job_message_with_refs(self):
+        refs = [BlockRef("a", 0), BlockRef("b", 2)]
+        msg = ("job", (1, 1), refs, False, 0, "tok")
+        got = wire_round_trip(msg)
+        assert got == msg
+        assert all(isinstance(r, BlockRef) for r in got[2])
+
+
+class TestDamagedStreams:
+    def test_truncated_exception_frame(self):
+        stream = frame.encode_message(WorkerCrashError("k", pid=1))
+        d = frame.FrameDecoder()
+        d.feed(stream[:-1])
+        assert d.next_frame() is None
+        with pytest.raises(frame.TruncatedFrameError):
+            d.close()
+
+    def test_truncated_descriptor_frame_mid_header(self):
+        stream = frame.encode_message(ShmDescriptor("n", None, ()))
+        d = frame.FrameDecoder()
+        d.feed(stream[:4])
+        with pytest.raises(frame.TruncatedFrameError):
+            d.close()
+
+    def test_oversized_descriptor_payload_refused_at_sender(self):
+        big = ShmDescriptor("n", "x" * 4096, ())
+        with pytest.raises(frame.OversizedFrameError):
+            frame.dumps(big, max_bytes=128)
+
+    def test_oversized_frame_refused_at_receiver(self):
+        stream = frame.encode_message(WorkerCrashError("k"))
+        d = frame.FrameDecoder(max_bytes=8)
+        with pytest.raises(frame.OversizedFrameError):
+            d.feed(stream)
+
+    def test_good_frame_then_truncated_frame(self):
+        # A valid message decodes even when the stream dies mid-next-frame.
+        good = frame.encode_message(BlockRef("a", 1))
+        bad = frame.encode_message(BlockRef("b", 2))[:-3]
+        d = frame.FrameDecoder()
+        d.feed(good + bad)
+        assert frame.loads(d.next_frame()) == BlockRef("a", 1)
+        with pytest.raises(frame.TruncatedFrameError):
+            d.close()

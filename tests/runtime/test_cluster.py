@@ -1,0 +1,268 @@
+"""Integration tests for the cluster runtime.
+
+Same contract as the process-pool tests: FTScheduler + ClusterRuntime
+must produce *bit-identical* results to FTScheduler + InlineRuntime --
+with and without injected faults -- because only the pure compute phase
+crosses the wire; every piece of scheduler state stays in the parent.
+In-process :class:`WorkerServer` instances stand in for remote nodes
+(``inproc://`` for speed, ``tcp://127.0.0.1`` for the real socket path);
+the full multi-process story, including ``kill -9``, lives in
+``python -m repro cluster --selftest``.
+"""
+
+import itertools
+import time
+
+import numpy as np
+import pytest
+
+from repro import comm
+from repro.apps import make_app
+from repro.comm.core import CommClosedError
+from repro.core import FTScheduler
+from repro.faults import FaultInjector, plan_faults
+from repro.obs.events import EventKind, EventLog
+from repro.runtime import ClusterRuntime, InlineRuntime, WorkerServer
+from repro.runtime.cluster import BlockCache
+from repro.runtime.tracing import ExecutionTrace
+
+APPS = ("lcs", "cholesky")
+
+_ids = itertools.count()
+
+
+def app_keys(app):
+    """All task keys, in a deterministic (reverse-BFS) order."""
+    seen = []
+    stack = [app.sink_key()]
+    visited = set()
+    while stack:
+        k = stack.pop()
+        if k in visited:
+            continue
+        visited.add(k)
+        seen.append(k)
+        stack.extend(app.predecessors(k))
+    return seen
+
+
+@pytest.fixture
+def server():
+    srv = WorkerServer(f"inproc://worker-{next(_ids)}").start()
+    yield srv
+    srv.close()
+
+
+@pytest.fixture
+def tcp_server():
+    srv = WorkerServer("tcp://127.0.0.1:0").start()
+    yield srv
+    srv.close()
+
+
+def assert_identical(got, want):
+    if isinstance(want, np.ndarray):
+        assert got.dtype == want.dtype and got.shape == want.shape
+        assert (got == want).all()
+    else:
+        assert got == want
+
+
+def run_ft(app, runtime, plan=None):
+    store = app.make_store(True)
+    trace = ExecutionTrace()
+    hooks = FaultInjector(plan, app, store, trace) if plan is not None else None
+    FTScheduler(app, runtime, store=store, hooks=hooks, trace=trace).run()
+    return app.extract(store), trace
+
+
+@pytest.mark.parametrize("app_name", APPS)
+class TestParity:
+    def test_bit_identical_without_faults(self, app_name, server):
+        app = make_app(app_name, scale="tiny")
+        want, _ = run_ft(app, InlineRuntime())
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address])
+        got, _ = run_ft(app, rt)
+        assert_identical(got, want)
+
+    def test_bit_identical_under_fault_plan(self, app_name, server):
+        app = make_app(app_name, scale="tiny")
+        plan = plan_faults(app, phase="after_compute", task_type="v=rand", count=2, seed=3)
+        want, t0 = run_ft(app, InlineRuntime(), plan=plan)
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address])
+        got, t1 = run_ft(app, rt, plan=plan)
+        assert_identical(got, want)
+        assert t0.total_recoveries > 0 and t1.total_recoveries > 0
+
+    def test_bit_identical_over_tcp(self, app_name, tcp_server):
+        app = make_app(app_name, scale="tiny")
+        want, _ = run_ft(app, InlineRuntime())
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[tcp_server.address])
+        got, _ = run_ft(app, rt)
+        assert_identical(got, want)
+
+
+class TestWorkerDeath:
+    def test_severed_connection_recovers_and_verifies(self, server):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True)
+        log = EventLog()
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address],
+                            die_on=[(1, 1)], event_log=log)
+        sched = FTScheduler(app, rt, store=store, event_log=log)
+        sched.run()
+        app.verify(store)
+        assert rt.worker_crashes == 1
+        assert sched.trace.total_recoveries >= 1
+        downs = [e for e in log.events if e.kind is EventKind.WORKER_DOWN]
+        assert len(downs) == 1 and downs[0].key == (1, 1)
+        # The comm substrate narrates the loss around the crash:
+        # a DISCONNECT for the severed channel, a CONNECT for its
+        # replacement (beyond the N dials of pool bring-up).
+        disconnects = [e for e in log.events if e.kind is EventKind.DISCONNECT]
+        assert any(e.data["reason"] not in ("shutdown",) for e in disconnects)
+        connects = [e for e in log.events if e.kind is EventKind.CONNECT]
+        assert len(connects) == 3  # 2 at bring-up + 1 replacement
+
+    def test_repeated_deaths_survived(self, server):
+        app = make_app("cholesky", scale="tiny")
+        keys = app_keys(app)[:3]
+        store = app.make_store(True)
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address],
+                            die_on=keys[:3])
+        FTScheduler(app, rt, store=store).run()
+        app.verify(store)
+        assert rt.worker_crashes == 3
+
+    def test_heartbeat_silence_declared_dead(self):
+        """A worker that owes a reply and stops heartbeating is declared
+        dead without any transport-level EOF (the powered-off-node case)."""
+        backing = WorkerServer("unused://never-started")
+        stalled = [False]
+
+        def handler(c):
+            if not stalled[0]:
+                stalled[0] = True
+                while True:  # answer the dial validation, then go silent
+                    try:
+                        msg = c.recv()
+                    except CommClosedError:
+                        return
+                    if msg[0] == "ping":
+                        c.send(("pong",))
+                        continue
+                    time.sleep(3600)  # owes a reply; never beats
+            else:
+                backing._serve_connection(c)
+
+        lis = comm.listen("tcp://127.0.0.1:0", handler)
+        try:
+            app = make_app("lcs", scale="tiny")
+            store = app.make_store(True)
+            log = EventLog()
+            rt = ClusterRuntime(workers=1, seed=0, addresses=[lis.address],
+                                event_log=log, heartbeat_timeout=0.5)
+            sched = FTScheduler(app, rt, store=store, event_log=log)
+            sched.run()
+            app.verify(store)
+            assert rt.worker_crashes == 1
+            assert sched.trace.total_recoveries >= 1
+            downs = [e for e in log.events if e.kind is EventKind.WORKER_DOWN]
+            assert [e.data["reason"] for e in downs] == ["heartbeat"]
+        finally:
+            lis.close()
+
+
+class TestLazyFetchAndCache:
+    def test_fetches_match_cache_misses_and_cache_hits_save_traffic(self, server):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True)
+        log = EventLog()
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address],
+                            event_log=log)
+        FTScheduler(app, rt, store=store, event_log=log).run()
+        app.verify(store)
+        fetches = [e for e in log.events if e.kind is EventKind.FETCH]
+        assert len(fetches) == server.cache.misses
+        assert server.cache.hits > 0  # shared inputs reused without refetch
+        assert all(e.data["nbytes"] > 0 for e in fetches)
+
+    def test_run_token_scopes_cache_across_runs(self, server):
+        # Two runs reusing the same (block, version) names must never
+        # share cache entries: same server, two runtimes, so the second
+        # run misses on (at least) its full distinct working set even
+        # though run 1 populated identically-named entries.  (Exact miss
+        # counts race: two channels can first-read the same key at once.)
+        app = make_app("lcs", scale="tiny")
+        run_ft(app, ClusterRuntime(workers=2, seed=0, addresses=[server.address]))
+        first_misses = server.cache.misses
+        working_set = len(server.cache)
+        assert working_set > 0
+        run_ft(app, ClusterRuntime(workers=2, seed=0, addresses=[server.address]))
+        assert server.cache.misses >= first_misses + working_set
+        assert len(server.cache) == 2 * working_set
+
+
+class TestBlockCache:
+    def test_hit_miss_accounting(self):
+        c = BlockCache(capacity_bytes=1000)
+        assert c.get(("t", "a", 0)) == (False, None)
+        c.put(("t", "a", 0), "va", 100)
+        assert c.get(("t", "a", 0)) == (True, "va")
+        assert (c.hits, c.misses) == (1, 1)
+        assert c.nbytes == 100 and len(c) == 1
+
+    def test_lru_eviction_under_byte_bound(self):
+        c = BlockCache(capacity_bytes=250)
+        c.put(("t", "a", 0), "va", 100)
+        c.put(("t", "b", 0), "vb", 100)
+        c.get(("t", "a", 0))  # refresh a: b is now least-recent
+        c.put(("t", "c", 0), "vc", 100)  # over budget -> evict b
+        assert c.get(("t", "b", 0)) == (False, None)
+        assert c.get(("t", "a", 0))[0] and c.get(("t", "c", 0))[0]
+        assert c.nbytes <= 250
+
+    def test_replacement_does_not_double_count(self):
+        c = BlockCache(capacity_bytes=1000)
+        c.put(("t", "a", 0), "v1", 400)
+        c.put(("t", "a", 0), "v2", 300)
+        assert c.nbytes == 300 and len(c) == 1
+
+    def test_single_oversized_entry_is_kept(self):
+        # The cache never evicts down to empty: a single entry larger
+        # than the budget still serves the task that fetched it.
+        c = BlockCache(capacity_bytes=10)
+        c.put(("t", "a", 0), "big", 500)
+        assert c.get(("t", "a", 0)) == (True, "big")
+
+
+class TestRuntimeSurface:
+    def test_addresses_required(self):
+        with pytest.raises(ValueError):
+            ClusterRuntime(workers=2)
+
+    def test_run_result_contract(self, server):
+        app = make_app("lcs", scale="tiny")
+        store = app.make_store(True)
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address])
+        res = FTScheduler(app, rt, store=store).run().run
+        assert res.workers == 2
+        assert res.frames == sum(res.worker_frames)
+        assert res.makespan > 0
+
+    def test_runtime_reusable_across_runs(self, server):
+        rt = ClusterRuntime(workers=2, seed=0, addresses=[server.address])
+        for _ in range(2):
+            app = make_app("lcs", scale="tiny")
+            store = app.make_store(True)
+            FTScheduler(app, rt, store=store).run()
+            app.verify(store)
+
+    def test_one_server_shared_by_many_channels(self, server):
+        # More parent threads than servers: all four channels multiplex
+        # onto the single server's handler threads.
+        app = make_app("cholesky", scale="tiny")
+        want, _ = run_ft(app, InlineRuntime())
+        rt = ClusterRuntime(workers=4, seed=0, addresses=[server.address])
+        got, _ = run_ft(app, rt)
+        assert_identical(got, want)

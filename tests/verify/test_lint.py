@@ -77,6 +77,7 @@ class TestSeededViolations:
         src = "def f(log):\n    log.emit(EventKind.PARK)\n"
         assert lint_source(src, "runtime/threadpool.py", "emit-guard")
         assert lint_source(src, "runtime/procpool.py", "emit-guard")
+        assert lint_source(src, "runtime/cluster.py", "emit-guard")
         # Other runtime modules (e.g. the simulator's virtual-time
         # emitter) are out of scope.
         assert not lint_source(src, "runtime/simulator.py", "emit-guard")
@@ -138,6 +139,40 @@ class TestSeededViolations:
     def test_raw_multiprocessing_allows_runtime_modules(self):
         src = "from multiprocessing import Pipe, Process\n"
         assert not lint_source(src, "runtime/seeded.py", "raw-multiprocessing")
+
+    def test_raw_multiprocessing_allows_comm_modules(self):
+        src = "import multiprocessing\n"
+        assert not lint_source(src, "comm/seeded.py", "raw-multiprocessing")
+
+    def test_raw_threading_allows_comm_modules(self):
+        src = "import threading\nt = threading.Thread(target=print)\n"
+        assert not lint_source(src, "comm/seeded.py", "raw-threading")
+
+    def test_raw_socket_fires_outside_comm(self):
+        for src in (
+            "import socket\n",
+            "import select\n",
+            "import selectors\n",
+            "from socket import create_connection\n",
+            "import socket as sk\n",
+        ):
+            findings = lint_source(src, "runtime/seeded.py", "raw-socket")
+            assert findings, src
+            assert findings[0].line == 1
+
+    def test_raw_socket_allows_comm_modules(self):
+        src = "import socket\nimport select\nimport selectors\n"
+        assert not lint_source(src, "comm/seeded.py", "raw-socket")
+
+    def test_raw_socket_ignores_lookalike_modules(self):
+        # Only the primitive modules are banned, not names that merely
+        # start with them (socketserver is an HTTP-layer building block).
+        src = "import socketserver\n"
+        assert not lint_source(src, "obs/seeded.py", "raw-socket")
+
+    def test_raw_socket_respects_waiver(self):
+        src = "import socket  # verify: ok=raw-socket (seeded test fixture)\n"
+        assert not lint_source(src, "apps/seeded.py", "raw-socket")
 
     def test_eventkind_coverage_fires_on_unrouted_member(self):
         src = "class EventKind(str, Enum):\n    PHANTOM = 'phantom'\n"
