@@ -76,7 +76,7 @@ class TCPComm(Comm):
             if self._closed:
                 raise CommClosedError(f"send on closed tcp comm to {self.peer}")
             try:
-                self._sock.sendall(data)
+                self._sock.sendall(data)  # verify: ok=blocking-under-lock (write serialization is this lock's whole job; nothing else is ever taken under it)
             except OSError as exc:
                 self._eof = True
                 raise CommClosedError(f"tcp peer {self.peer} gone during send: {exc}") from exc

@@ -266,6 +266,9 @@ class WorkerServer:
                 if tag == "spec":
                     spec = pickle.loads(msg[1])
                     continue
+                if tag != "job":
+                    comm.send(("raise", SchedulerError(f"unknown message tag {tag!r}")))
+                    continue
                 _, key, refs, die, life, token = msg
                 if die:
                     self._die(comm)
@@ -425,7 +428,7 @@ class ClusterRuntime(ThreadedRuntime):
             if self._handles:
                 return
             handles = [
-                self._dial(self._addresses[i % len(self._addresses)])
+                self._dial(self._addresses[i % len(self._addresses)])  # verify: ok=blocking-under-lock (cold path: pool is built before any scheduler thread exists to contend)
                 for i in range(self._workers)
             ]
             self._handles = handles
@@ -454,7 +457,13 @@ class ClusterRuntime(ThreadedRuntime):
     def _reconnect(self, dead: _RemoteHandle, reason: str) -> _RemoteHandle:
         """Replace a lost channel: the dead address first (its server may
         have survived a mere sever, or a supervisor restarted it), then
-        the other configured addresses."""
+        the other configured addresses.
+
+        Bookkeeping happens under the pool lock; the dial itself must
+        not -- a slow TCP handshake would stall every other scheduler
+        thread that needs the lock, including ones trying to report
+        their own dead handles.
+        """
         with self._pool_lock:
             try:
                 self._handles.remove(dead)
@@ -466,18 +475,19 @@ class ClusterRuntime(ThreadedRuntime):
                 self._log.emit(EventKind.DISCONNECT, None, 0, addr=dead.addr, reason=reason)
             start = self._addresses.index(dead.addr) if dead.addr in self._addresses else 0
             order = self._addresses[start:] + self._addresses[:start]
-            last: Exception | None = None
-            for addr in order:
-                try:
-                    fresh = self._dial(addr)
-                except CommClosedError as exc:
-                    last = exc
-                    continue
+        last: Exception | None = None
+        for addr in order:
+            try:
+                fresh = self._dial(addr)
+            except CommClosedError as exc:
+                last = exc
+                continue
+            with self._pool_lock:
                 self._handles.append(fresh)
-                return fresh
-            raise SchedulerError(
-                f"no worker address reachable after losing {dead.addr}: {last}"
-            )
+            return fresh
+        raise SchedulerError(
+            f"no worker address reachable after losing {dead.addr}: {last}"
+        )
 
     def _shutdown_pool(self) -> None:
         with self._pool_lock:
@@ -582,7 +592,9 @@ class ClusterRuntime(ThreadedRuntime):
             tag = reply[0]
             if tag == "ok":
                 return pickle.loads(reply[1]), reply[2]
-            raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
+            if tag == "raise":
+                raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
+            raise SchedulerError(f"unexpected reply tag {tag!r} from {handle.addr}")
         finally:
             self._idle.put(handle)
 

@@ -167,6 +167,9 @@ def _worker_main(raw_conn: Any) -> None:
         if tag == "spec":
             spec = pickle.loads(msg[1])
             continue
+        if tag != "job":
+            conn.send(("raise", SchedulerError(f"unknown message tag {tag!r}")))
+            continue
         _, key, inputs, die = msg
         if die:
             os._exit(CRASH_EXIT_CODE)
@@ -311,13 +314,16 @@ class ProcessRuntime(ThreadedRuntime):
         return _WorkerHandle(proc, parent_comm)
 
     def _replace_worker(self, dead: _WorkerHandle) -> _WorkerHandle:
+        # Reap the corpse outside the pool lock: join() can wait its full
+        # timeout on a wedged child, and every other dispatch thread that
+        # loses a worker meanwhile would pile up behind the lock.
+        dead.conn.close()
+        dead.proc.join(timeout=1.0)
         with self._pool_lock:
             try:
                 self._handles.remove(dead)
             except ValueError:
                 pass
-            dead.conn.close()
-            dead.proc.join(timeout=1.0)
             self._crashes += 1
             fresh = self._start_worker()
             self._handles.append(fresh)
@@ -436,7 +442,9 @@ class ProcessRuntime(ThreadedRuntime):
             tag = reply[0]
             if tag == "ok":
                 return pickle.loads(reply[1]), reply[2]
-            raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
+            if tag == "raise":
+                raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
+            raise SchedulerError(f"unexpected reply tag {tag!r} from worker {handle.proc.pid}")
         finally:
             self._idle.put(handle)
 

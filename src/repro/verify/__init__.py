@@ -9,6 +9,11 @@ happy paths; this package checks the *rules*:
 * :mod:`repro.verify.lint` -- AST lints run over ``src/repro`` itself:
   lock discipline, cost-accounting discipline, raw-threading bans, and
   EventKind <-> replay coverage.
+* :mod:`repro.verify.static` -- whole-program static analysis over the
+  concurrency-bearing subsystems: lock-order deadlock cycles, blocking
+  operations reachable under a held lock, wire-safety of everything
+  sent through a :class:`~repro.comm.core.Comm`, message-protocol
+  exhaustiveness, and lock/resource leaks on exception paths.
 * :mod:`repro.verify.invariants` -- replays a structured event log
   (:mod:`repro.obs`) and asserts Guarantees 1-4 as trace invariants.
 * :mod:`repro.verify.explore` -- bounded schedule exploration on the
@@ -17,12 +22,14 @@ happy paths; this package checks the *rules*:
   explored schedule; its mutation mode seeds known protocol bugs and
   must catch them.
 
-CLI: ``python -m repro verify [lint|invariants|explore] [--selftest]``.
+CLI: ``python -m repro verify [lint|static|invariants|explore] [--selftest]``.
 """
 
 from repro.verify.invariants import INVARIANTS, Violation, check_events
 from repro.verify.lint import Finding, run_lint
 from repro.verify.explore import ExplorationReport, explore, explore_app, mutation_study
+from repro.verify.report import findings_to_json, github_annotations, sort_findings
+from repro.verify.static import STATIC_RULES, run_static
 
 __all__ = [
     "INVARIANTS",
@@ -34,4 +41,9 @@ __all__ = [
     "explore",
     "explore_app",
     "mutation_study",
+    "STATIC_RULES",
+    "run_static",
+    "findings_to_json",
+    "github_annotations",
+    "sort_findings",
 ]

@@ -4,6 +4,12 @@ Subcommands:
 
 * ``lint`` -- run the concurrency lints (:mod:`repro.verify.lint`) over
   ``src/repro``; exit 1 on any finding.
+* ``static`` -- run the whole-program static analyzer
+  (:mod:`repro.verify.static`): lock-order deadlock cycles, blocking
+  operations under held locks, wire safety, protocol exhaustiveness,
+  lock/resource leaks.  ``--json`` for machine-readable output,
+  ``--annotate`` for GitHub Actions annotations, ``--selftest`` for the
+  seeded-violation self-conviction suite.
 * ``invariants`` -- execute one benchmark under fault injection with
   event tracing and assert Guarantees 1-4 on the trace
   (:mod:`repro.verify.invariants`); or check a recorded ``--jsonl`` dump
@@ -41,6 +47,8 @@ from repro.verify.invariants import (
     summarize,
 )
 from repro.verify.lint import ALL_RULES, Module, run_lint
+from repro.verify.report import findings_to_json, github_annotations
+from repro.verify.static import STATIC_RULES, run_static
 
 _BENCHMARKS = ("lcs", "sw", "fw", "lu", "cholesky")
 
@@ -52,6 +60,9 @@ _BENCHMARKS = ("lcs", "sw", "fw", "lu", "cholesky")
 def _cmd_lint(args: argparse.Namespace) -> int:
     root = Path(args.root) if args.root else None
     findings = run_lint(root=root)
+    if args.json:
+        print(findings_to_json(findings))
+        return 1 if findings else 0
     for f in findings:
         print(f)
     rules = ", ".join(r.name for r in ALL_RULES)
@@ -59,6 +70,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"verify lint: {len(findings)} finding(s) ({rules})")
         return 1
     print(f"verify lint: clean ({rules})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# static
+
+
+def _cmd_static(args: argparse.Namespace) -> int:
+    if args.selftest:
+        from repro.verify.static.seeded import SEEDED, run_selftest
+
+        print(f"verify static selftest ({len(SEEDED)} seeded violations):")
+        failures = run_selftest(verbose=True)
+        for f in failures:
+            print(f"  FAIL: {f}")
+        print(f"verify static selftest {'passed' if not failures else 'FAILED'}")
+        return 1 if failures else 0
+    root = Path(args.root) if args.root else None
+    findings = run_static(root=root)
+    if args.json:
+        print(findings_to_json(findings))
+        return 1 if findings else 0
+    if args.annotate:
+        for line in github_annotations(findings):
+            print(line)
+    else:
+        for f in findings:
+            print(f)
+    rules = ", ".join(r.name for r in STATIC_RULES)
+    if findings:
+        print(f"verify static: {len(findings)} finding(s) ({rules})")
+        return 1
+    print(f"verify static: clean ({rules})")
     return 0
 
 
@@ -169,6 +213,14 @@ _SEEDED_VIOLATIONS: dict[str, tuple[str, str]] = {
         "import threading\n"
         "t = threading.Thread(target=print)\n",
     ),
+    "raw-multiprocessing": (
+        "core/seeded.py",
+        "import multiprocessing\n",
+    ),
+    "raw-socket": (
+        "core/seeded.py",
+        "import socket\n",
+    ),
     "emit-guard": (
         "core/seeded.py",
         "def f(self, key, life):\n"
@@ -254,6 +306,19 @@ def main(argv: list[str] | None = None) -> int:
     p_lint = sub.add_parser("lint", help="run the concurrency lints over src/repro")
     p_lint.add_argument("--root", type=str, default=None,
                         help="package root to lint (default: the imported repro package)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings report on stdout")
+
+    p_static = sub.add_parser(
+        "static", help="whole-program static analysis (deadlocks, wire safety, ...)")
+    p_static.add_argument("--root", type=str, default=None,
+                          help="package root to analyze (default: the imported repro package)")
+    p_static.add_argument("--json", action="store_true",
+                          help="machine-readable findings report on stdout")
+    p_static.add_argument("--annotate", action="store_true",
+                          help="emit GitHub Actions ::error annotations instead of plain lines")
+    p_static.add_argument("--selftest", action="store_true",
+                          help="run the seeded-violation self-conviction suite")
 
     p_inv = sub.add_parser("invariants",
                            help="check Guarantees 1-4 on a traced execution")
@@ -283,14 +348,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="run the seeded-bug study instead (exit 1 unless all detected)")
 
     args = ap.parse_args(argv)
-    if args.selftest:
-        return _selftest(args)
+    # Subcommand dispatch first: `verify static --selftest` is the static
+    # analyzer's own selftest, not the top-level one.
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "static":
+        return _cmd_static(args)
     if args.command == "invariants":
         return _cmd_invariants(args)
     if args.command == "explore":
         return _cmd_explore(args)
+    if args.selftest:
+        return _selftest(args)
     ap.print_help()
     return 0
 

@@ -60,10 +60,17 @@ job.  Every rule has a seeded-violation fixture in
 from __future__ import annotations
 
 import ast
-import re
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
+
+from repro.verify.report import (  # noqa: F401 - re-exported for compat
+    PRAGMA as _PRAGMA,
+    Finding,
+    Module,
+    load_modules,
+    package_root,
+    sort_findings,
+)
 
 #: TaskRecord fields mutated during execution (``corrupted`` is excluded
 #: deliberately: it is a monotonic one-way flag, set by injectors and read
@@ -84,47 +91,6 @@ SCHEDULER_MODULES = frozenset({"core/ft.py", "core/nabbit.py"})
 BANNED_THREADING = frozenset(
     {"Thread", "Event", "Condition", "Semaphore", "BoundedSemaphore", "Barrier", "Timer"}
 )
-
-_PRAGMA = re.compile(r"#\s*verify:\s*ok=([a-z0-9-]+)")
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at one source location."""
-
-    rule: str
-    path: str
-    line: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-@dataclass
-class Module:
-    """A parsed source file, addressed relative to the package root."""
-
-    relpath: str
-    tree: ast.Module
-    lines: list[str] = field(default_factory=list)
-
-    @classmethod
-    def from_source(cls, source: str, relpath: str) -> "Module":
-        return cls(relpath=relpath, tree=ast.parse(source), lines=source.splitlines())
-
-    @classmethod
-    def from_path(cls, path: Path, root: Path) -> "Module":
-        return cls.from_source(path.read_text(), path.relative_to(root).as_posix())
-
-    def waived(self, line: int, rule: str) -> bool:
-        """True iff ``line`` carries a pragma waiving ``rule``."""
-        if 1 <= line <= len(self.lines):
-            m = _PRAGMA.search(self.lines[line - 1])
-            if m and m.group(1) == rule:
-                return True
-        return False
-
 
 class Rule:
     """A per-module lint rule."""
@@ -725,18 +691,6 @@ ALL_RULES: tuple[Rule, ...] = (
 )
 
 
-def package_root() -> Path:
-    """The ``src/repro`` directory of the imported package."""
-    import repro
-
-    return Path(repro.__file__).resolve().parent
-
-
-def load_modules(root: Path | None = None) -> list[Module]:
-    root = root or package_root()
-    return [Module.from_path(p, root) for p in sorted(root.rglob("*.py"))]
-
-
 def run_lint(
     root: Path | None = None,
     rules: Iterable[Rule] = ALL_RULES,
@@ -753,4 +707,4 @@ def run_lint(
         else:
             for module in modules:
                 findings.extend(rule.check(module))
-    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    return sort_findings(findings)

@@ -1,0 +1,117 @@
+"""Shared reporting plumbing for the verification toolkit.
+
+Both the per-module concurrency lints (:mod:`repro.verify.lint`) and the
+whole-program static analyzer (:mod:`repro.verify.static`) produce the
+same currency: a :class:`Finding` anchored at a source line, waivable by
+an inline ``# verify: ok=<rule>`` pragma on that line.  This module owns
+that currency -- the finding type, the parsed-module handle that knows
+its own waivers, deterministic ordering, and the machine-readable output
+formats (``--json`` and GitHub Actions problem-matcher annotations) --
+so every verification layer reports identically and CI diffs are stable
+across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Inline waiver pragma: ``# verify: ok=<rule> (reason)``.  A waiver
+#: silences exactly one rule on exactly the line that carries it.
+PRAGMA = re.compile(r"#\s*verify:\s*ok=([a-z0-9-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Module:
+    """A parsed source file, addressed relative to the package root."""
+
+    relpath: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str) -> "Module":
+        return cls(relpath=relpath, tree=ast.parse(source), lines=source.splitlines())
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path) -> "Module":
+        return cls.from_source(path.read_text(), path.relative_to(root).as_posix())
+
+    def waived(self, line: int, rule: str) -> bool:
+        """True iff ``line`` carries a pragma waiving ``rule``."""
+        if 1 <= line <= len(self.lines):
+            m = PRAGMA.search(self.lines[line - 1])
+            if m and m.group(1) == rule:
+                return True
+        return False
+
+
+def package_root() -> Path:
+    """The ``src/repro`` directory of the imported package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def load_modules(root: Path | None = None) -> list[Module]:
+    root = root or package_root()
+    return [Module.from_path(p, root) for p in sorted(root.rglob("*.py"))]
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic report order: by path, then line, then rule, then
+    message -- and with exact duplicates collapsed, so repeated runs (and
+    rules that rediscover the same site along several witness paths)
+    always print byte-identical reports."""
+    return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """The ``--json`` wire format: a stable, pretty-printed object with
+    the finding list and a per-rule count summary."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    payload = {
+        "clean": not findings,
+        "count": len(findings),
+        "by_rule": {k: counts[k] for k in sorted(counts)},
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def github_annotations(
+    findings: Iterable[Finding], path_prefix: str = "src/repro/"
+) -> list[str]:
+    """GitHub Actions workflow-command lines (``::error file=...``) that
+    surface each finding as an inline annotation on the PR diff."""
+    return [
+        f"::error file={path_prefix}{f.path},line={f.line}::[{f.rule}] {f.message}"
+        for f in sort_findings(findings)
+    ]

@@ -1,0 +1,76 @@
+"""Whole-program static analyzer for the concurrency-bearing subsystems.
+
+``python -m repro verify static`` builds one
+:class:`~repro.verify.static.callgraph.Program` over the package --
+cross-module call graph, lock-acquisition-order graph, light type
+inference -- and runs the five rules against it:
+
+* ``deadlock-cycle`` -- the lock-order graph is acyclic (witness chains
+  for every edge of a cycle);
+* ``blocking-under-lock`` -- no comm/socket I/O, sleep, join or wait is
+  reachable while a lock is held;
+* ``lock-leak`` -- no bare ``.acquire()`` or comm open without a
+  ``with``/``finally`` release on exception paths;
+* ``wire-safety`` -- everything constructed into a frame or
+  ``Comm.send`` resolves to the picklable wire set;
+* ``protocol-exhaustive`` -- every message tag one protocol side sends
+  has a handler branch on the other, and no dead handlers.
+
+Findings are waivable with ``# verify: ok=<rule>`` on the offending
+line; waivers are applied centrally here, after all rules ran.  The
+seeded-violation suite (:mod:`repro.verify.static.seeded`) proves each
+rule convicts the bug it exists for.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.verify.report import Finding, Module, load_modules, sort_findings
+from repro.verify.static.callgraph import ANALYZED_PREFIXES, Program, StaticRule
+from repro.verify.static.locks import (
+    BlockingUnderLockRule,
+    DeadlockCycleRule,
+    LockLeakRule,
+)
+from repro.verify.static.wire import ProtocolExhaustiveRule, WireSafetyRule
+
+STATIC_RULES: tuple[StaticRule, ...] = (
+    DeadlockCycleRule(),
+    BlockingUnderLockRule(),
+    LockLeakRule(),
+    WireSafetyRule(),
+    ProtocolExhaustiveRule(),
+)
+
+
+def run_static(
+    root: Path | None = None,
+    rules: Sequence[StaticRule] = STATIC_RULES,
+    modules: Sequence[Module] | None = None,
+    prefixes: Iterable[str] = ANALYZED_PREFIXES,
+) -> list[Finding]:
+    """Build the program model and run every static rule; returns the
+    deterministically-ordered findings that survive inline waivers."""
+    if modules is None:
+        modules = load_modules(root)
+    program = Program.build(modules, prefixes)
+    by_path = {m.relpath: m for m in modules}
+    findings: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(program):
+            mod = by_path.get(f.path)
+            if mod is not None and mod.waived(f.line, f.rule):
+                continue
+            findings.append(f)
+    return sort_findings(findings)
+
+
+__all__ = [
+    "ANALYZED_PREFIXES",
+    "Program",
+    "STATIC_RULES",
+    "StaticRule",
+    "run_static",
+]

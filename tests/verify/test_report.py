@@ -1,0 +1,91 @@
+"""Tests for the shared reporting plumbing (repro.verify.report)."""
+
+import json
+
+from repro.verify.report import (
+    PRAGMA,
+    Finding,
+    Module,
+    findings_to_json,
+    github_annotations,
+    sort_findings,
+)
+
+
+class TestFinding:
+    def test_str_format(self):
+        f = Finding("wire-safety", "comm/tcp.py", 12, "boom")
+        assert str(f) == "comm/tcp.py:12: [wire-safety] boom"
+
+    def test_to_dict_round_trips_through_json(self):
+        f = Finding("lock-leak", "runtime/x.py", 3, "leaked")
+        back = json.loads(json.dumps(f.to_dict()))
+        assert back == {
+            "rule": "lock-leak",
+            "path": "runtime/x.py",
+            "line": 3,
+            "message": "leaked",
+        }
+
+
+class TestPragma:
+    def test_matches_rule_with_reason(self):
+        m = PRAGMA.search("x = 1  # verify: ok=deadlock-cycle (startup only)")
+        assert m is not None and m.group(1) == "deadlock-cycle"
+
+    def test_module_waived_is_line_and_rule_scoped(self):
+        src = "a = 1\nb = 2  # verify: ok=wire-safety (test)\n"
+        mod = Module.from_source(src, "comm/x.py")
+        assert mod.waived(2, "wire-safety")
+        assert not mod.waived(2, "lock-leak")
+        assert not mod.waived(1, "wire-safety")
+        assert not mod.waived(99, "wire-safety")
+
+
+class TestSortFindings:
+    def test_orders_by_path_line_rule_message(self):
+        fs = [
+            Finding("b-rule", "z.py", 1, "m"),
+            Finding("a-rule", "a.py", 9, "m"),
+            Finding("a-rule", "a.py", 1, "n"),
+            Finding("a-rule", "a.py", 1, "m"),
+        ]
+        ordered = sort_findings(fs)
+        assert [(f.path, f.line, f.rule, f.message) for f in ordered] == [
+            ("a.py", 1, "a-rule", "m"),
+            ("a.py", 1, "a-rule", "n"),
+            ("a.py", 9, "a-rule", "m"),
+            ("z.py", 1, "b-rule", "m"),
+        ]
+
+    def test_collapses_exact_duplicates(self):
+        f = Finding("r", "p.py", 1, "m")
+        assert sort_findings([f, f, f]) == [f]
+
+
+class TestJsonOutput:
+    def test_clean_report(self):
+        payload = json.loads(findings_to_json([]))
+        assert payload == {"clean": True, "count": 0, "by_rule": {}, "findings": []}
+
+    def test_counts_by_rule(self):
+        fs = [
+            Finding("wire-safety", "a.py", 1, "m1"),
+            Finding("wire-safety", "a.py", 2, "m2"),
+            Finding("lock-leak", "b.py", 3, "m3"),
+        ]
+        payload = json.loads(findings_to_json(fs))
+        assert payload["clean"] is False
+        assert payload["count"] == 3
+        assert payload["by_rule"] == {"lock-leak": 1, "wire-safety": 2}
+        assert [f["line"] for f in payload["findings"]] == [1, 2, 3]
+
+
+class TestAnnotations:
+    def test_github_error_lines(self):
+        fs = [Finding("deadlock-cycle", "runtime/cluster.py", 7, "cycle A/B")]
+        (line,) = github_annotations(fs)
+        assert line == (
+            "::error file=src/repro/runtime/cluster.py,line=7"
+            "::[deadlock-cycle] cycle A/B"
+        )
