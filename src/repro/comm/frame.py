@@ -105,6 +105,21 @@ def pack_frames(payloads: Iterable[bytes]) -> bytes:
     return b"".join(parts)
 
 
+def unpack_frames(buf: bytes, max_bytes: int = MAX_FRAME_BYTES) -> list[bytes]:
+    """Inverse of :func:`pack_frames`: the payloads of a packed buffer.
+
+    The receive side of a micro-batched ``("jobs", ...)`` dispatch frame:
+    the whole batch arrives as one message, and this splits it back into
+    per-job payloads.  Raises :class:`TruncatedFrameError` on a buffer
+    that ends mid-frame and :class:`OversizedFrameError` on a corrupt
+    length header, exactly like the streaming decoder.
+    """
+    decoder = FrameDecoder(max_bytes)
+    decoder.feed(buf)
+    decoder.close()
+    return list(decoder.frames())
+
+
 class FrameDecoder:
     """Incremental frame reassembly over an arbitrary chunk stream.
 

@@ -15,6 +15,15 @@ inherited by the child at fork/spawn, there is no dial step:
 inherited end).  ``connect``/``listen`` by address string are
 deliberately unsupported -- a pipe has no address space -- and raise
 ``ValueError`` pointing callers at ``pipe_pair``.
+
+**Full-duplex under pipelined dispatch.**  The pair is a socketpair
+underneath, so the two directions are independent: one thread may block
+in ``send`` (the flat-combining flusher shipping a ``jobs`` batch) while
+another blocks in ``poll``/``recv`` (the drain leader collecting
+streamed replies) on the *same* end, concurrently and safely.  What the
+:class:`~repro.comm.core.Comm` contract still requires -- and the
+pipelined dispatch layer enforces with its per-channel send/recv locks
+-- is at most one sender and one receiver at a time.
 """
 
 from __future__ import annotations

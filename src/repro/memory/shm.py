@@ -38,6 +38,10 @@ views (:class:`repro.detect.checksum.SharedMemoryChecksumStore`).
 
 A payload with no ndarrays (light-mode tokens, scalars) is stored as-is
 and shipped to workers by pickle; ``descriptor`` returns ``None`` for it.
+The same applies to *small* array payloads (below ``small_block_bytes``,
+default :data:`SMALL_BLOCK_BYTES`): the segment machinery's syscall cost
+dwarfs pickling a few KB, so fine-grain tiles ride the pickle path and
+only payloads big enough to amortize an ``mmap`` get segments.
 """
 
 from __future__ import annotations
@@ -57,6 +61,19 @@ from repro.memory.blockstore import BlockStore
 
 #: Segment layout aligns every array to this many bytes (cache line).
 _ALIGN = 64
+
+#: Default per-payload floor for shared-memory backing.  A payload whose
+#: arrays total fewer bytes than this stays a plain value -- stored
+#: as-is and shipped to workers by pickle -- because the segment
+#: machinery (``shm_open`` + ``ftruncate`` + ``mmap`` on write, another
+#: ``open`` + ``mmap`` in every attaching worker, ``unlink`` on
+#: retirement) costs hundreds of microseconds of syscalls, while
+#: pickling a few KB costs single-digit microseconds on each side.
+#: Fine-grain tiles (the dispatch-overhead regime) are exactly the
+#: payloads below this line.  Pass ``small_block_bytes=0`` to a backend
+#: to force segments for everything (the unit tests of the segment
+#: machinery itself do).
+SMALL_BLOCK_BYTES = 64 * 1024
 
 #: Directory POSIX shm segments appear under on Linux; ``None`` elsewhere
 #: (the attach path then falls back to ``SharedMemory``).
@@ -155,13 +172,17 @@ class _Segment:
         return True
 
 
-def materialize_segment(value: Any) -> tuple[Any, _Segment | None]:
+def materialize_segment(value: Any, small_bytes: int = 0) -> tuple[Any, _Segment | None]:
     """Copy ``value``'s arrays into a fresh segment; return the same
     structure rebuilt over zero-copy views plus the owning segment, or
-    ``(value, None)`` when there is nothing to share."""
+    ``(value, None)`` when there is nothing to share -- or when the
+    arrays total fewer than ``small_bytes`` bytes (payloads below the
+    segment-worthiness floor stay plain values)."""
     arrays: list[np.ndarray] = []
     template = _flatten(value, arrays)
     if not arrays:
+        return value, None
+    if small_bytes and sum(a.nbytes for a in arrays) < small_bytes:
         return value, None
     offsets, total = _layout(arrays)
     shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
@@ -268,8 +289,14 @@ class SharedMemoryBackend:
     Lock order: slot lock before ``_seg_lock``, never the reverse.
     """
 
-    def __init__(self, policy: AllocationPolicy | None = None, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        policy: AllocationPolicy | None = None,
+        small_block_bytes: int = SMALL_BLOCK_BYTES,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(policy, **kwargs)
+        self._small_block_bytes = max(0, small_block_bytes)
         self.shm_stats = ShmStats()
         self._segments: dict[Hashable, dict[int, _Segment]] = {}
         self._seg_lock = threading.Lock()
@@ -278,13 +305,13 @@ class SharedMemoryBackend:
     # -- producer side ------------------------------------------------------
 
     def write(self, ref: BlockRef, data: Any) -> None:
-        payload, seg = materialize_segment(data)
+        payload, seg = materialize_segment(data, self._small_block_bytes)
         super().write(ref, payload)  # type: ignore[misc]
         self._install_segment(ref, seg)
         self._sweep_block(ref.block)
 
     def pin(self, ref: BlockRef, data: Any) -> None:
-        payload, seg = materialize_segment(data)
+        payload, seg = materialize_segment(data, self._small_block_bytes)
         super().pin(ref, payload)  # type: ignore[misc]
         self._install_segment(ref, seg)
 
@@ -340,8 +367,9 @@ class SharedMemoryBackend:
                     v[...] = a
                     views.append(v)
                 return _rebuild(template, views)
-        # Shape/structure changed: give the version a fresh segment.
-        payload, seg = materialize_segment(new)
+        # Shape/structure changed: give the version a fresh segment (or
+        # a plain value, if the new payload is below the segment floor).
+        payload, seg = materialize_segment(new, self._small_block_bytes)
         self._install_segment(ref, seg)
         return payload
 

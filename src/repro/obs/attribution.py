@@ -7,8 +7,11 @@ every worker-second of ``makespan x workers`` is assigned to one of
 ``kernel``      user compute (worker-measured kernel spans; on in-process
                 runtimes, the COMPUTE bracket minus detection time)
 ``dispatch``    remote-compute overhead: the parent-side dispatch round
-                trip minus the kernel time inside it (queue wait, input
+                trip minus the kernel and queued time inside it (input
                 ship, shm attach, output serialization, pipe latency)
+``queued``      pipelining backlog: time a dispatched job sat behind its
+                channel-mates in the worker's inbound window (a
+                deliberate throughput/latency trade, not dispatch cost)
 ``detection``   SDC detection work (replication spans)
 ``recovery``    the FT scheduler's RECOVERTASK routine
 ``bookkeeping`` scheduler frame overhead inside busy time not covered
@@ -57,6 +60,7 @@ __all__ = [
 CATEGORIES: tuple[str, ...] = (
     "kernel",
     "dispatch",
+    "queued",
     "detection",
     "recovery",
     "bookkeeping",
@@ -198,18 +202,19 @@ def attribute_run(events: Iterable[Event], run: RunResult) -> AttributionReport:
         b = busy[w] if w < len(busy) else 0.0
         kernel_spans = spans.get("kernel", 0.0)
         dispatch_spans = spans.get("dispatch", 0.0)
+        queued = spans.get("queued", 0.0)
         detect = spans.get("detect", 0.0)
         recov = spans.get("recovery", 0.0)
         bracket = bracket_w.get(w, 0.0)
         if dispatch_spans > 0.0:
             kernel = kernel_spans
-            dispatch = max(0.0, dispatch_spans - kernel_spans)
+            dispatch = max(0.0, dispatch_spans - kernel_spans - queued)
         else:
             # In-process compute: the COMPUTE bracket *is* the kernel
             # (minus any detection work that ran inside it).
             kernel = max(0.0, bracket - detect)
             dispatch = 0.0
-        bookkeeping = max(0.0, b - kernel - dispatch - detect - recov)
+        bookkeeping = max(0.0, b - kernel - dispatch - queued - detect - recov)
         parked_w = parked.get(w, 0.0)
         # The runtime's worker_loop span covers the whole in-loop
         # lifetime; what it holds beyond busy + parked is the
@@ -230,6 +235,7 @@ def attribute_run(events: Iterable[Event], run: RunResult) -> AttributionReport:
         cats = {
             "kernel": kernel,
             "dispatch": dispatch,
+            "queued": queued,
             "detection": detect,
             "recovery": recov,
             "bookkeeping": bookkeeping,
@@ -258,8 +264,14 @@ def attribute_run(events: Iterable[Event], run: RunResult) -> AttributionReport:
     n_disp = len(dispatch_walls)
     mean_disp = sum(dispatch_walls) / n_disp if n_disp else 0.0
     total_kernel_spans = sum(p.get("kernel", 0.0) for p in span_w.values())
+    # Queued time is inside the dispatch bracket but is pipelining
+    # backlog (the job waiting behind its channel-mates), not a cost the
+    # dispatch machinery imposes -- subtract it like kernel time.
+    total_queued_spans = sum(p.get("queued", 0.0) for p in span_w.values())
     mean_overhead = (
-        (sum(dispatch_walls) - total_kernel_spans) / n_disp if n_disp else 0.0
+        (sum(dispatch_walls) - total_kernel_spans - total_queued_spans) / n_disp
+        if n_disp
+        else 0.0
     )
 
     return AttributionReport(

@@ -12,6 +12,9 @@ spent the time.  Phases currently emitted:
 ``serialize``   worker-side pickling of the output payload
 ``dispatch``    parent-side full remote round trip (queue wait + ship
                 + kernel + reply); carries ``t0`` on the log clock
+``queued``      parent-estimated time a pipelined job sat behind its
+                channel-mates in the worker's inbound window (inside
+                the dispatch bracket; subtracted from its overhead)
 ``recovery``    FT scheduler's RECOVERTASK routine (install + rescan)
 ``detect``      one replication-detection attempt (replicas + votes)
 ``worker_loop`` one runtime worker's whole in-loop lifetime (threaded /

@@ -31,6 +31,12 @@ Four layers, mirroring the hot-path inventory in docs/PERFORMANCE.md:
   spin-up, descriptor shipping, the IPC round trip, and worker attach
   are all on the measured path (this is the dispatch-overhead number,
   not a speedup claim -- tiny graphs are bookkeeping-bound by design).
+* ``finegrain`` -- the dispatch-overhead regime isolated: an LCS grid of
+  many 16-element tiles through ProcessRuntime (per-task overhead, not
+  kernels, dominates -- the workload the pipelined batched dispatch path
+  exists for), plus a bare ``compute_dispatch`` microbenchmark against a
+  persistent one-process pool, whose inverse score is the ms/job wire
+  floor under every fine-grain task.
 
 Scales: ``default`` produces the BENCH numbers; ``selftest`` shrinks
 every workload so the whole suite (and CI) finishes in seconds.
@@ -323,6 +329,88 @@ def _bench_procpool(app_name: str, workers: int) -> Callable[[], Callable[[], in
     return make
 
 
+def _bench_finegrain_lcs(n: int, block: int, workers: int) -> Callable[[], Callable[[], int]]:
+    """Fine-grain e2e: an LCS grid of many *tiny* tiles through the full
+    multi-process FT stack, so per-task dispatch overhead -- not kernel
+    time -- dominates the score.  This is the workload the pipelined
+    batched dispatch path (ROADMAP item 4) exists for."""
+
+    def make():
+        from repro.apps import AppConfig, make_app
+        from repro.runtime.procpool import ProcessRuntime
+
+        app = make_app("lcs", config=AppConfig(n=n, block=block))
+
+        def batch() -> int:
+            from repro.core.ft import FTScheduler
+
+            store = app.make_store(True, shared=True)
+            rt = ProcessRuntime(workers=workers, seed=1)
+            sched = FTScheduler(app, rt, store=store)
+            sched.run()
+            app.verify(store)
+            store.close()
+            return sched.trace.total_computes
+
+        return batch
+
+    return make
+
+
+class _NoopDispatchSpec:
+    """Module-level (hence picklable) spec with no inputs and a trivial
+    compute: a dispatched job is pure round-trip overhead."""
+
+    def inputs(self, key):
+        return []
+
+    def compute(self, key, ctx):
+        ctx.write(("out", 0), key)
+
+
+class _DispatchBenchContext:
+    """The minimal parent-side context ``compute_dispatch`` touches: no
+    store (inputs would ship by pickle; there are none), writes dropped."""
+
+    store = None
+
+    def read(self, ref):
+        raise AssertionError("noop spec declares no inputs")
+
+    def write(self, ref, value):
+        pass
+
+
+def _bench_dispatch_overhead(n_jobs: int) -> Callable[[], Callable[[], int]]:
+    """Bare ``compute_dispatch`` round trips against a persistent one-
+    process pool: no scheduler, no store, no kernel -- the per-job cost
+    of the pipelined wire path itself (jid framing, batch pack/unpack,
+    reply routing).  The inverse of this score is the ms/task floor the
+    e2e fine-grain benchmarks pay per dispatch."""
+
+    def make():
+        from repro.runtime.procpool import ProcessRuntime
+
+        rt = ProcessRuntime(workers=1, seed=1, procs=1)
+        rt._ensure_pool()
+        spec = _NoopDispatchSpec()
+        ctx = _DispatchBenchContext()
+        rt.compute_dispatch(spec, -1, ctx)  # ship the spec; warm the pipe
+        # The pool is deliberately not torn down per batch: steady-state
+        # dispatch is the measurand.  Workers are daemonic; the handful
+        # of sample pools die with the benchmark process.
+
+        def batch() -> int:
+            dispatch = rt.compute_dispatch
+            for i in range(n_jobs):
+                dispatch(spec, i, ctx)
+            return n_jobs
+
+        return batch
+
+    return make
+
+
 def _bench_metrics_counter(n: int) -> Callable[[], Callable[[], int]]:
     def make():
         from repro.obs.live import MetricsRegistry
@@ -591,6 +679,18 @@ def benchmarks(scale: str = "default") -> list[Benchmark]:
             _bench_comm_rtt("tcp", 64 if tiny else 1024),
             unit="msgs/s",
             description="ping-pong RTT over localhost tcp://: the cluster dispatch floor",
+        ),
+        Benchmark(
+            "finegrain_lcs_w2", "finegrain",
+            _bench_finegrain_lcs(n=64 if tiny else 256, block=16, workers=2),
+            unit="tasks/s",
+            description="fine-grain LCS (16-elem tiles) through ProcessRuntime: dispatch-bound e2e",
+        ),
+        Benchmark(
+            "dispatch_overhead", "finegrain",
+            _bench_dispatch_overhead(64 if tiny else 512),
+            unit="jobs/s",
+            description="bare compute_dispatch round trips on a persistent 1-proc pool",
         ),
         Benchmark(
             "procpool_lcs_w2", "procpool", _bench_procpool("lcs", 2),

@@ -4,10 +4,11 @@
 shape stretched over the comm layer: every piece of scheduler state --
 task map, join counters, recovery table, block store -- stays in the
 **parent**, scheduler frames still run on N parent threads, and only the
-pure compute phase crosses the wire.  Each scheduler thread owns one
-:class:`~repro.comm.core.Comm` channel to a :class:`WorkerServer`
-(``python -m repro worker --listen tcp://...``), assigned round-robin
-over the configured addresses.
+pure compute phase crosses the wire.  Channels to
+:class:`WorkerServer` processes (``python -m repro worker --listen
+tcp://...``) are assigned round-robin over the configured addresses and
+shared by the scheduler threads through per-channel outstanding-job
+windows.
 
 What changes versus the pipe runtime is *how bytes move*:
 
@@ -17,11 +18,18 @@ What changes versus the pipe runtime is *how bytes move*:
   fault gate: corruption flags, checksum mismatches, and evictions
   raise *here*, inside the scheduler's recovery path, before anything
   ships), holding the values for the duration of the dispatch.
+* **Pipelined, micro-batched dispatch** (the fast path of ROADMAP item
+  4, via :class:`~repro.runtime.dispatch.PipelinedDispatchMixin`): up to
+  ``inflight`` jobs ride each channel concurrently, concurrently-ready
+  jobs ship as one ``("jobs", pack_frames([...]))`` frame -- one syscall
+  and one wire round trip for the burst -- and the worker streams one
+  ``("done", jid, ...)``/``("fail", jid, ...)`` reply per job.
 * **Lazy fetch + versioned cache.**  The worker asks for a payload only
-  on the first read of a version it has never seen (``FETCH`` event,
-  parent serves it from the held values) and caches it in a local
-  byte-bounded LRU keyed by ``(block, version)``.  Store versions are
-  written once and kernels are deterministic, so the versioned key
+  on the first read of a version it has never seen (``("fetch", jid,
+  block, version)`` -- the job id routes the request to the dispatching
+  thread's held values; ``FETCH`` event parent-side) and caches it in a
+  local byte-bounded LRU keyed by ``(block, version)``.  Store versions
+  are written once and kernels are deterministic, so the versioned key
   makes the cache trivially coherent -- a re-executed producer after
   recovery regenerates bit-identical bytes, and an *evicted* version
   faults parent-side before dispatch, so a stale cache entry can never
@@ -29,17 +37,20 @@ What changes versus the pipe runtime is *how bytes move*:
 * **Peer loss is a detected compute-phase fault.**  A dead connection,
   a refused reconnect, or ``heartbeat_timeout`` seconds of silence from
   a worker that should be heartbeating collapse into one path: emit
-  ``DISCONNECT`` + ``WORKER_DOWN``, dial a replacement channel
-  (``WORKER_UP`` + ``CONNECT``), raise
-  :class:`~repro.exceptions.WorkerCrashError` -- and the untouched FT
-  scheduler re-executes the lost subgraph through RECOVERTASKONCE,
-  exactly as it does for a dead pipe worker.
+  ``DISCONNECT`` + one ``WORKER_DOWN``/``WORKER_UP`` pair, dial a
+  replacement channel (``CONNECT``), and raise
+  :class:`~repro.exceptions.WorkerCrashError` for *every* job that was
+  in flight on the lost channel -- the untouched FT scheduler
+  re-executes exactly the unfinished jobs through RECOVERTASKONCE
+  (replies streamed before the loss are never re-run), exactly as it
+  does for a dead pipe worker.
 
 Fault injection mirrors ``die_on``: the first dispatch of a listed key
 makes its worker die *before* computing -- ``os._exit(73)`` on a TCP
 server (genuine process death, indistinguishable from ``kill -9``), a
 connection sever on an in-process server (the yanked-cable case) -- and
-the recovered task's re-dispatch runs normally.
+the recovered task's re-dispatch runs normally, even when the death
+lands mid-batch.
 """
 
 from __future__ import annotations
@@ -49,18 +60,20 @@ import pickle
 import queue
 import threading
 import time
-from collections import OrderedDict
-from typing import Any, Callable, Hashable, Iterable
+from collections import OrderedDict, deque
+from typing import Any, Hashable, Iterable
 
 from repro.comm import frame
 from repro.comm.core import Comm, CommClosedError, connect_with_retry, listen
+from repro.comm.frame import pack_frames, unpack_frames
 from repro.exceptions import SchedulerError, WorkerCrashError
 from repro.graph.taskspec import BlockRef
 from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import RunResult
+from repro.runtime.dispatch import PipelineChannel, PipelinedDispatchMixin
 from repro.runtime.frames import Frame
-from repro.runtime.procpool import CRASH_EXIT_CODE, _POLL_SECONDS
+from repro.runtime.procpool import CRASH_EXIT_CODE, DEFAULT_INFLIGHT
 from repro.runtime.threadpool import ThreadedRuntime
 
 #: Default worker-side block-cache budget.
@@ -133,19 +146,36 @@ class _FetchingContext:
     """Worker-side compute context: reads hit the local cache or fetch
     the payload from the parent over the job's comm channel; writes are
     buffered and applied by the parent (which re-enforces the declared
-    footprint there)."""
+    footprint there).
 
-    __slots__ = ("key", "_declared", "_comm", "_cache", "_token", "reads",
-                 "writes", "written", "fetch_seconds")
+    With pipelined dispatch the parent may interleave new ``jobs`` or
+    ``spec`` frames into the channel while a fetch reply is awaited;
+    anything that is not the awaited ``data`` message goes into the
+    connection's ``backlog`` deque, which the handler loop drains before
+    its next ``recv`` (the handler thread *is* the compute thread, so no
+    locking is needed).
+    """
+
+    __slots__ = ("key", "jid", "_declared", "_comm", "_cache", "_token",
+                 "_backlog", "reads", "writes", "written", "fetch_seconds")
 
     def __init__(
-        self, key: Hashable, declared: frozenset, comm: Comm, cache: BlockCache, token: str
+        self,
+        key: Hashable,
+        jid: int,
+        declared: frozenset,
+        comm: Comm,
+        cache: BlockCache,
+        token: str,
+        backlog: deque,
     ) -> None:
         self.key = key
+        self.jid = jid
         self._declared = declared
         self._token = token
         self._comm = comm
         self._cache = cache
+        self._backlog = backlog
         self.reads: list[BlockRef] = []
         self.writes: list[BlockRef] = []
         self.written: list[tuple[tuple, Any]] = []
@@ -162,8 +192,8 @@ class _FetchingContext:
         hit, value = self._cache.get(ck)
         if not hit:
             t0 = time.perf_counter()
-            self._comm.send(("fetch", ref.block, ref.version))
-            tag, block, version, payload = self._comm.recv()
+            self._comm.send(("fetch", self.jid, ref.block, ref.version))
+            tag, block, version, payload = self._await_data()
             self.fetch_seconds += time.perf_counter() - t0
             if tag != "data" or payload is None:
                 raise SchedulerError(
@@ -173,6 +203,15 @@ class _FetchingContext:
             self._cache.put(ck, value, len(payload))
         self.reads.append(ref)
         return value
+
+    def _await_data(self) -> tuple:
+        """The parent's ``data`` reply to our fetch; pipelined frames that
+        arrive first are parked in the connection backlog."""
+        while True:
+            msg = self._comm.recv()
+            if msg[0] == "data":
+                return msg
+            self._backlog.append(msg)
 
     def write(self, ref: BlockRef, value: Any) -> None:
         if type(ref) is not BlockRef:
@@ -250,12 +289,19 @@ class WorkerServer:
         if start_hb is not None:
             start_hb()  # parent-side liveness watches for these beats
         spec = None
+        token = ""
+        # Frames a fetch wait pulled off the wire ahead of its data reply;
+        # always drained before the next recv.
+        backlog: deque = deque()
         try:
             while True:
-                try:
-                    msg = comm.recv()
-                except CommClosedError:
-                    return
+                if backlog:
+                    msg = backlog.popleft()
+                else:
+                    try:
+                        msg = comm.recv()
+                    except CommClosedError:
+                        return
                 tag = msg[0]
                 if tag == "ping":
                     comm.send(("pong",))
@@ -265,32 +311,44 @@ class WorkerServer:
                     return
                 if tag == "spec":
                     spec = pickle.loads(msg[1])
+                    token = msg[2]
                     continue
-                if tag != "job":
-                    comm.send(("raise", SchedulerError(f"unknown message tag {tag!r}")))
+                if tag != "jobs":
+                    comm.send(("fail", None, SchedulerError(f"unknown message tag {tag!r}")))
                     continue
-                _, key, refs, die, life, token = msg
-                if die:
-                    self._die(comm)
-                    return
-                self._run_job(comm, spec, key, refs, token)
+                for payload in unpack_frames(msg[1]):
+                    jid, key, refs, die, _life = frame.loads(payload)
+                    if die:
+                        self._die(comm)
+                        return  # unreached on TCP; severed inproc conn is done
+                    self._run_job(comm, spec, jid, key, refs, token, backlog)
         finally:
             comm.close()
 
     def _die(self, comm: Comm) -> None:
         """Injected worker death (``die_on``): genuine process death on a
         TCP server, an impolite connection sever on an in-process one --
-        both exercise the parent's peer-loss path."""
+        both exercise the parent's peer-loss path.  Jobs batched behind
+        the dying one are lost with it, exactly like a real crash."""
         sever = getattr(comm, "sever", None)
         if sever is not None:
             sever()
             return
         os._exit(CRASH_EXIT_CODE)
 
-    def _run_job(self, comm: Comm, spec: Any, key: Hashable, refs: list, token: str) -> None:
+    def _run_job(
+        self,
+        comm: Comm,
+        spec: Any,
+        jid: int,
+        key: Hashable,
+        refs: list,
+        token: str,
+        backlog: deque,
+    ) -> None:
         mx = self._mx
         ctx = _FetchingContext(
-            key, frozenset((b, v) for b, v in refs), comm, self.cache, token
+            key, jid, frozenset((b, v) for b, v in refs), comm, self.cache, token, backlog
         )
         spans: dict[str, float] = {}
         try:
@@ -306,14 +364,14 @@ class WorkerServer:
             t_sz = time.perf_counter()
             blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
             spans["serialize"] = time.perf_counter() - t_sz
-            reply = ("ok", blob, spans)
+            reply = ("done", jid, blob, spans)
             if mx:
                 self._jobs_counter.inc()
                 fetched = self.cache.misses - fetched_before
                 if fetched:
                     self._fetch_counter.inc(fetched)
         except BaseException as exc:
-            reply = ("raise", _portable_exc(exc))
+            reply = ("fail", jid, _portable_exc(exc))
         try:
             comm.send(reply)
         except CommClosedError:
@@ -333,24 +391,27 @@ def _portable_exc(exc: BaseException) -> BaseException:
 # parent side
 
 
-class _RemoteHandle:
-    __slots__ = ("comm", "addr", "spec_id")
+class _RemoteHandle(PipelineChannel):
+    """One worker-server connection plus the shared pipelining state."""
+
+    __slots__ = ("comm", "addr")
 
     def __init__(self, comm: Comm, addr: str) -> None:
+        super().__init__()
         self.comm = comm
         self.addr = addr
-        self.spec_id: int | None = None
 
 
-class ClusterRuntime(ThreadedRuntime):
+class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
     """Work-stealing thread pool whose compute phases run on remote
-    :class:`WorkerServer` processes reached through ``repro.comm``.
+    :class:`WorkerServer` processes reached through ``repro.comm``, with
+    pipelined batched dispatch.
 
     Parameters beyond :class:`ThreadedRuntime`'s:
 
     ``addresses``
         Worker-server addresses (``tcp://host:port`` or an
-        ``inproc://name`` server in this process).  The N channels are
+        ``inproc://name`` server in this process).  Channels are
         assigned round-robin; a lost channel's replacement is dialed
         starting at the same address, then the others.
     ``die_on``
@@ -361,6 +422,12 @@ class ClusterRuntime(ThreadedRuntime):
         Seconds of byte-silence (on a heartbeating transport) after
         which a connection owing a reply is declared dead; ``None``
         disables the check and trusts transport-level EOF alone.
+    ``channels``
+        Connection count; defaults to ``workers`` (one per scheduler
+        thread).
+    ``inflight``
+        Outstanding-job window per channel (K jobs in flight before a
+        dispatching thread must wait for a reply slot).
     """
 
     def __init__(
@@ -373,6 +440,8 @@ class ClusterRuntime(ThreadedRuntime):
         metrics: MetricsRegistry | None = None,
         heartbeat_timeout: float | None = DEFAULT_HEARTBEAT_TIMEOUT,
         connect_attempts: int = 8,
+        channels: int | None = None,
+        inflight: int = DEFAULT_INFLIGHT,
     ) -> None:
         super().__init__(workers, seed, event_log, metrics=metrics)
         addrs = list(addresses or ())
@@ -382,6 +451,8 @@ class ClusterRuntime(ThreadedRuntime):
         self._die_on = set(die_on or ())
         self._die_lock = threading.Lock()
         self._pool_lock = threading.Lock()
+        self._channels = max(1, workers if channels is None else channels)
+        self._inflight = max(1, inflight)
         self._handles: list[_RemoteHandle] = []
         self._idle: queue.Queue[_RemoteHandle] = queue.Queue()
         self._spec_blobs: dict[int, bytes] = {}
@@ -429,11 +500,12 @@ class ClusterRuntime(ThreadedRuntime):
                 return
             handles = [
                 self._dial(self._addresses[i % len(self._addresses)])  # verify: ok=blocking-under-lock (cold path: pool is built before any scheduler thread exists to contend)
-                for i in range(self._workers)
+                for i in range(self._channels)
             ]
             self._handles = handles
             for h in handles:
-                self._idle.put(h)
+                for _ in range(self._inflight):
+                    self._idle.put(h)
 
     def _dial(self, addr: str) -> _RemoteHandle:
         comm = connect_with_retry(addr, attempts=self._connect_attempts)
@@ -532,7 +604,13 @@ class ClusterRuntime(ThreadedRuntime):
                 if key in self._die_on:
                     self._die_on.discard(key)
                     die = True
-        written, spans = self._submit(spec, key, refs, values, die, life)
+
+        def build_msg(jid: int, handle: _RemoteHandle) -> tuple:
+            return (jid, key, refs, die, life)
+
+        reply, queued = self._dispatch_job(spec, key, build_msg, die, life, values=values)
+        blob, spans = self._reply_result(reply)
+        written = pickle.loads(blob)
         if obs:
             log = self._log
             end = log.now()
@@ -542,6 +620,8 @@ class ClusterRuntime(ThreadedRuntime):
                      wall=spans.get("kernel", 0.0), cpu=spans.get("kernel_cpu", 0.0))
             log.emit(EventKind.SPAN, key, life, phase="serialize",
                      wall=spans.get("serialize", 0.0))
+            if queued > 0.0:
+                log.emit(EventKind.SPAN, key, life, phase="queued", wall=queued)
             log.emit(EventKind.SPAN, key, life, phase="dispatch", wall=end - t0, t0=t0)
         if mx:
             self._dispatch_hist.observe(
@@ -557,88 +637,66 @@ class ClusterRuntime(ThreadedRuntime):
             self._spec_blobs[id(spec)] = blob
         return blob
 
-    def _submit(
-        self,
-        spec: Any,
-        key: Hashable,
-        refs: list,
-        values: dict[tuple, Any],
-        die: bool,
-        life: int,
-    ) -> tuple[list, dict[str, float]]:
-        self._ensure_pool()
-        try:
-            handle = self._idle.get(timeout=60.0)
-        except queue.Empty:  # pragma: no cover - pool accounting bug
-            raise SchedulerError("no cluster worker channel became available within 60s")
-        try:
-            reason = "closed"
-            try:
-                if handle.spec_id != id(spec):
-                    handle.comm.send(("spec", self._spec_blob(spec)))
-                    handle.spec_id = id(spec)
-                handle.comm.send(("job", key, refs, die, life, self._run_token))
-                reply, reason = self._await_reply(handle, key, values, life)
-            except CommClosedError:
-                reply = None
-            if reply is None:
-                dead, handle = handle, self._reconnect(handle, reason)
-                if self._log is not NULL_LOG:
-                    self._log.emit(EventKind.WORKER_DOWN, key, 0, addr=dead.addr, reason=reason)
-                    self._log.emit(EventKind.WORKER_UP, None, 0, addr=handle.addr)
-                if self._mx:
-                    self._crash_counter.inc()
-                raise WorkerCrashError(key)
-            tag = reply[0]
-            if tag == "ok":
-                return pickle.loads(reply[1]), reply[2]
-            if tag == "raise":
-                raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
-            raise SchedulerError(f"unexpected reply tag {tag!r} from {handle.addr}")
-        finally:
-            self._idle.put(handle)
+    # -- PipelinedDispatchMixin hooks -----------------------------------------
 
-    def _await_reply(
-        self, handle: _RemoteHandle, key: Hashable, values: dict[tuple, Any], life: int
-    ) -> tuple[Any, str]:
-        """The worker's final reply, serving lazy fetches along the way.
+    def _channel_comm(self, handle: _RemoteHandle) -> Comm:
+        return handle.comm
 
-        Returns ``(reply, reason)`` where reply is ``None`` if the peer
-        was lost -- by transport EOF (``reason='closed'``) or by
-        heartbeat silence (``reason='heartbeat'``).
-        """
-        comm = handle.comm
-        idle_seconds: Callable[[], float] | None = getattr(comm, "idle_seconds", None)
-        obs = self._log is not NULL_LOG
-        mx = self._mx
-        while True:
-            try:
-                if not comm.poll(_POLL_SECONDS):
-                    if (
-                        idle_seconds is not None
-                        and self._hb_timeout is not None
-                        and idle_seconds() > self._hb_timeout
-                    ):
-                        return None, "heartbeat"
-                    continue
-                msg = comm.recv()
-            except CommClosedError:
-                return None, "closed"
-            if msg[0] == "fetch":
-                _, block, version = msg
-                value = values.get((block, version), None)
-                if value is None and (block, version) not in values:
-                    comm.send(("data", block, version, None))
-                    continue
-                payload = frame.dumps(value)
-                if obs:
-                    self._log.emit(
-                        EventKind.FETCH, key, life,
-                        block=block, version=version, nbytes=len(payload),
-                    )
-                if mx:
-                    self._fetch_counter.inc()
-                    self._fetch_bytes.inc(len(payload))
-                comm.send(("data", block, version, payload))
-                continue
-            return msg, "ok"
+    def _ship_spec(self, handle: _RemoteHandle, spec: Any) -> None:
+        handle.comm.send(("spec", self._spec_blob(spec), self._run_token))
+
+    def _ship_jobs(self, handle: _RemoteHandle, msgs: list[tuple]) -> None:
+        handle.comm.send(("jobs", pack_frames([frame.dumps(m) for m in msgs])))
+
+    def _silent_reason(self, handle: _RemoteHandle) -> str | None:
+        idle_seconds = getattr(handle.comm, "idle_seconds", None)
+        if (
+            idle_seconds is not None
+            and self._hb_timeout is not None
+            and idle_seconds() > self._hb_timeout
+        ):
+            return "heartbeat"
+        return None
+
+    def _route_aux(self, handle: _RemoteHandle, msg: tuple) -> None:
+        """Serve a worker's lazy ``fetch`` from the dispatching job's held
+        values (runs on the channel's current drain leader)."""
+        if msg[0] != "fetch":
+            return  # late echo from a replaced channel; never actionable
+        _, jid, block, version = msg
+        with handle.lock:
+            p = handle.pending.get(jid)
+        values = p.values if p is not None and p.values is not None else {}
+        value = values.get((block, version), None)
+        if value is None and (block, version) not in values:
+            payload = None
+        else:
+            payload = frame.dumps(value)
+            if self._log is not NULL_LOG and p is not None:
+                self._log.emit(
+                    EventKind.FETCH, p.key, p.life,
+                    block=block, version=version, nbytes=len(payload),
+                )
+            if self._mx:
+                self._fetch_counter.inc()
+                self._fetch_bytes.inc(len(payload))
+        try:
+            with handle.send_lock:
+                handle.comm.send(("data", block, version, payload))  # verify: ok=blocking-under-lock (send_lock exists to serialize wire writes; sending under it is its purpose)
+        except CommClosedError:
+            self._channel_lost(handle, "closed")
+
+    def _replace_channel(
+        self, dead: _RemoteHandle, reason: str, down_key: Hashable | None
+    ) -> _RemoteHandle:
+        dead.death = reason
+        fresh = self._reconnect(dead, reason)
+        if self._log is not NULL_LOG:
+            self._log.emit(EventKind.WORKER_DOWN, down_key, 0, addr=dead.addr, reason=reason)
+            self._log.emit(EventKind.WORKER_UP, None, 0, addr=fresh.addr)
+        if self._mx:
+            self._crash_counter.inc()
+        return fresh
+
+    def _crashed_error(self, key: Hashable, handle: _RemoteHandle) -> WorkerCrashError:
+        return WorkerCrashError(key)

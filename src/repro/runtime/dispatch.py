@@ -1,0 +1,364 @@
+"""Pipelined dispatch: the shared fast path under both remote runtimes.
+
+Before this module, :class:`~repro.runtime.procpool.ProcessRuntime` and
+:class:`~repro.runtime.cluster.ClusterRuntime` dispatched in lock-step:
+one scheduler thread took exclusive ownership of one worker channel,
+shipped one job, and blocked until that job's reply came back.  Every
+task paid a full round trip of wake-up latency, and a worker slept
+between jobs while its parent thread woke, wrote results back, and found
+the next task.  PERFORMANCE.md measured that at ~0.8-1.6 ms per task --
+dwarfing kernel time at fine grain (ROADMAP item 4).
+
+This module replaces the seam with three cooperating pieces, shared by
+both runtimes through :class:`PipelinedDispatchMixin`:
+
+* **Outstanding-job windows.**  A channel is entered into the idle pool
+  ``inflight`` times, so up to K scheduler threads can have jobs in
+  flight on the same worker concurrently.  The worker's inbound buffer
+  stays fed: it moves straight from one job to the next without ever
+  sleeping on an empty pipe, which is where most of the old per-task
+  latency lived.
+* **Micro-batched sends.**  Jobs are not sent directly: a submitting
+  thread appends its wire message to the channel's *outbox* and then
+  flushes under the channel send lock.  Whoever holds the lock ships
+  everything queued meanwhile as one ``("jobs", pack_frames([...]))``
+  frame -- flat combining, so a burst of ready tasks for one worker
+  costs one syscall and one wake-up instead of N.
+* **Leader-drain replies.**  Workers stream one reply per job
+  (``("done", jid, ...)`` / ``("fail", jid, exc)``).  Exactly one of the
+  threads with a job in flight on a channel -- whichever wins the
+  channel recv lock -- drains replies for *all* of them, resolving each
+  submitter's event; the others sleep on their event and wake only when
+  their own result is in hand.  Leadership hands off naturally: when the
+  leader's own job resolves it returns, and the next waiter's
+  try-acquire succeeds within a couple of milliseconds (usually hidden
+  under the worker's next kernel).
+
+**Fault tolerance is unchanged by design.**  A lost channel (process
+death, severed connection, heartbeat silence) resolves *every* job in
+flight on it as crashed: each blocked submitter raises
+:class:`~repro.exceptions.WorkerCrashError` for its own task and the FT
+scheduler re-executes exactly the unfinished jobs -- jobs earlier in the
+batch already streamed their replies and are never re-run.  The channel
+is replaced once per death (one ``WORKER_DOWN``/``WORKER_UP`` pair, one
+crash count), keyed by the ``die_on``-flagged job when the death was
+injected.
+
+The leader also computes each job's **queued** time parent-side: a
+worker executes its channel's jobs in FIFO order, so job *B* started
+(approximately) when the reply before it arrived.  ``queued = clamp(
+previous_reply_arrival - t_sent, 0, round_trip)`` therefore measures how
+long B sat behind its channel-mates -- deliberate pipelining backlog,
+not dispatch cost -- and overhead attribution subtracts it (see
+``repro.obs.attribution``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, Callable, Hashable
+
+from repro.comm.core import CommClosedError
+from repro.exceptions import SchedulerError
+
+#: Reply-poll granularity of the drain leader (also each silent-channel
+#: liveness check interval).
+POLL_SECONDS = 0.05
+
+#: How long a non-leader submitter sleeps on its event between
+#: leadership probes.  Small: on leader hand-off the next waiter must
+#: take over quickly or replies sit unread in the channel buffer.
+_WAITER_WAKE_SECONDS = 0.002
+
+#: Submit gives up if no channel token frees up for this long (pool
+#: accounting bug, or every channel wedged without dying).
+_ACQUIRE_TIMEOUT_SECONDS = 60.0
+
+#: Job ids, unique per parent process (``next`` on a count is atomic
+#: under the GIL -- no lock needed).
+_JIDS = itertools.count(1)
+
+#: Reply sentinel: the channel died before this job's reply arrived.
+CRASHED = object()
+
+
+class PendingJob:
+    """One job in flight on a channel: the submitter blocks on ``event``
+    until the drain leader fills ``reply`` (or the channel dies and it
+    becomes :data:`CRASHED`)."""
+
+    __slots__ = ("jid", "key", "life", "die", "values", "event", "reply",
+                 "t_sent", "queued")
+
+    def __init__(
+        self, jid: int, key: Hashable, life: int = 0, die: bool = False,
+        values: dict | None = None,
+    ) -> None:
+        self.jid = jid
+        self.key = key
+        self.life = life
+        self.die = die
+        #: Cluster only: the held input payloads lazy fetches are served from.
+        self.values = values
+        self.event = threading.Event()
+        self.reply: Any = None
+        self.t_sent = 0.0
+        self.queued = 0.0
+
+
+class PipelineChannel:
+    """Per-channel pipelining state, embedded in each runtime's handle.
+
+    Lock order (outermost first): ``recv_lock`` > ``send_lock`` >
+    ``lock``.  ``lock`` guards the mutable bookkeeping and is never held
+    across a blocking call; ``send_lock`` serializes wire writes;
+    ``recv_lock`` elects the drain leader.
+    """
+
+    __slots__ = ("lock", "send_lock", "recv_lock", "outbox", "pending",
+                 "pinned", "dead", "spec_id", "last_reply", "death")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.send_lock = threading.Lock()
+        self.recv_lock = threading.Lock()
+        #: Wire messages queued for the next flush: ``(spec, msg)`` pairs.
+        self.outbox: list[tuple[Any, tuple]] = []
+        #: jid -> PendingJob for every job sent (or queued) but unresolved.
+        self.pending: dict[int, PendingJob] = {}
+        #: Shm segment names this channel's worker has attached (procpool
+        #: descriptor pre-pinning; repeat sends ship a light PinnedRef).
+        self.pinned: set[str] = set()
+        self.dead = False
+        self.spec_id: int | None = None
+        #: Parent-clock arrival time of the most recent reply (queued-time
+        #: estimation; None until the first reply).
+        self.last_reply: float | None = None
+        #: Set by the runtime on replacement: (pid, exitcode) or a reason.
+        self.death: Any = None
+
+
+class PipelinedDispatchMixin:
+    """The submit/flush/drain engine.  Host runtimes provide:
+
+    * ``self._idle`` -- ``queue.Queue`` of channel tokens (each live
+      channel appears ``self._inflight`` times);
+    * ``self._inflight`` -- the per-channel outstanding-job window K;
+    * ``self._ensure_pool()`` / ``self.aborted()``;
+    * ``_channel_comm(h)``, ``_ship_spec(h, spec)``, ``_ship_jobs(h,
+      msgs)`` -- the wire;
+    * ``_silent_reason(h)`` -- liveness verdict for a channel that owes
+      replies but stays quiet (process death, heartbeat silence);
+    * ``_replace_channel(dead, reason, down_key)`` -- replace the
+      channel, emit WORKER_DOWN/WORKER_UP, return the fresh handle;
+    * ``_crashed_error(key, h)`` -- the WorkerCrashError to raise;
+    * ``_route_aux(h, msg)`` -- side messages in the reply stream
+      (cluster's lazy fetch).
+    """
+
+    # -- submit ---------------------------------------------------------------
+
+    def _dispatch_job(
+        self,
+        spec: Any,
+        key: Hashable,
+        build_msg: Callable[[int, Any], tuple],
+        die: bool,
+        life: int = 0,
+        values: dict | None = None,
+    ) -> tuple[Any, float]:
+        """Ship one job and block until its reply: ``(reply, queued)``.
+
+        ``build_msg(jid, handle)`` constructs the wire message under the
+        channel lock -- which is what lets the procpool runtime make its
+        pin-or-descriptor decision atomically with enqueue order.
+        """
+        while True:
+            handle = self._acquire_channel()
+            me = PendingJob(next(_JIDS), key, life, die, values)
+            with handle.lock:
+                if handle.dead:
+                    continue  # token raced the crash; fetch a fresh one
+                msg = build_msg(me.jid, handle)
+                handle.pending[me.jid] = me
+                handle.outbox.append((spec, msg))
+            break
+        try:
+            self._flush_channel(handle)
+            reply = self._await_pipelined(handle, me, key)
+        finally:
+            if not handle.dead:
+                self._idle.put(handle)
+        if reply is CRASHED:
+            raise self._crashed_error(key, handle)
+        return reply, me.queued
+
+    def _acquire_channel(self) -> Any:
+        self._ensure_pool()
+        deadline = time.perf_counter() + _ACQUIRE_TIMEOUT_SECONDS
+        while True:
+            try:
+                handle = self._idle.get(timeout=0.25)
+            except queue.Empty:
+                if self.aborted():
+                    raise SchedulerError("run aborted while waiting for a worker channel")
+                if time.perf_counter() > deadline:  # pragma: no cover - pool accounting bug
+                    raise SchedulerError("no worker channel became available within 60s")
+                continue
+            if handle.dead:
+                continue  # stale token of a replaced channel; drop it
+            return handle
+
+    # -- the combining send path ----------------------------------------------
+
+    def _flush_channel(self, handle: Any) -> None:
+        """Ship everything in the channel outbox, combining with whatever
+        other submitters queued while we waited for the send lock.  A
+        submitter whose message was already flushed by the previous lock
+        holder finds an empty outbox and returns immediately."""
+        with handle.send_lock:
+            while True:
+                with handle.lock:
+                    batch, handle.outbox = handle.outbox, []
+                    dead = handle.dead
+                if dead or not batch:
+                    return
+                try:
+                    self._ship_batch(handle, batch)  # verify: ok=blocking-under-lock (send_lock exists to serialize wire writes; sending under it is its purpose)
+                except CommClosedError:
+                    self._channel_lost(handle, "closed")  # verify: ok=blocking-under-lock (channel already dead; the corpse-join keeps send_lock only against peers that will see handle.dead)
+                    return
+
+    def _ship_batch(self, handle: Any, batch: list[tuple[Any, tuple]]) -> None:
+        """Send one flushed outbox: spec announcements interleaved (in
+        order) with micro-batched job frames."""
+        msgs: list[tuple] = []
+        for spec, msg in batch:
+            if spec is not None and handle.spec_id != id(spec):
+                if msgs:
+                    self._stamp_and_ship(handle, msgs)
+                    msgs = []
+                self._ship_spec(handle, spec)
+                handle.spec_id = id(spec)
+            msgs.append(msg)
+        if msgs:
+            self._stamp_and_ship(handle, msgs)
+
+    def _stamp_and_ship(self, handle: Any, msgs: list[tuple]) -> None:
+        now = time.perf_counter()
+        with handle.lock:
+            for m in msgs:
+                p = handle.pending.get(m[0])
+                if p is not None:
+                    p.t_sent = now
+        self._ship_jobs(handle, msgs)
+
+    # -- the leader-drain receive path ----------------------------------------
+
+    def _await_pipelined(self, handle: Any, me: PendingJob, key: Hashable) -> Any:
+        event = me.event
+        while True:
+            if event.is_set():
+                return me.reply
+            if handle.recv_lock.acquire(blocking=False):
+                try:
+                    if not event.is_set():
+                        self._drain_channel(handle, me)
+                finally:
+                    handle.recv_lock.release()
+            else:
+                event.wait(_WAITER_WAKE_SECONDS)
+            if self.aborted() and not event.is_set():
+                with handle.lock:
+                    handle.pending.pop(me.jid, None)
+                raise SchedulerError(
+                    f"run aborted while task {key!r} awaited a worker reply"
+                )
+
+    def _drain_channel(self, handle: Any, me: PendingJob) -> None:
+        """Drain replies for every job in flight on ``handle`` until our
+        own resolves or the channel is lost.  Runs with ``recv_lock``
+        held: we are the only reader."""
+        comm = self._channel_comm(handle)
+        while not me.event.is_set():
+            try:
+                if comm.poll(POLL_SECONDS):  # verify: ok=blocking-under-lock (recv_lock is the drain-leader election; blocking here with it held is the design)
+                    self._route_reply(handle, comm.recv())
+                    continue
+            except CommClosedError:
+                self._channel_lost(handle, "closed")
+                return
+            reason = self._silent_reason(handle)
+            if reason is not None:
+                try:
+                    if comm.poll(0):  # a final reply raced the death
+                        self._route_reply(handle, comm.recv())
+                        continue
+                except CommClosedError:
+                    pass
+                self._channel_lost(handle, reason)
+                return
+            if self.aborted():
+                return
+
+    def _route_reply(self, handle: Any, msg: tuple) -> None:
+        tag = msg[0]
+        if tag in ("done", "fail"):
+            now = time.perf_counter()
+            with handle.lock:
+                p = handle.pending.pop(msg[1], None)
+                prev, handle.last_reply = handle.last_reply, now
+            if p is None:
+                return  # reply for a job resolved another way (late, post-crash)
+            if prev is not None and p.t_sent:
+                # The worker runs this channel's jobs in FIFO order, so our
+                # job started when the reply before it arrived: everything
+                # between t_sent and then is pipelining backlog, not cost.
+                p.queued = min(max(0.0, prev - p.t_sent), max(0.0, now - p.t_sent))
+            p.reply = msg
+            p.event.set()
+            return
+        self._route_aux(handle, msg)
+
+    def _reply_result(self, reply: tuple) -> tuple[Any, dict]:
+        """Unpack a resolved reply: ``(written_blob, spans)`` or raise the
+        shipped exception (FaultError -> scheduler recovery)."""
+        if reply[0] == "fail":
+            raise reply[2]
+        return reply[2], reply[3]
+
+    # -- channel loss ----------------------------------------------------------
+
+    def _channel_lost(self, handle: Any, reason: str) -> None:
+        """Exactly-once teardown of a lost channel: replace it, refill the
+        token pool, and resolve every in-flight job as crashed so each
+        submitter raises WorkerCrashError for its own task."""
+        with handle.lock:
+            if handle.dead:
+                return
+            handle.dead = True
+            pending = list(handle.pending.values())
+            handle.pending.clear()
+            handle.outbox = []
+        down_key = None
+        for p in pending:
+            if p.die:
+                down_key = p.key  # the injected death names its victim
+                break
+        if down_key is None and pending:
+            down_key = pending[0].key
+        fresh = None
+        try:
+            fresh = self._replace_channel(handle, reason, down_key)
+        finally:
+            # Resolve even if replacement failed: blocked submitters must
+            # not hang on a channel that will never speak again.
+            for p in pending:
+                p.reply = CRASHED
+                p.event.set()
+        if fresh is not None:
+            for _ in range(self._inflight):
+                self._idle.put(fresh)

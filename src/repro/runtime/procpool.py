@@ -6,10 +6,8 @@ in the **parent** process, exactly where :class:`ThreadedRuntime` keeps
 it: scheduler frames still run on N parent threads with per-worker
 deques and randomized stealing.  What moves off-process is the *compute
 phase* only: the pure, stateless NumPy kernels (Theorem 1's assumption)
-are dispatched over a pipe to a pool of N worker processes, one per
-scheduler thread, so kernels execute on real cores with no GIL in the
-way while the parent thread blocks (releasing the GIL) awaiting the
-reply.
+are dispatched over a pipe to a pool of persistent worker processes, so
+kernels execute on real cores with no GIL in the way.
 
 The dispatch seam is :meth:`compute_dispatch`: schedulers probe the
 runtime for it once (``getattr(runtime, "compute_dispatch", None)``) and
@@ -26,14 +24,33 @@ call it in place of ``spec.compute(key, ctx)``.  Per task it
    strict-footprint enforcement, store versioning, fingerprinting, and
    shm materialization all stay parent-side and single-owner.
 
+**Dispatch is pipelined** (the fast path of ROADMAP item 4), through
+:class:`~repro.runtime.dispatch.PipelinedDispatchMixin`:
+
+* each worker process carries an ``inflight``-deep outstanding-job
+  window, so the pipe stays fed and the worker moves between jobs
+  without sleeping on an empty buffer;
+* concurrently-ready jobs for one worker are micro-batched into a
+  single ``("jobs", pack_frames([...]))`` wire frame, one syscall for
+  the burst, with one streamed ``("done", jid, ...)``/``("fail", jid,
+  ...)`` reply per job;
+* hot shm descriptors are **pre-pinned**: the first dispatch ships the
+  full :class:`~repro.memory.shm.ShmDescriptor` and the worker keeps
+  the segment attached, so every later dispatch sends a tiny
+  :class:`PinnedRef` and the worker skips re-attach entirely.  Pins are
+  keyed by segment *name*, which is version-unique, so a rewritten or
+  corrupt-reinjected version can never be served from a stale pin.
+
 **Worker death is a detected compute-phase fault.**  If the worker
 process exits without replying (killed, segfault, ``die_on``-injected
-``os._exit``), the dispatcher starts a replacement worker, emits a
-``WORKER_DOWN`` event, and raises
-:class:`~repro.exceptions.WorkerCrashError` -- whose source is the task
-itself, so the FT scheduler recovers it through RECOVERTASKONCE and the
-task re-executes on the fresh worker.  The baseline Nabbit scheduler has
-no recovery path, and a crash fails the run (faithful to the paper).
+``os._exit``), the dispatcher starts a replacement worker, emits one
+``WORKER_DOWN``/``WORKER_UP`` pair, and every job that was in flight on
+the dead process raises :class:`~repro.exceptions.WorkerCrashError` --
+whose source is the task itself, so the FT scheduler recovers each
+through RECOVERTASKONCE.  Jobs earlier in a batch that already streamed
+their replies are *not* re-executed: a crash mid-batch costs exactly the
+unfinished jobs.  The baseline Nabbit scheduler has no recovery path,
+and a crash fails the run (faithful to the paper).
 
 Faults injected by parent-side hooks (flag corruption, silent data
 corruption) interact with dispatch exactly as with in-process runtimes,
@@ -53,9 +70,11 @@ import pickle
 import queue
 import threading
 import time
-from typing import Any, Hashable, Iterable
+from typing import Any, Hashable, Iterable, NamedTuple
 
+from repro.comm import frame
 from repro.comm.core import CommClosedError
+from repro.comm.frame import pack_frames, unpack_frames
 from repro.comm.pipe import PipeComm, pipe_pair, wrap_connection
 from repro.exceptions import OverwrittenError, SchedulerError, WorkerCrashError
 from repro.graph.taskspec import BlockRef
@@ -63,15 +82,32 @@ from repro.memory.shm import ShmDescriptor, attach_payload
 from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import RunResult
+from repro.runtime.dispatch import PipelineChannel, PipelinedDispatchMixin
 from repro.runtime.frames import Frame
 from repro.runtime.threadpool import ThreadedRuntime
 
 #: Exit code of a ``die_on``-injected worker death (tests assert on it).
 CRASH_EXIT_CODE = 73
 
-#: Reply-poll granularity: how often the awaiting parent thread checks
-#: whether the worker process is still alive.
+#: Reply-poll granularity (kept as a module name: the cluster runtime
+#: and older call sites import it from here).
 _POLL_SECONDS = 0.05
+
+#: Default outstanding-job window per worker process.
+DEFAULT_INFLIGHT = 2
+
+
+class PinnedRef(NamedTuple):
+    """Wire stand-in for a :class:`ShmDescriptor` the receiving worker
+    has already attached.
+
+    Segment names are version-unique (a rewritten version gets a fresh
+    segment), so the name alone identifies the exact bytes the worker
+    pinned on first sight of the full descriptor.
+    """
+
+    name: str
+    """Segment name (``SharedMemory.name``) of the pinned descriptor."""
 
 
 # ---------------------------------------------------------------------------
@@ -115,11 +151,22 @@ class _WorkerComputeContext:
         self.written.append((tuple(ref), value))
 
 
-def _decode_inputs(inputs: list) -> tuple[dict, list]:
+def _decode_inputs(inputs: list, pins: dict) -> dict:
+    """Input values for one job, attaching new shm segments into the
+    worker's pin cache and serving :class:`PinnedRef` inputs from it."""
     values: dict = {}
-    attachments: list = []
     for block, version, payload in inputs:
-        if isinstance(payload, ShmDescriptor):
+        if isinstance(payload, PinnedRef):
+            try:
+                value = pins[payload.name][0]
+            except KeyError:
+                # Protocol invariant broken: the parent only sends a ref
+                # after shipping the descriptor on this same connection.
+                raise SchedulerError(
+                    f"input ({block!r}, v{version}) referenced unpinned "
+                    f"segment {payload.name!r}"
+                ) from None
+        elif isinstance(payload, ShmDescriptor):
             try:
                 value, att = attach_payload(payload)
             except FileNotFoundError:
@@ -128,11 +175,11 @@ def _decode_inputs(inputs: list) -> tuple[dict, list]:
                 # exactly the memory-reuse fault a parent-side read of an
                 # evicted version raises.
                 raise OverwrittenError(block, version, None) from None
-            attachments.append(att)
+            pins[payload.name] = (value, att)
         else:
             value = payload
         values[BlockRef(block, version)] = value
-    return values, attachments
+    return values
 
 
 def _portable_exc(exc: BaseException) -> BaseException:
@@ -146,88 +193,106 @@ def _portable_exc(exc: BaseException) -> BaseException:
         return SchedulerError(f"worker exception: {type(exc).__name__}: {exc}")
 
 
+def _serve_job(conn: PipeComm, spec: Any, payload: bytes, pins: dict) -> None:
+    """Run one job from a batch frame and stream its reply.
+
+    Worker-side spans: the parent cannot see where time goes inside
+    this process, so the worker measures its own phases -- shm attach,
+    kernel wall + process-CPU, reply serialization -- and ships the
+    numbers back with the result.  Durations only: the two processes do
+    not share a clock epoch.
+    """
+    jid, key, inputs, die = frame.loads(payload)
+    if die:
+        os._exit(CRASH_EXIT_CODE)
+    spans: dict[str, float] = {}
+    try:
+        t_at = time.perf_counter()
+        values = _decode_inputs(inputs, pins)
+        spans["attach"] = time.perf_counter() - t_at
+        ctx = _WorkerComputeContext(key, values)
+        t_kw = time.perf_counter()
+        t_kc = time.process_time()
+        spec.compute(key, ctx)
+        spans["kernel_cpu"] = time.process_time() - t_kc
+        spans["kernel"] = time.perf_counter() - t_kw
+        t_sz = time.perf_counter()
+        blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
+        spans["serialize"] = time.perf_counter() - t_sz
+        reply = ("done", jid, blob, spans)
+    except BaseException as exc:
+        reply = ("fail", jid, _portable_exc(exc))
+    try:
+        conn.send(reply)
+    except CommClosedError:
+        raise
+    except Exception:
+        try:
+            conn.send(
+                ("fail", jid, SchedulerError(f"worker reply for task {key!r} failed to serialize"))
+            )
+        except Exception:
+            os._exit(1)
+    finally:
+        del reply
+        values = ctx = None  # noqa: F841 -- non-pinned view refs drop here
+
+
 def _worker_main(raw_conn: Any) -> None:
-    """Worker-process loop: receive a spec once, then serve jobs.
+    """Worker-process loop: receive a spec once, then serve job batches.
 
     The inherited pipe end is wrapped in a :class:`PipeComm`, so the
     loop speaks the comm contract: a vanished parent is one
-    ``CommClosedError``, not a zoo of OS-level errnos.
+    ``CommClosedError``, not a zoo of OS-level errnos.  Shm attachments
+    live in ``pins`` for the life of the process (closed on ``stop``),
+    which is what lets repeat dispatches of hot blocks skip re-attach.
     """
     conn = wrap_connection(raw_conn, peer="pipe://parent")
     spec = None
+    pins: dict[str, tuple[Any, Any]] = {}
     while True:
         try:
             msg = conn.recv()
         except CommClosedError:
             return
         tag = msg[0]
-        if tag == "stop":
-            conn.close()
+        try:
+            if tag == "stop":
+                for _value, att in pins.values():
+                    att.close()
+                pins.clear()
+                conn.close()
+                return
+            if tag == "spec":
+                spec = pickle.loads(msg[1])
+            elif tag == "jobs":
+                for payload in unpack_frames(msg[1]):
+                    _serve_job(conn, spec, payload, pins)
+            else:
+                conn.send(("fail", None, SchedulerError(f"unknown message tag {tag!r}")))
+        except CommClosedError:
             return
-        if tag == "spec":
-            spec = pickle.loads(msg[1])
-            continue
-        if tag != "job":
-            conn.send(("raise", SchedulerError(f"unknown message tag {tag!r}")))
-            continue
-        _, key, inputs, die = msg
-        if die:
-            os._exit(CRASH_EXIT_CODE)
-        attachments: list = []
-        # Worker-side spans: the parent cannot see where time goes inside
-        # this process, so the worker measures its own phases -- shm
-        # attach, kernel wall + process-CPU, reply serialization -- and
-        # ships the numbers back with the result.  Durations only: the
-        # two processes do not share a clock epoch.
-        spans: dict[str, float] = {}
-        try:
-            t_at = time.perf_counter()
-            values, attachments = _decode_inputs(inputs)
-            spans["attach"] = time.perf_counter() - t_at
-            ctx = _WorkerComputeContext(key, values)
-            t_kw = time.perf_counter()
-            t_kc = time.process_time()
-            spec.compute(key, ctx)
-            spans["kernel_cpu"] = time.process_time() - t_kc
-            spans["kernel"] = time.perf_counter() - t_kw
-            t_sz = time.perf_counter()
-            blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
-            spans["serialize"] = time.perf_counter() - t_sz
-            reply = ("ok", blob, spans)
-        except BaseException as exc:
-            reply = ("raise", _portable_exc(exc))
-        try:
-            conn.send(reply)
-        except Exception:
-            try:
-                conn.send(
-                    ("raise", SchedulerError(f"worker reply for task {key!r} failed to serialize"))
-                )
-            except Exception:
-                os._exit(1)
-        finally:
-            del reply
-            values = ctx = None  # noqa: F841 -- drop view refs before unmapping
-            for att in attachments:
-                att.close()
 
 
 # ---------------------------------------------------------------------------
 # parent side
 
 
-class _WorkerHandle:
-    __slots__ = ("proc", "conn", "spec_id")
+class _WorkerHandle(PipelineChannel):
+    """One worker process: its pipe plus the shared pipelining state."""
+
+    __slots__ = ("proc", "conn")
 
     def __init__(self, proc: Any, conn: PipeComm) -> None:
+        super().__init__()
         self.proc = proc
         self.conn = conn
-        self.spec_id: int | None = None
 
 
-class ProcessRuntime(ThreadedRuntime):
+class ProcessRuntime(PipelinedDispatchMixin, ThreadedRuntime):
     """Work-stealing thread pool whose compute phases run in a pool of
-    worker processes (one per scheduler thread) over shared memory.
+    persistent worker processes over shared memory, with pipelined
+    batched dispatch.
 
     Parameters beyond :class:`ThreadedRuntime`'s:
 
@@ -239,6 +304,14 @@ class ProcessRuntime(ThreadedRuntime):
     ``start_method``
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap, inherits the imported kernels) else ``spawn``.
+    ``procs``
+        Worker-process count; defaults to ``workers`` (one per scheduler
+        thread).  With pipelining, fewer processes than threads still
+        keeps every core busy: up to ``inflight`` threads feed each
+        process.
+    ``inflight``
+        Outstanding-job window per worker process (K jobs in flight
+        before a dispatching thread must wait for a reply slot).
     """
 
     def __init__(
@@ -249,6 +322,8 @@ class ProcessRuntime(ThreadedRuntime):
         die_on: Iterable[Hashable] | None = None,
         start_method: str | None = None,
         metrics: MetricsRegistry | None = None,
+        procs: int | None = None,
+        inflight: int = DEFAULT_INFLIGHT,
     ) -> None:
         super().__init__(workers, seed, event_log, metrics=metrics)
         if start_method is None:
@@ -258,6 +333,8 @@ class ProcessRuntime(ThreadedRuntime):
         self._die_on = set(die_on or ())
         self._die_lock = threading.Lock()
         self._pool_lock = threading.Lock()
+        self._procs = max(1, workers if procs is None else procs)
+        self._inflight = max(1, inflight)
         self._handles: list[_WorkerHandle] = []
         self._idle: queue.Queue[_WorkerHandle] = queue.Queue()
         self._spec_blobs: dict[int, bytes] = {}
@@ -296,10 +373,11 @@ class ProcessRuntime(ThreadedRuntime):
         with self._pool_lock:
             if self._handles:
                 return
-            handles = [self._start_worker() for _ in range(self._workers)]
+            handles = [self._start_worker() for _ in range(self._procs)]
             self._handles = handles
             for h in handles:
-                self._idle.put(h)
+                for _ in range(self._inflight):
+                    self._idle.put(h)
 
     def _start_worker(self) -> _WorkerHandle:
         parent_comm, child_comm = pipe_pair(self._mp)
@@ -312,22 +390,6 @@ class ProcessRuntime(ThreadedRuntime):
         proc.start()
         child_comm.close()
         return _WorkerHandle(proc, parent_comm)
-
-    def _replace_worker(self, dead: _WorkerHandle) -> _WorkerHandle:
-        # Reap the corpse outside the pool lock: join() can wait its full
-        # timeout on a wedged child, and every other dispatch thread that
-        # loses a worker meanwhile would pile up behind the lock.
-        dead.conn.close()
-        dead.proc.join(timeout=1.0)
-        with self._pool_lock:
-            try:
-                self._handles.remove(dead)
-            except ValueError:
-                pass
-            self._crashes += 1
-            fresh = self._start_worker()
-            self._handles.append(fresh)
-            return fresh
 
     def _shutdown_pool(self) -> None:
         with self._pool_lock:
@@ -366,7 +428,7 @@ class ProcessRuntime(ThreadedRuntime):
         t0 = self._log.now() if obs else (time.perf_counter() if mx else 0.0)
         store = ctx.store
         describe = getattr(store, "descriptor", None)
-        inputs = []
+        staged = []
         for raw in spec.inputs(key):
             ref = raw if type(raw) is BlockRef else BlockRef(*raw)
             # The parent-side read is the fault gate: corruption flags,
@@ -374,14 +436,33 @@ class ProcessRuntime(ThreadedRuntime):
             # scheduler's recovery path, before any bytes ship.
             value = ctx.read(ref)
             desc = describe(ref) if describe is not None else None
-            inputs.append((ref.block, ref.version, desc if desc is not None else value))
+            staged.append((ref.block, ref.version, desc, value))
         die = False
         if self._die_on:
             with self._die_lock:
                 if key in self._die_on:
                     self._die_on.discard(key)
                     die = True
-        written, spans = self._submit(spec, key, inputs, die)
+
+        def build_msg(jid: int, handle: _WorkerHandle) -> tuple:
+            # Runs under handle.lock: the pin-or-descriptor decision is
+            # atomic with outbox order, so a full descriptor always
+            # reaches the worker before any PinnedRef naming it.
+            inputs = []
+            for block, version, desc, value in staged:
+                if desc is None:
+                    payload: Any = value
+                elif desc.name in handle.pinned:
+                    payload = PinnedRef(desc.name)
+                else:
+                    handle.pinned.add(desc.name)
+                    payload = desc
+                inputs.append((block, version, payload))
+            return (jid, key, inputs, die)
+
+        reply, queued = self._dispatch_job(spec, key, build_msg, die, life)
+        blob, spans = self._reply_result(reply)
+        written = pickle.loads(blob)
         if obs:
             log = self._log
             end = log.now()
@@ -392,6 +473,10 @@ class ProcessRuntime(ThreadedRuntime):
                      wall=spans.get("kernel", 0.0), cpu=spans.get("kernel_cpu", 0.0))
             log.emit(EventKind.SPAN, key, life, phase="serialize",
                      wall=spans.get("serialize", 0.0))
+            # ... the parent-estimated time this job sat behind its
+            # channel-mates (pipelining backlog, not dispatch cost) ...
+            if queued > 0.0:
+                log.emit(EventKind.SPAN, key, life, phase="queued", wall=queued)
             # ... and the parent-measured full round trip on the log clock.
             log.emit(EventKind.SPAN, key, life, phase="dispatch", wall=end - t0, t0=t0)
         if mx:
@@ -408,63 +493,55 @@ class ProcessRuntime(ThreadedRuntime):
             self._spec_blobs[id(spec)] = blob
         return blob
 
-    def _submit(
-        self, spec: Any, key: Hashable, inputs: list, die: bool
-    ) -> tuple[list, dict[str, float]]:
-        self._ensure_pool()
-        try:
-            handle = self._idle.get(timeout=60.0)
-        except queue.Empty:  # pragma: no cover - pool accounting bug
-            raise SchedulerError("no compute worker became available within 60s")
-        try:
+    # -- PipelinedDispatchMixin hooks -----------------------------------------
+
+    def _channel_comm(self, handle: _WorkerHandle) -> PipeComm:
+        return handle.conn
+
+    def _ship_spec(self, handle: _WorkerHandle, spec: Any) -> None:
+        handle.conn.send(("spec", self._spec_blob(spec)))
+
+    def _ship_jobs(self, handle: _WorkerHandle, msgs: list[tuple]) -> None:
+        handle.conn.send(("jobs", pack_frames([frame.dumps(m) for m in msgs])))
+
+    def _silent_reason(self, handle: _WorkerHandle) -> str | None:
+        return None if handle.proc.is_alive() else "died"
+
+    def _route_aux(self, handle: _WorkerHandle, msg: tuple) -> None:
+        # Workers send nothing but per-job replies; anything else is
+        # dropped (a late echo from a dying process, never actionable).
+        return None
+
+    def _replace_channel(
+        self, dead: _WorkerHandle, reason: str, down_key: Hashable | None
+    ) -> _WorkerHandle:
+        # Reap the corpse outside the pool lock: join() can wait its full
+        # timeout on a wedged child, and every other dispatch thread that
+        # loses a worker meanwhile would pile up behind the lock.
+        dead.conn.close()
+        dead.proc.join(timeout=1.0)
+        dead.death = (dead.proc.pid, dead.proc.exitcode)
+        with self._pool_lock:
             try:
-                if handle.spec_id != id(spec):
-                    handle.conn.send(("spec", self._spec_blob(spec)))
-                    handle.spec_id = id(spec)
-                handle.conn.send(("job", key, inputs, die))
-                reply = self._await_reply(handle)
-            except CommClosedError:
-                reply = None
-            if reply is None:
-                dead, handle = handle, self._replace_worker(handle)
-                if self._log is not NULL_LOG:
-                    self._log.emit(
-                        EventKind.WORKER_DOWN,
-                        key,
-                        0,
-                        pid=dead.proc.pid,
-                        exitcode=dead.proc.exitcode,
-                    )
-                    self._log.emit(EventKind.WORKER_UP, None, 0, pid=handle.proc.pid)
-                if self._mx:
-                    self._crash_counter.inc()
-                raise WorkerCrashError(key, pid=dead.proc.pid, exitcode=dead.proc.exitcode)
-            tag = reply[0]
-            if tag == "ok":
-                return pickle.loads(reply[1]), reply[2]
-            if tag == "raise":
-                raise reply[1]  # FaultError -> scheduler recovery; else scheduler bug
-            raise SchedulerError(f"unexpected reply tag {tag!r} from worker {handle.proc.pid}")
-        finally:
-            self._idle.put(handle)
+                self._handles.remove(dead)
+            except ValueError:
+                pass
+            self._crashes += 1
+            fresh = self._start_worker()
+            self._handles.append(fresh)
+        if self._log is not NULL_LOG:
+            self._log.emit(
+                EventKind.WORKER_DOWN,
+                down_key,
+                0,
+                pid=dead.proc.pid,
+                exitcode=dead.proc.exitcode,
+            )
+            self._log.emit(EventKind.WORKER_UP, None, 0, pid=fresh.proc.pid)
+        if self._mx:
+            self._crash_counter.inc()
+        return fresh
 
-    def _await_reply(self, handle: _WorkerHandle) -> Any:
-        """The worker's reply, or ``None`` if its process died first.
-
-        The blocking ``poll`` releases the GIL, which is what lets N
-        parent threads await N worker processes concurrently.
-        """
-        conn = handle.conn
-        while True:
-            if conn.poll(_POLL_SECONDS):
-                try:
-                    return conn.recv()
-                except CommClosedError:
-                    return None
-            if not handle.proc.is_alive():
-                if conn.poll(0):  # reply raced the exit
-                    try:
-                        return conn.recv()
-                    except CommClosedError:
-                        return None
-                return None
+    def _crashed_error(self, key: Hashable, handle: _WorkerHandle) -> WorkerCrashError:
+        pid, exitcode = handle.death if handle.death else (handle.proc.pid, None)
+        return WorkerCrashError(key, pid=pid, exitcode=exitcode)

@@ -126,6 +126,16 @@ class ThreadedRuntime:
     def charge(self, amount: float) -> None:
         """Virtual cost is meaningless on the wall clock; ignored."""
 
+    def aborted(self) -> bool:
+        """True once the run is tearing down after a scheduler failure.
+
+        Set only on the worker-exception path (a scheduler bug, never a
+        recovered task fault).  The pipelined dispatch path polls this so
+        threads blocked waiting for a worker channel or a remote reply
+        unwind instead of waiting out their full timeouts.
+        """
+        return self._stop.is_set()
+
     # -- driver ----------------------------------------------------------------------
 
     def execute(self, root: Frame) -> RunResult:

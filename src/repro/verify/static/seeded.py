@@ -186,7 +186,7 @@ SEEDED: tuple[SeededCase, ...] = (
         extra_protocols=(
             ProtocolSpec(
                 name="seed-p1",
-                module="runtime/_seed_p1.py",
+                modules=("runtime/_seed_p1.py",),
                 parent=ProtocolSide("parent", classes=("SeedClusterRuntime",)),
                 worker=ProtocolSide("worker", classes=("SeedWorkerServer",)),
             ),
@@ -220,9 +220,44 @@ SEEDED: tuple[SeededCase, ...] = (
         extra_protocols=(
             ProtocolSpec(
                 name="seed-p2",
-                module="runtime/_seed_p2.py",
+                modules=("runtime/_seed_p2.py",),
                 parent=ProtocolSide("parent", classes=("SeedClusterRuntime",)),
                 worker=ProtocolSide("worker", classes=("SeedWorkerServer",)),
+            ),
+        ),
+    ),
+    SeededCase(
+        name="protocol-unhandled-jobs-batch",
+        rule="protocol-exhaustive",
+        relpath="runtime/_seed_p3.py",
+        source="""
+            from repro.comm.core import Comm
+            from repro.comm.frame import dumps, pack_frames
+
+            class SeedBatchingRuntime:
+                def ship(self, comm: Comm, msgs: list) -> None:
+                    comm.send(("jobs", pack_frames([dumps(m) for m in msgs])))
+
+                def ping(self, comm: Comm) -> None:
+                    comm.send(("ping",))
+
+            class SeedLegacyWorker:
+                def serve(self, comm: Comm) -> None:
+                    while True:
+                        msg = comm.recv()
+                        tag = msg[0]
+                        if tag == "ping":
+                            comm.send(("pong",))
+                        elif tag == "job":
+                            comm.send(("done", msg[1]))
+        """,
+        expect="tag 'jobs' sent by parent has no matching handler",
+        extra_protocols=(
+            ProtocolSpec(
+                name="seed-p3",
+                modules=("runtime/_seed_p3.py",),
+                parent=ProtocolSide("parent", classes=("SeedBatchingRuntime",)),
+                worker=ProtocolSide("worker", classes=("SeedLegacyWorker",)),
             ),
         ),
     ),

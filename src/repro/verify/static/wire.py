@@ -32,7 +32,7 @@ from repro.verify.report import Finding
 from repro.verify.static.callgraph import Program, StaticRule, own_nodes
 
 #: Non-exception classes blessed onto the wire.
-WIRE_SAFE_CLASSES = frozenset({"BlockRef", "ShmDescriptor", "Address"})
+WIRE_SAFE_CLASSES = frozenset({"BlockRef", "ShmDescriptor", "Address", "PinnedRef"})
 
 #: Scalar/container type names that are trivially picklable.
 _SAFE_TYPE_NAMES = frozenset(
@@ -261,25 +261,32 @@ class ProtocolSide:
 @dataclass(frozen=True)
 class ProtocolSpec:
     name: str
-    module: str
+    modules: tuple[str, ...]
     parent: ProtocolSide
     worker: ProtocolSide
 
 
 #: The two runtime message protocols.  Sides are matched by class (every
-#: method) or by module-level function name (nested helpers included).
+#: method) or by module-level function name (nested helpers included),
+#: within any of the protocol's modules -- the pipelined dispatch mixin
+#: lives in ``runtime/dispatch.py`` and handles the streamed per-job
+#: replies (``done``/``fail``) for both runtimes.
 PROTOCOLS: tuple[ProtocolSpec, ...] = (
     ProtocolSpec(
         name="cluster",
-        module="runtime/cluster.py",
-        parent=ProtocolSide("parent", classes=("ClusterRuntime",)),
+        modules=("runtime/cluster.py", "runtime/dispatch.py"),
+        parent=ProtocolSide(
+            "parent", classes=("ClusterRuntime", "PipelinedDispatchMixin")
+        ),
         worker=ProtocolSide("worker", classes=("WorkerServer", "_FetchingContext")),
     ),
     ProtocolSpec(
         name="procpool",
-        module="runtime/procpool.py",
-        parent=ProtocolSide("parent", classes=("ProcessRuntime",)),
-        worker=ProtocolSide("worker", functions=("_worker_main",)),
+        modules=("runtime/procpool.py", "runtime/dispatch.py"),
+        parent=ProtocolSide(
+            "parent", classes=("ProcessRuntime", "PipelinedDispatchMixin")
+        ),
+        worker=ProtocolSide("worker", functions=("_worker_main", "_serve_job")),
     ),
 )
 
@@ -300,8 +307,8 @@ class ProtocolExhaustiveRule(StaticRule):
     def check(self, program: Program) -> list[Finding]:
         findings: list[Finding] = []
         for spec in self.protocols:
-            parent_fns = self._side_functions(program, spec.module, spec.parent)
-            worker_fns = self._side_functions(program, spec.module, spec.worker)
+            parent_fns = self._side_functions(program, spec.modules, spec.parent)
+            worker_fns = self._side_functions(program, spec.modules, spec.worker)
             if not parent_fns or not worker_fns:
                 continue  # protocol module absent from this scan
             p_sent = self._sent_tags(program, parent_fns)
@@ -342,10 +349,10 @@ class ProtocolExhaustiveRule(StaticRule):
             )
         return out
 
-    def _side_functions(self, program: Program, module: str, side: ProtocolSide):
+    def _side_functions(self, program: Program, modules: tuple[str, ...], side: ProtocolSide):
         out = []
         for fn in program.functions:
-            if fn.module.relpath != module:
+            if fn.module.relpath not in modules:
                 continue
             if fn.cls is not None and fn.cls.name in side.classes:
                 out.append(fn)

@@ -20,7 +20,9 @@ def ref(v, block="b"):
 
 @pytest.fixture
 def store():
-    s = SharedMemoryBlockStore(SingleAssignment())
+    # These tests exercise segment mechanics with tiny arrays, so disable
+    # the small-block inline path that would otherwise keep them plain.
+    s = SharedMemoryBlockStore(SingleAssignment(), small_block_bytes=0)
     yield s
     s.close()
 
@@ -71,7 +73,7 @@ class TestDescriptorAttach:
             att.close()
 
     def test_attach_after_eviction_raises_file_not_found(self):
-        s = SharedMemoryBlockStore(Reuse())
+        s = SharedMemoryBlockStore(Reuse(), small_block_bytes=0)
         try:
             s.write(ref(0), np.zeros(4))
             desc = s.descriptor(ref(0))
@@ -83,7 +85,7 @@ class TestDescriptorAttach:
             s.close()
 
     def test_parent_read_of_evicted_version_still_raises(self):
-        s = SharedMemoryBlockStore(Reuse())
+        s = SharedMemoryBlockStore(Reuse(), small_block_bytes=0)
         try:
             s.write(ref(0), np.zeros(4))
             s.write(ref(1), np.ones(4))
@@ -133,7 +135,7 @@ class TestFaultSemantics:
 
 class TestLifecycle:
     def test_pinned_versions_survive_sweeps(self):
-        s = SharedMemoryBlockStore(Reuse())
+        s = SharedMemoryBlockStore(Reuse(), small_block_bytes=0)
         try:
             s.pin(BlockRef("input", 0), np.arange(3))
             for v in range(3):
@@ -144,7 +146,7 @@ class TestLifecycle:
             s.close()
 
     def test_stats_track_segment_lifecycle(self):
-        s = SharedMemoryBlockStore(Reuse())
+        s = SharedMemoryBlockStore(Reuse(), small_block_bytes=0)
         try:
             for v in range(3):
                 s.write(ref(v), np.zeros(8))
@@ -164,6 +166,43 @@ class TestLifecycle:
         store.close()
         with pytest.raises(FileNotFoundError):
             attach_readonly(desc.name)
+
+
+class TestSmallBlockInline:
+    """Array payloads below ``small_block_bytes`` skip segment creation."""
+
+    def test_small_array_stays_plain_value(self):
+        s = SharedMemoryBlockStore(SingleAssignment())  # default threshold
+        try:
+            a = np.arange(16, dtype=np.float64)  # 128 B << 64 KiB
+            s.write(ref(0), a)
+            assert s.descriptor(ref(0)) is None
+            assert s.shm_stats.pickled_payloads == 1
+            assert s.shm_stats.segments_created == 0
+            np.testing.assert_array_equal(s.read(ref(0)), a)
+        finally:
+            s.close()
+
+    def test_large_array_still_gets_segment(self):
+        s = SharedMemoryBlockStore(SingleAssignment())
+        try:
+            a = np.zeros(16384, dtype=np.float64)  # 128 KiB > threshold
+            s.write(ref(0), a)
+            assert s.descriptor(ref(0)) is not None
+            assert s.shm_stats.segments_created == 1
+        finally:
+            s.close()
+
+    def test_materialize_threshold_param(self):
+        a = np.arange(8, dtype=np.float64)
+        payload, seg = materialize_segment(a, small_bytes=1024)
+        assert seg is None and payload is a
+        payload, seg = materialize_segment(a)  # default: always segment
+        try:
+            assert seg is not None
+        finally:
+            del payload
+            seg.dispose()
 
 
 class TestMaterialize:
