@@ -89,6 +89,23 @@ class Comm:
         """Ship one message; raises :class:`CommClosedError` on a dead peer."""
         raise NotImplementedError
 
+    def send_oob(self, message: Any) -> None:
+        """Ship one message with protocol-5 out-of-band buffer treatment:
+        large contiguous payloads (numpy blocks, pre-encoded
+        ``frame.Encoded`` segments) travel as scattered buffer segments
+        instead of being copied into the pickle stream.
+
+        Semantically identical to :meth:`send` -- same ordering, same
+        failure signal, and the receiver's plain ``recv`` returns the
+        reconstructed message (buffer payloads may arrive as read-only
+        views over a transport buffer; see ``frame.OOBFrame`` for the
+        ownership rule).  The base implementation falls back to plain
+        ``send``: without a ``buffer_callback``, protocol-5 pickling
+        serializes every buffer in-band, which is always correct, just
+        not zero-copy.  Backends override with a vectored path.
+        """
+        self.send(message)
+
     def recv(self, timeout: float | None = None) -> Any:
         """The next message.  ``timeout=None`` blocks until a message or
         peer loss; a finite timeout raises :class:`TimeoutError` if

@@ -23,13 +23,24 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
 from repro.comm import frame
 from repro.comm.core import Comm, CommClosedError, Listener, register_backend
 
 #: Sentinel a closing endpoint enqueues so the peer's blocking recv wakes.
 _CLOSED = object()
+
+
+class _OOBItem(NamedTuple):
+    """A queue item produced by ``send_oob``: the pickle-5 meta stream
+    plus the extracted :class:`pickle.PickleBuffer` views.  In-process
+    the views alias the *sender's* buffers directly -- true zero copy --
+    which is safe because block payloads are write-once by the store
+    discipline (and the same aliasing the shm path already exposes)."""
+
+    meta: bytes
+    buffers: tuple
 
 
 class InprocComm(Comm):
@@ -51,10 +62,22 @@ class InprocComm(Comm):
         # every backend, so pickle failures surface in loopback tests.
         self._send_q.put(frame.dumps(message))
 
+    def send_oob(self, message: Any) -> None:
+        if self._closed or self._peer_gone:
+            raise CommClosedError(f"send on closed inproc comm to {self.peer}")
+        meta, buffers = frame.dumps_oob(message)
+        self._send_q.put(_OOBItem(meta, tuple(buffers)))
+
+    @staticmethod
+    def _decode(item: Any) -> Any:
+        if isinstance(item, _OOBItem):
+            return frame.loads_oob(item.meta, item.buffers)
+        return frame.loads(item)
+
     def recv(self, timeout: float | None = None) -> Any:
         if self._has_head:
             payload, self._head, self._has_head = self._head, None, False
-            return frame.loads(payload)
+            return self._decode(payload)
         if self._closed or self._peer_gone:
             raise CommClosedError(f"recv on closed inproc comm to {self.peer}")
         try:
@@ -64,7 +87,7 @@ class InprocComm(Comm):
         if item is _CLOSED:
             self._peer_gone = True
             raise CommClosedError(f"inproc peer {self.peer} closed")
-        return frame.loads(item)
+        return self._decode(item)
 
     def poll(self, timeout: float = 0.0) -> bool:
         if self._has_head or self._closed or self._peer_gone:

@@ -29,39 +29,119 @@ pipelined dispatch layer enforces with its per-channel send/recv locks
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import struct
 from typing import Any, Callable
 
+from repro.comm import frame
 from repro.comm.core import Comm, CommClosedError, Listener, register_backend
 
 #: The errors a multiprocessing Connection raises once the peer is gone.
 _DEAD_PEER = (BrokenPipeError, EOFError, ConnectionResetError, OSError)
 
+#: First byte of a multi-segment (OOB) message group.  A pickle stream
+#: (protocol >= 2) always opens with the PROTO opcode ``0x80``, so one
+#: byte discriminates the two message kinds unambiguously.
+_OOB_MAGIC = 0xB5
+
+#: How many transport buffers a PipeComm keeps an eye on for recycling
+#: before abandoning the oldest to its consumers.
+_MAX_LENT = 64
+
 
 class PipeComm(Comm):
     """A :class:`Comm` over one end of a ``multiprocessing`` pipe."""
 
-    __slots__ = ("_conn", "_closed", "peer")
+    __slots__ = ("_conn", "_closed", "peer", "_pool", "_lent")
 
     def __init__(self, conn: Any, peer: str = "pipe://") -> None:
         self._conn = conn
         self._closed = False
         self.peer = peer
+        self._pool = frame.BufferPool()
+        self._lent: list[frame.OOBFrame] = []
 
     def send(self, message: Any) -> None:
         if self._closed:
             raise CommClosedError(f"send on closed pipe comm ({self.peer})")
+        self._sweep_lent()
         try:
             self._conn.send(message)
         except _DEAD_PEER as exc:
             raise CommClosedError(f"pipe peer gone during send: {exc}") from exc
 
+    def send_oob(self, message: Any) -> None:
+        """Ship with out-of-band buffers: a magic-prefixed length table,
+        then the meta stream and every buffer as its own pipe message --
+        the Connection writes each straight from the source memory, no
+        join and no intermediate pickle copy."""
+        if self._closed:
+            raise CommClosedError(f"send on closed pipe comm ({self.peer})")
+        self._sweep_lent()
+        meta, buffers = frame.dumps_oob(message)
+        try:
+            if not buffers:
+                self._conn.send_bytes(meta)
+                return
+            raws = [b.raw() for b in buffers]
+            lens = [len(meta)] + [r.nbytes for r in raws]
+            table = struct.pack(f"<BI{len(lens)}Q", _OOB_MAGIC, len(lens), *lens)
+            self._conn.send_bytes(table)
+            self._conn.send_bytes(meta)
+            for raw in raws:
+                self._conn.send_bytes(raw)
+        except _DEAD_PEER as exc:
+            raise CommClosedError(f"pipe peer gone during send: {exc}") from exc
+
+    def _recv_oob(self, table: bytes) -> Any:
+        """Reassemble one multi-segment group into a pooled buffer and
+        decode it as zero-copy views (the OOBFrame ownership rule)."""
+        (nsegs,) = struct.unpack_from("<I", table, 1)
+        lens = struct.unpack_from(f"<{nsegs}Q", table, 5)
+        total = sum(lens)
+        if total > frame.MAX_FRAME_BYTES:
+            raise frame.OversizedFrameError(total, frame.MAX_FRAME_BYTES)
+        buf = self._pool.lease(total)
+        with memoryview(buf) as mv:
+            off = 0
+            for n in lens:
+                got = self._conn.recv_bytes_into(mv[off : off + n])
+                if got != n:
+                    raise frame.FrameError(
+                        f"OOB segment size mismatch: expected {n}, got {got}"
+                    )
+                off += n
+        meta = bytes(memoryview(buf)[: lens[0]])
+        views = []
+        off = lens[0]
+        for n in lens[1:]:
+            views.append(memoryview(buf)[off : off + n].toreadonly())
+            off += n
+        oob = frame.OOBFrame(meta, tuple(views), buf, self._pool)
+        message = oob.load()
+        if not oob.try_recycle():
+            self._lent.append(oob)
+        return message
+
+    def _sweep_lent(self) -> None:
+        """Retry recycling transport buffers whose consumers have let go."""
+        if self._lent:
+            self._lent = [f for f in self._lent if not f.try_recycle()]
+            del self._lent[:-_MAX_LENT]
+
     def recv(self, timeout: float | None = None) -> Any:
         if self._closed:
             raise CommClosedError(f"recv on closed pipe comm ({self.peer})")
+        self._sweep_lent()
         try:
             if timeout is not None and not self._conn.poll(timeout):
                 raise TimeoutError(f"no message within {timeout}s on {self.peer}")
-            return self._conn.recv()
+            data = self._conn.recv_bytes()
+            if data[:1] == bytes([_OOB_MAGIC]):
+                return self._recv_oob(data)
+            # A plain message: Connection.send pickled it, recv_bytes
+            # handed us the identical payload -- decode it ourselves.
+            return pickle.loads(data)
         except _DEAD_PEER as exc:
             raise CommClosedError(f"pipe peer gone during recv: {exc}") from exc
 

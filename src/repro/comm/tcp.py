@@ -45,6 +45,20 @@ HEARTBEAT_INTERVAL_SECONDS = 0.25
 #: Socket read granularity.
 _RECV_CHUNK = 1 << 16
 
+#: A frame body this large reads straight off the socket into its final
+#: buffer (``recv_into`` through the decoder's direct path); smaller
+#: remainders stay on the chunked path, whose one copy is cheaper than
+#: an extra syscall per small frame.
+_DIRECT_RECV_MIN = 1 << 14
+
+#: ``sendmsg`` gather lists are chunked to this many iovecs per call
+#: (the kernel's IOV_MAX is typically 1024; Python does not expose it).
+_IOV_CAP = 512
+
+#: How many receive buffers a TCPComm keeps an eye on for recycling
+#: before abandoning the oldest to its consumers.
+_MAX_LENT = 64
+
 #: Protocol-level liveness message; never surfaces from ``recv``.
 _HEARTBEAT = ("__hb__",)
 
@@ -59,8 +73,10 @@ class TCPComm(Comm):
         except OSError:  # pragma: no cover - exotic transports only
             pass
         self._sock = sock
-        self._decoder = frame.FrameDecoder()
+        self._pool = frame.BufferPool()
+        self._decoder = frame.FrameDecoder(pool=self._pool)
         self._inbox: deque[Any] = deque()
+        self._lent: list[frame.OOBFrame] = []
         self._send_lock = threading.Lock()
         self._closed = False
         self._eof = False
@@ -70,21 +86,84 @@ class TCPComm(Comm):
 
     # -- sending ------------------------------------------------------------
 
-    def send(self, message: Any) -> None:
-        data = frame.encode_message(message)
-        with self._send_lock:
-            if self._closed:
-                raise CommClosedError(f"send on closed tcp comm to {self.peer}")
+    def _sendmsg_all(self, parts: list[Any]) -> None:
+        """Gather-write every part (header, payload views) with
+        ``socket.sendmsg`` -- no concatenation copy -- looping over
+        partial sends and chunking long iovec lists.  Caller holds the
+        send lock."""
+        views = [memoryview(p) for p in parts if len(p)]
+        while views:
             try:
-                self._sock.sendall(data)  # verify: ok=blocking-under-lock (write serialization is this lock's whole job; nothing else is ever taken under it)
+                sent = self._sock.sendmsg(views[:_IOV_CAP])  # verify: ok=blocking-under-lock (write serialization is this lock's whole job; nothing else is ever taken under it)
             except OSError as exc:
                 self._eof = True
                 raise CommClosedError(f"tcp peer {self.peer} gone during send: {exc}") from exc
+            while sent:
+                head = views[0]
+                if head.nbytes <= sent:
+                    sent -= head.nbytes
+                    views.pop(0)
+                else:
+                    views[0] = head[sent:]
+                    sent = 0
+
+    def send(self, message: Any) -> None:
+        payload = frame.dumps(message)
+        with self._send_lock:
+            if self._closed:
+                raise CommClosedError(f"send on closed tcp comm to {self.peer}")
+            self._sendmsg_all([frame._HEADER.pack(len(payload)), payload])  # verify: ok=blocking-under-lock (send_lock exists to serialize wire writes; sending under it is its purpose)
+
+    def send_oob(self, message: Any) -> None:
+        """Ship with protocol-5 out-of-band buffers: one multi-segment
+        frame whose header + length table + segments go out as a single
+        gather list -- block payloads travel straight from their source
+        arrays to the socket."""
+        parts = frame.encode_message_oob(message)
+        with self._send_lock:
+            if self._closed:
+                raise CommClosedError(f"send on closed tcp comm to {self.peer}")
+            self._sendmsg_all(parts)  # verify: ok=blocking-under-lock (send_lock exists to serialize wire writes; sending under it is its purpose)
+
+    def _try_send(self, message: Any) -> bool:
+        """Best-effort send that refuses to wait for the send lock --
+        the heartbeat path, so a multi-MiB transfer in flight (whose
+        bytes refresh the peer's liveness clock anyway) is never queued
+        behind by a liveness probe."""
+        payload = frame.dumps(message)
+        if not self._send_lock.acquire(blocking=False):
+            return False
+        try:
+            if self._closed:
+                raise CommClosedError(f"send on closed tcp comm to {self.peer}")
+            self._sendmsg_all([frame._HEADER.pack(len(payload)), payload])
+        finally:
+            self._send_lock.release()
+        return True
 
     # -- receiving ----------------------------------------------------------
 
+    def _sweep_lent(self) -> None:
+        """Retry recycling receive buffers whose consumers have let go."""
+        if self._lent:
+            self._lent = [f for f in self._lent if not f.try_recycle()]
+            del self._lent[:-_MAX_LENT]
+
+    def _drain_decoder(self) -> None:
+        for payload in self._decoder.frames():
+            if isinstance(payload, frame.OOBFrame):
+                self._inbox.append(payload.load())
+                if not payload.try_recycle():
+                    self._lent.append(payload)
+                continue
+            message = frame.loads(payload)
+            if message == _HEARTBEAT:
+                continue  # liveness only; _last_recv already updated
+            self._inbox.append(message)
+
     def _pump(self, deadline: float | None) -> None:
         """Read the socket until a data message is buffered, EOF, or deadline."""
+        self._sweep_lent()
         while not self._inbox and not self._eof and not self._closed:
             if deadline is None:
                 wait: float | None = None
@@ -99,21 +178,31 @@ class TCPComm(Comm):
                 return
             if not readable:
                 return
+            dest = self._decoder.direct_destination()
             try:
-                chunk = self._sock.recv(_RECV_CHUNK)
+                if dest is not None and dest.nbytes >= _DIRECT_RECV_MIN:
+                    # Large frame body: land the bytes in their final
+                    # buffer straight off the socket, no staging copy.
+                    n = self._sock.recv_into(dest)
+                    dest.release()
+                    if n == 0:
+                        self._eof = True
+                        return
+                    self._last_recv = time.monotonic()
+                    self._decoder.direct_advance(n)
+                else:
+                    if dest is not None:
+                        dest.release()
+                    chunk = self._sock.recv(_RECV_CHUNK)
+                    if not chunk:
+                        self._eof = True
+                        return
+                    self._last_recv = time.monotonic()
+                    self._decoder.feed(chunk)  # OversizedFrameError propagates: protocol bug
             except OSError:
                 self._eof = True
                 return
-            if not chunk:
-                self._eof = True
-                return
-            self._last_recv = time.monotonic()
-            self._decoder.feed(chunk)  # OversizedFrameError propagates: protocol bug
-            for payload in self._decoder.frames():
-                message = frame.loads(payload)
-                if message == _HEARTBEAT:
-                    continue  # liveness only; _last_recv already updated
-                self._inbox.append(message)
+            self._drain_decoder()
 
     def recv(self, timeout: float | None = None) -> Any:
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -155,7 +244,11 @@ class TCPComm(Comm):
         def beat() -> None:
             while not stop.wait(interval):
                 try:
-                    self.send(_HEARTBEAT)
+                    # Non-blocking: if a large transfer holds the send
+                    # lock, skip the beat -- the in-flight bytes refresh
+                    # the peer's liveness clock better than a heartbeat
+                    # queued behind them would.
+                    self._try_send(_HEARTBEAT)
                 except CommClosedError:
                     return
 

@@ -143,6 +143,28 @@ def _layout(arrays: list[np.ndarray]) -> tuple[list[int], int]:
     return offsets, total
 
 
+def own_payload(value: Any) -> tuple[Any, int]:
+    """``(owned_value, array_bytes)``: ``value`` with every ndarray that
+    does not own its memory replaced by an owning copy.
+
+    The zero-copy fetch path materializes arrays as views over a comm
+    transport buffer; a consumer that *caches* the payload (the worker
+    ``BlockCache``) must own the bytes so the transport buffer can go
+    back to its pool -- this is the single copy the "copies-per-block
+    <= 1" budget spends, and only when the payload is actually cached.
+    Already-owning payloads pass through untouched.
+    """
+    arrays: list[np.ndarray] = []
+    template = _flatten(value, arrays)
+    if not arrays:
+        return value, 0
+    nbytes = sum(a.nbytes for a in arrays)
+    if all(a.flags.owndata for a in arrays):
+        return value, nbytes
+    owned = [a if a.flags.owndata else a.copy() for a in arrays]
+    return _rebuild(template, owned), nbytes
+
+
 class _Segment:
     """One parent-owned shared-memory segment backing one block version."""
 

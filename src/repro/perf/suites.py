@@ -557,6 +557,87 @@ def _bench_comm_rtt(scheme: str, n_msgs: int) -> Callable[[], Callable[[], int]]
     return make
 
 
+def _bench_block_ship(
+    scheme: str, payload_bytes: int, n_msgs: int, oob: bool = True
+) -> Callable[[], Callable[[], int]]:
+    """One-way block shipping over a live connection: ``send_oob`` on the
+    zero-copy data plane, or plain ``send`` for the copying baseline the
+    OOB speedup is measured against.  A sync ping-pong after the burst
+    makes the receiver's decode cost part of the measurement."""
+
+    def make():
+        import numpy as np
+
+        from repro import comm
+
+        def sink(c):
+            while True:
+                try:
+                    msg = c.recv()
+                except comm.CommClosedError:
+                    return
+                if isinstance(msg, tuple) and msg[0] == "sync":
+                    c.send(("ack",))
+
+        if scheme == "tcp":
+            addr = "tcp://127.0.0.1:0"
+        else:
+            addr = f"inproc://perf-ship-{next(_RTT_IDS)}"
+        listener = comm.listen(addr, sink)
+        chan = comm.connect(listener.address)
+        arr = np.arange(payload_bytes // 8, dtype=np.float64)
+        send = chan.send_oob if oob else chan.send
+
+        def batch() -> int:
+            for _ in range(n_msgs):
+                send(("blk", arr))
+            chan.send(("sync",))
+            chan.recv(timeout=60)
+            return n_msgs
+
+        return batch
+
+    return make
+
+
+def _bench_fetch_rtt(scheme: str, payload_bytes: int, n_msgs: int) -> Callable[[], Callable[[], int]]:
+    """Block-fetch round trips: a tiny request out, a block-sized
+    ``send_oob`` reply back -- the shape of every worker cache miss."""
+
+    def make():
+        import numpy as np
+
+        from repro import comm
+
+        def server(c):
+            arr = np.arange(payload_bytes // 8, dtype=np.float64)
+            while True:
+                try:
+                    c.recv()
+                except comm.CommClosedError:
+                    return
+                c.send_oob(("data", arr))
+
+        if scheme == "tcp":
+            addr = "tcp://127.0.0.1:0"
+        else:
+            addr = f"inproc://perf-fetch-{next(_RTT_IDS)}"
+        listener = comm.listen(addr, server)
+        chan = comm.connect(listener.address)
+
+        def batch() -> int:
+            send = chan.send
+            recv = chan.recv
+            for _ in range(n_msgs):
+                send(("fetch", "b"))
+                recv(timeout=60)
+            return n_msgs
+
+        return batch
+
+    return make
+
+
 # ---------------------------------------------------------------------------
 # the suite
 
@@ -679,6 +760,60 @@ def benchmarks(scale: str = "default") -> list[Benchmark]:
             _bench_comm_rtt("tcp", 64 if tiny else 1024),
             unit="msgs/s",
             description="ping-pong RTT over localhost tcp://: the cluster dispatch floor",
+        ),
+        Benchmark(
+            "block_ship_plain_1m_inproc", "comm",
+            _bench_block_ship("inproc", 1 << 20, 4 if tiny else 128, oob=False),
+            unit="blocks/s",
+            description="1 MiB blocks one-way via plain send: the copying baseline for the OOB speedup",
+        ),
+        Benchmark(
+            "block_ship_64k_inproc", "comm",
+            _bench_block_ship("inproc", 1 << 16, 16 if tiny else 512),
+            unit="blocks/s",
+            description="64 KiB blocks one-way over inproc:// via send_oob",
+        ),
+        Benchmark(
+            "block_ship_1m_inproc", "comm",
+            _bench_block_ship("inproc", 1 << 20, 4 if tiny else 128),
+            unit="blocks/s",
+            description="1 MiB blocks one-way over inproc:// via send_oob (zero-copy alias)",
+        ),
+        Benchmark(
+            "block_ship_16m_inproc", "comm",
+            _bench_block_ship("inproc", 16 << 20, 2 if tiny else 16),
+            unit="blocks/s",
+            description="16 MiB blocks one-way over inproc:// via send_oob",
+        ),
+        Benchmark(
+            "block_ship_64k_tcp", "comm",
+            _bench_block_ship("tcp", 1 << 16, 16 if tiny else 256),
+            unit="blocks/s",
+            description="64 KiB blocks one-way over localhost tcp:// via send_oob",
+        ),
+        Benchmark(
+            "block_ship_1m_tcp", "comm",
+            _bench_block_ship("tcp", 1 << 20, 4 if tiny else 64),
+            unit="blocks/s",
+            description="1 MiB blocks one-way over localhost tcp://: gather-send + pooled recv_into",
+        ),
+        Benchmark(
+            "block_ship_16m_tcp", "comm",
+            _bench_block_ship("tcp", 16 << 20, 2 if tiny else 8),
+            unit="blocks/s",
+            description="16 MiB blocks one-way over localhost tcp:// via send_oob",
+        ),
+        Benchmark(
+            "fetch_rtt_1m_inproc", "comm",
+            _bench_fetch_rtt("inproc", 1 << 20, 4 if tiny else 64),
+            unit="msgs/s",
+            description="1 MiB block-fetch RTT over inproc://: the worker cache-miss shape",
+        ),
+        Benchmark(
+            "fetch_rtt_1m_tcp", "comm",
+            _bench_fetch_rtt("tcp", 1 << 20, 4 if tiny else 32),
+            unit="msgs/s",
+            description="1 MiB block-fetch RTT over localhost tcp://",
         ),
         Benchmark(
             "finegrain_lcs_w2", "finegrain",

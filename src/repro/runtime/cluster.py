@@ -65,9 +65,10 @@ from typing import Any, Hashable, Iterable
 
 from repro.comm import frame
 from repro.comm.core import Comm, CommClosedError, connect_with_retry, listen
-from repro.comm.frame import pack_frames, unpack_frames
+from repro.comm.frame import unpack_frames
 from repro.exceptions import SchedulerError, WorkerCrashError
 from repro.graph.taskspec import BlockRef
+from repro.memory.shm import own_payload
 from repro.obs.events import NULL_LOG, EventKind, EventLog
 from repro.obs.live import NULL_METRICS, MetricsRegistry
 from repro.runtime.api import RunResult
@@ -142,6 +143,74 @@ class BlockCache:
         return len(self._entries)
 
 
+#: Default send-side encoded-payload budget (see EncodedBlockCache).
+DEFAULT_ENCODED_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class EncodedBlockCache:
+    """Parent-side LRU of *encoded* block payloads, keyed
+    ``(block, version)`` -- the send half of the worker ``BlockCache``.
+
+    A block fetched by W workers used to be pickled W times; this cache
+    makes it ``frame.encode_oob`` once, gather W times (the buffer
+    segments ship straight from the cached :class:`frame.Encoded`'s
+    views, so a hit costs no serialization at all).
+
+    Coherence rides the same versioned-key discipline as the worker
+    cache, with one extra guard for the fault-injection paths that *do*
+    change a version's payload in place in the parent store
+    (``corrupt_data``, re-execution rewrites): a hit additionally
+    requires the stored source object to *be* (``is``) the value about
+    to ship.  Rewrites and mutator-style corruption replace the stored
+    payload object, so they miss by identity and re-encode -- stale
+    encodings are never served across a payload swap.  (For the OOB
+    segments themselves even a same-object in-place mutation cannot go
+    stale: the cached ``Encoded`` holds buffer views over the value's
+    live memory, gathered at send time.)
+    """
+
+    def __init__(self, capacity_bytes: int = DEFAULT_ENCODED_CACHE_BYTES) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[tuple, tuple[Any, Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, block: Hashable, version: int, value: Any) -> Any:
+        """The cached encoding of ``value`` for ``(block, version)``, or
+        ``None`` when absent or superseded by a payload swap."""
+        key = (block, version)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is value:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+            return None
+
+    def put(self, block: Hashable, version: int, value: Any, encoded: Any) -> None:
+        key = (block, version)
+        nbytes = encoded.nbytes
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[2]
+            self._entries[key] = (value, encoded, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.capacity_bytes and len(self._entries) > 1:
+                _, (_, _, evicted) = self._entries.popitem(last=False)
+                self._bytes -= evicted
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class _FetchingContext:
     """Worker-side compute context: reads hit the local cache or fetch
     the payload from the parent over the job's comm channel; writes are
@@ -199,8 +268,17 @@ class _FetchingContext:
                 raise SchedulerError(
                     f"parent could not serve {ref!r} for task {self.key!r} (reply {tag!r})"
                 )
-            value = frame.loads(payload)
-            self._cache.put(ck, value, len(payload))
+            if isinstance(payload, frame.Encoded):
+                # The OOB path: array payloads decode as zero-copy views
+                # over the transport buffer.  The cache outlives the
+                # buffer's loan, so cache an *owning* copy -- the one
+                # copy per fetched block the zero-copy budget allows.
+                nbytes = payload.nbytes
+                value, _ = own_payload(payload.load())
+            else:
+                nbytes = len(payload)
+                value = frame.loads(payload)
+            self._cache.put(ck, value, nbytes)
         self.reads.append(ref)
         return value
 
@@ -316,8 +394,12 @@ class WorkerServer:
                 if tag != "jobs":
                     comm.send(("fail", None, SchedulerError(f"unknown message tag {tag!r}")))
                     continue
-                for payload in unpack_frames(msg[1]):
-                    jid, key, refs, die, _life = frame.loads(payload)
+                # Two batch shapes: a list of job tuples (the OOB path)
+                # or a legacy packed-frames blob.
+                batch = msg[1]
+                if isinstance(batch, (bytes, bytearray, memoryview)):
+                    batch = [frame.loads(p) for p in unpack_frames(bytes(batch))]
+                for jid, key, refs, die, _life in batch:
                     if die:
                         self._die(comm)
                         return  # unreached on TCP; severed inproc conn is done
@@ -362,7 +444,7 @@ class WorkerServer:
             spans["kernel"] = time.perf_counter() - t_kw
             spans["fetch"] = ctx.fetch_seconds
             t_sz = time.perf_counter()
-            blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
+            blob = frame.encode_oob(ctx.written)
             spans["serialize"] = time.perf_counter() - t_sz
             reply = ("done", jid, blob, spans)
             if mx:
@@ -373,7 +455,7 @@ class WorkerServer:
         except BaseException as exc:
             reply = ("fail", jid, _portable_exc(exc))
         try:
-            comm.send(reply)
+            comm.send_oob(reply)
         except CommClosedError:
             return  # parent gone; its liveness policy handles the rest
 
@@ -428,6 +510,10 @@ class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
     ``inflight``
         Outstanding-job window per channel (K jobs in flight before a
         dispatching thread must wait for a reply slot).
+    ``encoded_cache_bytes``
+        Budget for the send-side :class:`EncodedBlockCache`: a block
+        fetched by W workers is encoded once and gathered W times.
+        ``0`` disables reuse (every fetch re-encodes).
     """
 
     def __init__(
@@ -442,6 +528,7 @@ class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
         connect_attempts: int = 8,
         channels: int | None = None,
         inflight: int = DEFAULT_INFLIGHT,
+        encoded_cache_bytes: int = DEFAULT_ENCODED_CACHE_BYTES,
     ) -> None:
         super().__init__(workers, seed, event_log, metrics=metrics)
         addrs = list(addresses or ())
@@ -463,6 +550,7 @@ class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
         # WorkerServer reused across runs must never serve one run's
         # bytes to another run's identically-named block version.
         self._run_token = f"{os.getpid():x}.{id(self):x}.{time.monotonic_ns():x}"
+        self._enc_cache = EncodedBlockCache(encoded_cache_bytes)
         self._dispatch_hist = self._metrics.histogram(
             "repro_dispatch_seconds",
             "full remote compute round trip (queue wait + ship + kernel + reply)",
@@ -610,7 +698,10 @@ class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
 
         reply, queued = self._dispatch_job(spec, key, build_msg, die, life, values=values)
         blob, spans = self._reply_result(reply)
-        written = pickle.loads(blob)
+        # OOB replies arrive pre-decoded as frame.Encoded (result arrays
+        # are views over the transport buffer); a plain bytes blob is the
+        # legacy shape, kept for raw-protocol clients.
+        written = blob.load() if isinstance(blob, frame.Encoded) else pickle.loads(blob)
         if obs:
             log = self._log
             end = log.now()
@@ -646,7 +737,10 @@ class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
         handle.comm.send(("spec", self._spec_blob(spec), self._run_token))
 
     def _ship_jobs(self, handle: _RemoteHandle, msgs: list[tuple]) -> None:
-        handle.comm.send(("jobs", pack_frames([frame.dumps(m) for m in msgs])))
+        # The batch rides one OOB message: job tuples carry only refs on
+        # this runtime, so the frame is small -- but the shared encoding
+        # keeps the two wire protocols identical.
+        handle.comm.send_oob(("jobs", msgs))
 
     def _silent_reason(self, handle: _RemoteHandle) -> str | None:
         idle_seconds = getattr(handle.comm, "idle_seconds", None)
@@ -671,18 +765,24 @@ class ClusterRuntime(PipelinedDispatchMixin, ThreadedRuntime):
         if value is None and (block, version) not in values:
             payload = None
         else:
-            payload = frame.dumps(value)
+            # Encode once per version, gather per fetch: the cache hit
+            # ships the same Encoded's buffer views again, zero
+            # serialization work on the repeat.
+            payload = self._enc_cache.get(block, version, value)
+            if payload is None:
+                payload = frame.encode_oob(value)
+                self._enc_cache.put(block, version, value, payload)
             if self._log is not NULL_LOG and p is not None:
                 self._log.emit(
                     EventKind.FETCH, p.key, p.life,
-                    block=block, version=version, nbytes=len(payload),
+                    block=block, version=version, nbytes=payload.nbytes,
                 )
             if self._mx:
                 self._fetch_counter.inc()
-                self._fetch_bytes.inc(len(payload))
+                self._fetch_bytes.inc(payload.nbytes)
         try:
             with handle.send_lock:
-                handle.comm.send(("data", block, version, payload))  # verify: ok=blocking-under-lock (send_lock exists to serialize wire writes; sending under it is its purpose)
+                handle.comm.send_oob(("data", block, version, payload))  # verify: ok=blocking-under-lock (send_lock exists to serialize wire writes; sending under it is its purpose)
         except CommClosedError:
             self._channel_lost(handle, "closed")
 

@@ -74,7 +74,7 @@ from typing import Any, Hashable, Iterable, NamedTuple
 
 from repro.comm import frame
 from repro.comm.core import CommClosedError
-from repro.comm.frame import pack_frames, unpack_frames
+from repro.comm.frame import unpack_frames
 from repro.comm.pipe import PipeComm, pipe_pair, wrap_connection
 from repro.exceptions import OverwrittenError, SchedulerError, WorkerCrashError
 from repro.graph.taskspec import BlockRef
@@ -193,16 +193,21 @@ def _portable_exc(exc: BaseException) -> BaseException:
         return SchedulerError(f"worker exception: {type(exc).__name__}: {exc}")
 
 
-def _serve_job(conn: PipeComm, spec: Any, payload: bytes, pins: dict) -> None:
-    """Run one job from a batch frame and stream its reply.
+def _serve_job(conn: PipeComm, spec: Any, job: tuple, pins: dict) -> None:
+    """Run one job from a batch and stream its reply.
 
     Worker-side spans: the parent cannot see where time goes inside
     this process, so the worker measures its own phases -- shm attach,
     kernel wall + process-CPU, reply serialization -- and ships the
     numbers back with the result.  Durations only: the two processes do
     not share a clock epoch.
+
+    The reply ships out-of-band: result arrays are pickled to a tiny
+    meta stream plus buffer views (:func:`frame.encode_oob`) and the
+    transport gathers them straight from the result memory -- the
+    parent-side copy chain of the old ``pickle.dumps`` reply is gone.
     """
-    jid, key, inputs, die = frame.loads(payload)
+    jid, key, inputs, die = job
     if die:
         os._exit(CRASH_EXIT_CODE)
     spans: dict[str, float] = {}
@@ -217,13 +222,13 @@ def _serve_job(conn: PipeComm, spec: Any, payload: bytes, pins: dict) -> None:
         spans["kernel_cpu"] = time.process_time() - t_kc
         spans["kernel"] = time.perf_counter() - t_kw
         t_sz = time.perf_counter()
-        blob = pickle.dumps(ctx.written, pickle.HIGHEST_PROTOCOL)
+        blob = frame.encode_oob(ctx.written)
         spans["serialize"] = time.perf_counter() - t_sz
         reply = ("done", jid, blob, spans)
     except BaseException as exc:
         reply = ("fail", jid, _portable_exc(exc))
     try:
-        conn.send(reply)
+        conn.send_oob(reply)
     except CommClosedError:
         raise
     except Exception:
@@ -266,8 +271,14 @@ def _worker_main(raw_conn: Any) -> None:
             if tag == "spec":
                 spec = pickle.loads(msg[1])
             elif tag == "jobs":
-                for payload in unpack_frames(msg[1]):
-                    _serve_job(conn, spec, payload, pins)
+                # Two batch shapes: a list of job tuples (the OOB path --
+                # input arrays are zero-copy views over the transport
+                # buffer) or a legacy packed-frames blob.
+                batch = msg[1]
+                if isinstance(batch, (bytes, bytearray, memoryview)):
+                    batch = [frame.loads(p) for p in unpack_frames(bytes(batch))]
+                for job in batch:
+                    _serve_job(conn, spec, job, pins)
             else:
                 conn.send(("fail", None, SchedulerError(f"unknown message tag {tag!r}")))
         except CommClosedError:
@@ -462,7 +473,10 @@ class ProcessRuntime(PipelinedDispatchMixin, ThreadedRuntime):
 
         reply, queued = self._dispatch_job(spec, key, build_msg, die, life)
         blob, spans = self._reply_result(reply)
-        written = pickle.loads(blob)
+        # OOB replies arrive pre-decoded as frame.Encoded (result arrays
+        # are views over the transport buffer); a plain bytes blob is the
+        # legacy shape, kept for raw-protocol clients.
+        written = blob.load() if isinstance(blob, frame.Encoded) else pickle.loads(blob)
         if obs:
             log = self._log
             end = log.now()
@@ -502,7 +516,10 @@ class ProcessRuntime(PipelinedDispatchMixin, ThreadedRuntime):
         handle.conn.send(("spec", self._spec_blob(spec)))
 
     def _ship_jobs(self, handle: _WorkerHandle, msgs: list[tuple]) -> None:
-        handle.conn.send(("jobs", pack_frames([frame.dumps(m) for m in msgs])))
+        # The batch rides one OOB message: inline small-block values in
+        # the job tuples ship as scattered buffer segments instead of
+        # being pickled into an intermediate packed-frames blob.
+        handle.conn.send_oob(("jobs", msgs))
 
     def _silent_reason(self, handle: _WorkerHandle) -> str | None:
         return None if handle.proc.is_alive() else "died"

@@ -277,7 +277,10 @@ def _blocking_desc(call: ast.Call) -> str | None:
     n = f.attr
     if n == "sleep":
         return "sleep()"
-    if n in ("send", "sendall", "recv", "recv_bytes", "accept"):
+    if n in (
+        "send", "send_oob", "sendall", "sendmsg", "send_bytes",
+        "recv", "recv_bytes", "recv_bytes_into", "recv_into", "accept",
+    ):
         return f".{n}() (comm/socket I/O)"
     if n == "select":
         return "select.select()"

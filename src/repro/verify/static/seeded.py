@@ -161,6 +161,18 @@ SEEDED: tuple[SeededCase, ...] = (
         expect="constructs NotWireSafe, which is not in the wire set",
     ),
     SeededCase(
+        name="wire-raw-buffer-plain-path",
+        rule="wire-safety",
+        relpath="runtime/_seed_w3.py",
+        source="""
+            from repro.comm import frame
+
+            def ship(payload: bytearray) -> bytes:
+                return frame.dumps(("data", memoryview(payload)))
+        """,
+        expect="ship raw buffers through the out-of-band API",
+    ),
+    SeededCase(
         name="protocol-unhandled-parent-tag",
         rule="protocol-exhaustive",
         relpath="runtime/_seed_p1.py",

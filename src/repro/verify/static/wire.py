@@ -32,7 +32,9 @@ from repro.verify.report import Finding
 from repro.verify.static.callgraph import Program, StaticRule, own_nodes
 
 #: Non-exception classes blessed onto the wire.
-WIRE_SAFE_CLASSES = frozenset({"BlockRef", "ShmDescriptor", "Address", "PinnedRef"})
+WIRE_SAFE_CLASSES = frozenset(
+    {"BlockRef", "ShmDescriptor", "Address", "PinnedRef", "Encoded"}
+)
 
 #: Scalar/container type names that are trivially picklable.
 _SAFE_TYPE_NAMES = frozenset(
@@ -46,11 +48,24 @@ _SAFE_CALL_NAMES = frozenset(
     {"len", "str", "repr", "bytes", "int", "float", "bool", "abs", "round",
      "min", "max", "sum", "sorted", "dumps", "encode_message", "pack_frame",
      "pack_frames", "perf_counter", "process_time", "monotonic", "time",
-     "format"}
+     "format", "encode_oob"}
 )
 
-#: Constructors that are never picklable.
-_UNSAFE_BUILTINS = frozenset({"open", "memoryview"})
+#: Constructors that are never picklable -- except through the OOB API
+#: (``send_oob``/``dumps_oob``/``encode_oob``), which exists precisely to
+#: carry raw buffers: there, ``memoryview``/``PickleBuffer`` are the
+#: whole point and classify SAFE.
+_UNSAFE_BUILTINS = frozenset({"open", "memoryview", "PickleBuffer"})
+
+#: Buffer constructors legal inside an OOB sink only.
+_OOB_ONLY = frozenset({"memoryview", "PickleBuffer"})
+
+#: Sinks that serialize with the protocol-5 out-of-band buffer path.
+_OOB_SINKS = frozenset({"send_oob", "dumps_oob", "encode_oob", "encode_message_oob"})
+
+#: Every serializer-call sink (plain and OOB) whose first argument goes
+#: onto the wire.
+_SERIALIZER_SINKS = frozenset({"dumps", "encode_message"}) | _OOB_SINKS
 
 
 def _fold(verdicts: list[tuple[str, str]]) -> tuple[str, str]:
@@ -96,23 +111,30 @@ class WireSafetyRule(StaticRule):
                     continue
                 f = node.func
                 arg: ast.expr | None = None
+                oob = False
                 if (
                     isinstance(f, ast.Attribute)
-                    and f.attr == "send"
+                    and f.attr in ("send", "send_oob")
                     and len(node.args) == 1
                 ):
                     arg = node.args[0]
+                    oob = f.attr in _OOB_SINKS
                 elif (
-                    (isinstance(f, ast.Name) and f.id in ("dumps", "encode_message"))
+                    (
+                        isinstance(f, ast.Name)
+                        and f.id in _SERIALIZER_SINKS
+                    )
                     or (
                         isinstance(f, ast.Attribute)
-                        and f.attr in ("dumps", "encode_message")
+                        and f.attr in _SERIALIZER_SINKS
                     )
                 ) and node.args:
                     arg = node.args[0]
+                    name = f.id if isinstance(f, ast.Name) else f.attr
+                    oob = name in _OOB_SINKS
                 if arg is None:
                     continue
-                verdict, why = self._classify(program, fn, assigns, arg, 0)
+                verdict, why = self._classify(program, fn, assigns, arg, 0, oob)
                 if verdict == "unsafe":
                     findings.append(
                         Finding(
@@ -134,7 +156,8 @@ class WireSafetyRule(StaticRule):
         return tname.endswith(("Error", "Exception"))
 
     def _classify(
-        self, program: Program, fn, assigns, expr: ast.expr, depth: int
+        self, program: Program, fn, assigns, expr: ast.expr, depth: int,
+        oob: bool = False,
     ) -> tuple[str, str]:
         if depth > 6:
             return ("unknown", "")
@@ -143,22 +166,28 @@ class WireSafetyRule(StaticRule):
             return ("safe", "")
         if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
             return _fold(
-                [self._classify(program, fn, assigns, e, depth + 1) for e in expr.elts]
+                [
+                    self._classify(program, fn, assigns, e, depth + 1, oob)
+                    for e in expr.elts
+                ]
             )
         if isinstance(expr, ast.Dict):
             parts = [k for k in expr.keys if k is not None] + list(expr.values)
             return _fold(
-                [self._classify(program, fn, assigns, e, depth + 1) for e in parts]
+                [
+                    self._classify(program, fn, assigns, e, depth + 1, oob)
+                    for e in parts
+                ]
             )
         if isinstance(expr, ast.Starred):
-            return self._classify(program, fn, assigns, expr.value, depth + 1)
+            return self._classify(program, fn, assigns, expr.value, depth + 1, oob)
         if isinstance(expr, ast.JoinedStr):
             return ("safe", "")
         if isinstance(expr, ast.IfExp):
             return _fold(
                 [
-                    self._classify(program, fn, assigns, expr.body, depth + 1),
-                    self._classify(program, fn, assigns, expr.orelse, depth + 1),
+                    self._classify(program, fn, assigns, expr.body, depth + 1, oob),
+                    self._classify(program, fn, assigns, expr.orelse, depth + 1, oob),
                 ]
             )
         if isinstance(expr, ast.Lambda):
@@ -170,7 +199,7 @@ class WireSafetyRule(StaticRule):
             if values:
                 return _fold(
                     [
-                        self._classify(program, fn, assigns, v, depth + 1)
+                        self._classify(program, fn, assigns, v, depth + 1, oob)
                         for v in values
                     ]
                 )
@@ -190,11 +219,12 @@ class WireSafetyRule(StaticRule):
                     )
             return ("unknown", "")
         if isinstance(expr, ast.Call):
-            return self._classify_call(program, fn, assigns, expr, depth)
+            return self._classify_call(program, fn, assigns, expr, depth, oob)
         return ("unknown", "")
 
     def _classify_call(
-        self, program: Program, fn, assigns, call: ast.Call, depth: int
+        self, program: Program, fn, assigns, call: ast.Call, depth: int,
+        oob: bool = False,
     ) -> tuple[str, str]:
         relpath = fn.module.relpath
         f = call.func
@@ -204,8 +234,27 @@ class WireSafetyRule(StaticRule):
             and f.value.id == "threading"
         ):
             return ("unsafe", f"threading.{f.attr}() objects do not pickle")
-        if isinstance(f, ast.Name) and f.id in _UNSAFE_BUILTINS:
-            return ("unsafe", f"{f.id}() objects do not pickle")
+        cname_builtin = None
+        if isinstance(f, ast.Name):
+            cname_builtin = f.id
+        elif (
+            isinstance(f, ast.Attribute)
+            and isinstance(f.value, ast.Name)
+            and f.value.id == "pickle"
+            and f.attr == "PickleBuffer"
+        ):
+            cname_builtin = "PickleBuffer"
+        if cname_builtin in _UNSAFE_BUILTINS:
+            if oob and cname_builtin in _OOB_ONLY:
+                return ("safe", "")
+            if cname_builtin in _OOB_ONLY:
+                return (
+                    "unsafe",
+                    f"{cname_builtin}() does not pickle on the plain frame "
+                    "path; ship raw buffers through the out-of-band API "
+                    "(Comm.send_oob / frame.dumps_oob)",
+                )
+            return ("unsafe", f"{cname_builtin}() objects do not pickle")
         targets = program._resolve_call_targets(
             call, fn.module, fn.env, fn.cls, expand=False
         )
@@ -361,7 +410,8 @@ class ProtocolExhaustiveRule(StaticRule):
         return out
 
     def _sent_tags(self, program: Program, fns) -> dict[str, tuple[str, int]]:
-        """tag -> earliest (path, line) of a ``.send()`` shipping it."""
+        """tag -> earliest (path, line) of a ``.send()``/``.send_oob()``
+        shipping it."""
         out: dict[str, tuple[str, int]] = {}
         for fn in fns:
             assigns = _local_assigns(fn)
@@ -370,7 +420,7 @@ class ProtocolExhaustiveRule(StaticRule):
                 if not (
                     isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
-                    and node.func.attr == "send"
+                    and node.func.attr in ("send", "send_oob")
                     and len(node.args) == 1
                 ):
                     continue

@@ -99,7 +99,12 @@ def _job_frame(jobs):
 
 def _written(reply):
     assert reply[0] == "done", reply
-    return dict(pickle.loads(reply[2]))
+    blob = reply[2]
+    # Workers reply out-of-band (frame.Encoded); the legacy bytes blob
+    # shape is still asserted decodable for raw-protocol clients.
+    if isinstance(blob, frame.Encoded):
+        return dict(blob.load())
+    return dict(pickle.loads(blob))
 
 
 class TestJobsProtocol:
